@@ -1,0 +1,548 @@
+//! A Boehm-Demers-Weiser-style conservative mark-sweep collector.
+//!
+//! The paper's second baseline (§7.2.1, Table 1): a collector that ignores
+//! `free`, reclaims by conservative tracing, and therefore eliminates
+//! invalid frees, double frees, and dangling-pointer *reclamation* errors —
+//! at the cost of extra space and collection pauses, and with **no**
+//! protection against buffer overflows (objects are packed contiguously and
+//! free-list links live inside free objects, both corruptible).
+//!
+//! Faithful structural choices:
+//!
+//! * small objects are carved from 4 KB blocks of a single size class with
+//!   **no per-object headers** — an overflow runs straight into the
+//!   neighbouring object, which is why Squid-with-BDW still crashes (§7.3);
+//! * free lists are threaded **through the arena** (BDW's `GC_build_fl`
+//!   writes the links into the free objects themselves), so overflows can
+//!   corrupt them — heap metadata overwrites remain "undefined" (Table 1);
+//! * sweeping *rebuilds* each block's free list from unmarked objects, the
+//!   way BDW's reclaim phase does, so double frees cannot poison the lists
+//!   (frees are ignored entirely);
+//! * marking is conservative: any aligned word in a root or a reachable
+//!   object that falls inside a heap object retains that object, interior
+//!   pointers included.
+
+use diehard_sim::arena::{PagedArena, PAGE_SIZE};
+use diehard_sim::fault::Fault;
+use diehard_sim::traits::{Addr, SimAllocator};
+use std::collections::BTreeMap;
+
+/// Small-object size classes (bytes): 16-byte granules then powers of two,
+/// mirroring BDW's granule-based sizing.
+const CLASSES: [usize; 12] = [16, 32, 48, 64, 96, 128, 192, 256, 512, 1024, 2048, 4096];
+
+/// One block of the collected heap.
+#[derive(Debug)]
+struct Block {
+    base: usize,
+    /// Object size; blocks are single-class like BDW's `hblk`s.
+    class: usize,
+    /// Number of objects in the block (1 for large blocks).
+    count: usize,
+    /// Mark bits, rebuilt every collection (held out-of-band, like BDW's
+    /// block headers which live outside the object stream).
+    marks: Vec<bool>,
+}
+
+impl Block {
+    fn len(&self) -> usize {
+        self.class * self.count
+    }
+
+    fn contains(&self, addr: usize) -> bool {
+        addr >= self.base && addr < self.base + self.len()
+    }
+}
+
+/// The conservative collector.
+#[derive(Debug)]
+pub struct BdwGcSim {
+    arena: PagedArena,
+    blocks: BTreeMap<usize, Block>,
+    /// Per-class free-list heads; the links are in the arena.
+    free_lists: [Addr; CLASSES.len()],
+    brk: usize,
+    max_span: usize,
+    bytes_since_gc: usize,
+    heap_bytes: usize,
+    collections: u64,
+    ignored_frees: u64,
+    work: u64,
+    live_bytes_estimate: usize,
+}
+
+impl BdwGcSim {
+    /// Creates a collector with at most `max_span` bytes of heap.
+    #[must_use]
+    pub fn new(max_span: usize) -> Self {
+        let mut arena = PagedArena::new(0);
+        arena.set_limit(PAGE_SIZE); // reserve low addresses; 0 = null
+        Self {
+            arena,
+            blocks: BTreeMap::new(),
+            free_lists: [0; CLASSES.len()],
+            brk: PAGE_SIZE,
+            max_span,
+            bytes_since_gc: 0,
+            heap_bytes: 0,
+            collections: 0,
+            ignored_frees: 0,
+            work: 0,
+            live_bytes_estimate: 0,
+        }
+    }
+
+    /// Number of collections performed so far.
+    #[must_use]
+    pub fn collections(&self) -> u64 {
+        self.collections
+    }
+
+    /// Frees the mutator issued that the collector (by design) ignored.
+    #[must_use]
+    pub fn ignored_frees(&self) -> u64 {
+        self.ignored_frees
+    }
+
+    /// Total heap bytes in blocks (the GC's space overhead shows up here).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.heap_bytes
+    }
+
+    fn class_index(size: usize) -> Option<usize> {
+        CLASSES.iter().position(|&c| c >= size)
+    }
+
+    /// Maps an address (interior allowed) to its containing object's base.
+    fn find_object(&self, addr: usize) -> Option<(usize, usize)> {
+        let (_, block) = self.blocks.range(..=addr).next_back()?;
+        if !block.contains(addr) {
+            return None;
+        }
+        let index = (addr - block.base) / block.class;
+        Some((block.base, index))
+    }
+
+    fn carve_block(&mut self, ci: usize) -> Result<bool, Fault> {
+        let class = CLASSES[ci];
+        let block_len = if class >= PAGE_SIZE { class } else { PAGE_SIZE };
+        if self.brk + block_len > self.max_span {
+            return Ok(false);
+        }
+        let base = self.brk;
+        self.brk += block_len;
+        self.arena.set_limit(self.brk);
+        let count = block_len / class;
+        self.blocks.insert(
+            base,
+            Block { base, class, count, marks: vec![false; count] },
+        );
+        self.heap_bytes += block_len;
+        // GC_build_fl: thread every object onto the class free list.
+        for i in (0..count).rev() {
+            let obj = base + i * class;
+            self.arena.write_u64(obj, self.free_lists[ci] as u64)?;
+            self.free_lists[ci] = obj;
+            self.work += 1;
+        }
+        Ok(true)
+    }
+
+    fn alloc_large(&mut self, size: usize, roots: &[Addr]) -> Result<Option<Addr>, Fault> {
+        let len = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        if self.should_collect() {
+            self.collect(roots)?;
+        }
+        if self.brk + len > self.max_span {
+            self.collect(roots)?;
+            // Large-object address space is bump-allocated; dead large
+            // blocks free heap *budget* but not address space, so failure
+            // here models genuine exhaustion.
+            if self.brk + len > self.max_span {
+                return Ok(None);
+            }
+        }
+        let base = self.brk;
+        self.brk += len;
+        self.arena.set_limit(self.brk);
+        self.blocks.insert(
+            base,
+            Block { base, class: len, count: 1, marks: vec![false] },
+        );
+        self.heap_bytes += len;
+        self.bytes_since_gc += len;
+        Ok(Some(base))
+    }
+
+    fn should_collect(&self) -> bool {
+        // BDW's GC_free_space_divisor-style trigger: collect once the bytes
+        // allocated since the last collection rival a third of the heap
+        // (never more often than once per megabyte, so young heaps grow
+        // rather than thrash).
+        self.bytes_since_gc > (self.heap_bytes / 3).max(1 << 20)
+    }
+
+    /// Conservative mark phase from `roots`, then rebuild all free lists
+    /// from unmarked objects (the reclaim phase).
+    ///
+    /// # Errors
+    ///
+    /// Faults only if the arena itself fails (never in normal operation;
+    /// mark state is out-of-band).
+    pub fn collect(&mut self, roots: &[Addr]) -> Result<(), Fault> {
+        self.collections += 1;
+        // Clear marks.
+        for block in self.blocks.values_mut() {
+            for m in &mut block.marks {
+                *m = false;
+            }
+        }
+        // Mark from roots, tracing conservatively through object contents.
+        let mut worklist: Vec<usize> = Vec::new();
+        for &r in roots {
+            if let Some(key) = self.mark_addr(r) {
+                worklist.push(key);
+            }
+        }
+        let mut scan_buf: Vec<u8> = Vec::new();
+        while let Some(packed) = worklist.pop() {
+            let (base, index) = (packed >> 20, packed & 0xF_FFFF);
+            let (obj, class) = {
+                let block = &self.blocks[&(base << 12)];
+                (block.base + index * block.class, block.class)
+            };
+            // Scan the object's words for things that look like pointers
+            // (one arena read per object, then an in-buffer word walk).
+            scan_buf.resize(class, 0);
+            self.arena.read(obj, &mut scan_buf)?;
+            for chunk in scan_buf.chunks_exact(8) {
+                self.work += 1;
+                let word = u64::from_ne_bytes(chunk.try_into().expect("8 bytes")) as usize;
+                if word >= PAGE_SIZE && word < self.brk {
+                    if let Some(key) = self.mark_addr(word) {
+                        worklist.push(key);
+                    }
+                }
+            }
+        }
+        // Reclaim: rebuild every class free list from unmarked objects.
+        self.free_lists = [0; CLASSES.len()];
+        let mut live = 0usize;
+        let mut writes: Vec<(usize, usize)> = Vec::new(); // (obj, class-index)
+        for block in self.blocks.values() {
+            if block.count == 1 && block.class >= PAGE_SIZE && Self::class_index(block.class).is_none() {
+                // Large block: stays resident while marked; unmarked large
+                // blocks are simply forgotten (address space is sparse).
+                if block.marks[0] {
+                    live += block.class;
+                }
+                continue;
+            }
+            let ci = Self::class_index(block.class).expect("small class");
+            for (i, &marked) in block.marks.iter().enumerate() {
+                self.work += 1;
+                if marked {
+                    live += block.class;
+                } else {
+                    writes.push((block.base + i * block.class, ci));
+                }
+            }
+        }
+        // Drop dead large blocks from the block map.
+        let dead_large: Vec<usize> = self
+            .blocks
+            .values()
+            .filter(|b| b.count == 1 && Self::class_index(b.class).is_none() && !b.marks[0])
+            .map(|b| b.base)
+            .collect();
+        for base in dead_large {
+            let block = self.blocks.remove(&base).expect("exists");
+            self.heap_bytes -= block.len();
+        }
+        for (obj, ci) in writes {
+            self.arena.write_u64(obj, self.free_lists[ci] as u64)?;
+            self.free_lists[ci] = obj;
+        }
+        self.live_bytes_estimate = live;
+        self.bytes_since_gc = 0;
+        Ok(())
+    }
+
+    /// Marks the object containing `addr`; returns a packed worklist key the
+    /// first time the object is marked.
+    fn mark_addr(&mut self, addr: usize) -> Option<usize> {
+        let (base, index) = self.find_object(addr)?;
+        let block = self.blocks.get_mut(&base).expect("found above");
+        if block.marks[index] {
+            return None;
+        }
+        block.marks[index] = true;
+        self.work += 1;
+        // Pack (base, index): block bases are page-aligned, so base >> 12
+        // fits alongside a 20-bit index.
+        debug_assert!(index < (1 << 20));
+        Some(((base >> 12) << 20) | index)
+    }
+}
+
+impl SimAllocator for BdwGcSim {
+    fn name(&self) -> &'static str {
+        "bdw-gc"
+    }
+
+    fn malloc(&mut self, size: usize, roots: &[Addr]) -> Result<Option<Addr>, Fault> {
+        if size == 0 {
+            return Ok(None);
+        }
+        let Some(ci) = Self::class_index(size) else {
+            return self.alloc_large(size, roots);
+        };
+        if self.should_collect() {
+            self.collect(roots)?;
+        }
+        if self.free_lists[ci] == 0 {
+            // Prefer growing a young heap; reclaim only under the growth
+            // policy or when address space runs out.
+            if self.should_collect() {
+                self.collect(roots)?;
+            }
+            if self.free_lists[ci] == 0 && !self.carve_block(ci)? {
+                self.collect(roots)?;
+                if self.free_lists[ci] == 0 {
+                    return Ok(None);
+                }
+            }
+        }
+        let obj = self.free_lists[ci];
+        // Popping trusts the in-arena link word, exactly like BDW: a
+        // corrupted link that leaves the heap faults here.
+        if obj >= self.brk || obj < PAGE_SIZE {
+            return Err(Fault::Segv { addr: obj });
+        }
+        let next = self.arena.read_u64(obj)? as usize;
+        self.free_lists[ci] = next;
+        // Clear the consumed link word, as BDW's GC_malloc clears object
+        // contents: a stale link left behind would otherwise look like a
+        // heap pointer and conservatively retain the whole carve-time chain.
+        // The REST of the object deliberately keeps its stale bytes, so
+        // uninitialized reads stay observable.
+        self.arena.write_u64(obj, 0)?;
+        self.bytes_since_gc += CLASSES[ci];
+        self.work += 1;
+        Ok(Some(obj))
+    }
+
+    fn free(&mut self, _addr: Addr) -> Result<(), Fault> {
+        // "disable calls to free": double and invalid frees are no-ops.
+        self.ignored_frees += 1;
+        Ok(())
+    }
+
+    fn memory(&self) -> &PagedArena {
+        &self.arena
+    }
+
+    fn memory_mut(&mut self) -> &mut PagedArena {
+        &mut self.arena
+    }
+
+    fn usable_size(&self, addr: Addr) -> Option<usize> {
+        let (base, _) = self.find_object(addr)?;
+        let block = &self.blocks[&base];
+        Some(block.class - (addr - block.base) % block.class)
+    }
+
+    fn live_bytes(&self) -> usize {
+        self.live_bytes_estimate
+    }
+
+    fn work(&self) -> u64 {
+        self.work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gc() -> BdwGcSim {
+        BdwGcSim::new(64 << 20)
+    }
+
+    #[test]
+    fn alloc_and_use() {
+        let mut g = gc();
+        let a = g.malloc(100, &[]).unwrap().unwrap();
+        g.memory_mut().write(a, &[5u8; 100]).unwrap();
+        let mut buf = [0u8; 100];
+        g.memory().read(a, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 100]);
+        assert!(g.usable_size(a).unwrap() >= 100);
+    }
+
+    #[test]
+    fn objects_in_a_block_are_contiguous() {
+        let mut g = gc();
+        let a = g.malloc(64, &[]).unwrap().unwrap();
+        let b = g.malloc(64, &[]).unwrap().unwrap();
+        assert_eq!(a.abs_diff(b), 64, "no per-object headers between objects");
+    }
+
+    #[test]
+    fn frees_are_ignored() {
+        let mut g = gc();
+        let a = g.malloc(64, &[]).unwrap().unwrap();
+        g.memory_mut().write(a, &[7u8; 64]).unwrap();
+        g.free(a).unwrap();
+        g.free(a).unwrap(); // double free: harmless
+        g.free(123_456).unwrap(); // invalid free: harmless
+        assert_eq!(g.ignored_frees(), 3);
+        let mut buf = [0u8; 64];
+        g.memory().read(a, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 64], "free must not disturb the object");
+    }
+
+    #[test]
+    fn collection_reclaims_unreachable_objects() {
+        let mut g = gc();
+        let keep = g.malloc(64, &[]).unwrap().unwrap();
+        let mut dead = Vec::new();
+        for _ in 0..10 {
+            dead.push(g.malloc(64, &[]).unwrap().unwrap());
+        }
+        g.collect(&[keep]).unwrap();
+        // Everything except `keep` went back onto the free list; allocating
+        // one block's worth must serve every dead slot again (the list also
+        // holds the block's never-used slots, so sweep the full block).
+        let block_objects = PAGE_SIZE / 64;
+        let mut served = Vec::new();
+        for _ in 0..block_objects {
+            served.push(g.malloc(64, &[keep]).unwrap().unwrap());
+        }
+        for d in &dead {
+            assert!(served.contains(d), "dead slot {d:#x} never reused");
+        }
+        assert!(!served.contains(&keep), "live object must not be reused");
+    }
+
+    #[test]
+    fn reachable_objects_survive_collection() {
+        let mut g = gc();
+        let a = g.malloc(64, &[]).unwrap().unwrap();
+        g.memory_mut().write(a, &[0x33; 64]).unwrap();
+        for _ in 0..50 {
+            let _ = g.malloc(128, &[a]).unwrap();
+        }
+        g.collect(&[a]).unwrap();
+        let p = g.malloc(64, &[a]).unwrap().unwrap();
+        assert_ne!(p, a, "live object must not be recycled");
+        let mut buf = [0u8; 64];
+        g.memory().read(a, &mut buf).unwrap();
+        assert_eq!(buf, [0x33; 64]);
+    }
+
+    #[test]
+    fn transitive_reachability_via_heap_pointers() {
+        let mut g = gc();
+        let inner = g.malloc(64, &[]).unwrap().unwrap();
+        g.memory_mut().write(inner, &[0x44; 64]).unwrap();
+        let outer = g.malloc(64, &[]).unwrap().unwrap();
+        // Store a pointer to `inner` inside `outer`.
+        g.memory_mut().write_u64(outer, inner as u64).unwrap();
+        g.collect(&[outer]).unwrap();
+        // `inner` must have survived via the heap pointer.
+        let mut reused_inner = false;
+        for _ in 0..20 {
+            if g.malloc(64, &[outer]).unwrap().unwrap() == inner {
+                reused_inner = true;
+            }
+        }
+        assert!(!reused_inner, "transitively reachable object was recycled");
+        let mut buf = [0u8; 64];
+        g.memory().read(inner, &mut buf).unwrap();
+        assert_eq!(buf, [0x44; 64]);
+    }
+
+    #[test]
+    fn conservative_retention_of_pointer_lookalikes() {
+        let mut g = gc();
+        let victim = g.malloc(64, &[]).unwrap().unwrap();
+        let holder = g.malloc(64, &[]).unwrap().unwrap();
+        // An integer that merely *looks* like a pointer to victim.
+        g.memory_mut().write_u64(holder, victim as u64).unwrap();
+        g.collect(&[holder]).unwrap();
+        for _ in 0..20 {
+            assert_ne!(
+                g.malloc(64, &[holder]).unwrap().unwrap(),
+                victim,
+                "conservative GC must retain pointer lookalikes"
+            );
+        }
+    }
+
+    #[test]
+    fn interior_pointers_retain_objects() {
+        let mut g = gc();
+        let a = g.malloc(256, &[]).unwrap().unwrap();
+        g.collect(&[a + 128]).unwrap(); // interior root
+        for _ in 0..20 {
+            assert_ne!(g.malloc(256, &[a + 128]).unwrap().unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn overflow_corrupting_free_link_faults_on_next_alloc() {
+        let mut g = gc();
+        let a = g.malloc(64, &[]).unwrap().unwrap();
+        let b = g.malloc(64, &[]).unwrap().unwrap();
+        let keep = a.min(b);
+        // Make everything except `keep` garbage, then collect: the dead
+        // object now carries a free-list link in the arena.
+        g.collect(&[keep]).unwrap();
+        // Overflow from `keep` smashes the dead neighbour's link word.
+        let evil = u64::MAX - 7;
+        let dead = a.max(b);
+        g.memory_mut().write_u64(dead, evil).unwrap();
+        // Allocate until the corrupted node is popped: its "next" becomes
+        // the list head and the following pop faults.
+        let mut faulted = false;
+        for _ in 0..200 {
+            match g.malloc(64, &[keep]) {
+                Err(_) => {
+                    faulted = true;
+                    break;
+                }
+                Ok(_) => {}
+            }
+        }
+        assert!(faulted, "corrupted in-heap free link must eventually fault");
+    }
+
+    #[test]
+    fn large_objects_roundtrip_and_are_collected() {
+        let mut g = gc();
+        let big = g.malloc(100_000, &[]).unwrap().unwrap();
+        g.memory_mut().write(big + 99_999, &[1]).unwrap();
+        let before = g.heap_bytes();
+        g.collect(&[]).unwrap(); // big is unreachable
+        assert!(g.heap_bytes() < before, "dead large block reclaimed");
+    }
+
+    #[test]
+    fn automatic_collection_bounds_heap_growth() {
+        let mut g = gc();
+        // Allocate 64 MB worth of garbage with one live root; auto-GC must
+        // keep heap_bytes far below the total allocated.
+        let root = g.malloc(64, &[]).unwrap().unwrap();
+        for _ in 0..(64 << 20) / 512 {
+            let _ = g.malloc(512, &[root]).unwrap().unwrap();
+        }
+        assert!(g.collections() > 0, "auto-trigger must have fired");
+        assert!(
+            g.heap_bytes() < 32 << 20,
+            "heap {} should stay bounded",
+            g.heap_bytes()
+        );
+    }
+}

@@ -1,0 +1,512 @@
+//! A Lea-allocator (dlmalloc) style baseline with **in-band boundary tags**.
+//!
+//! The paper compares DieHard against "the default GNU libc allocator, a
+//! variant of the Lea allocator" (§7.2.1), whose defining weakness DieHard
+//! removes: "Many allocators, including the Lea allocator ... store heap
+//! metadata in areas immediately adjacent to allocated objects ('boundary
+//! tags'). A buffer overflow of just one byte past an allocated space can
+//! corrupt the heap, leading to program crashes, unpredictable behavior, or
+//! security vulnerabilities" (§4.1).
+//!
+//! This implementation therefore stores its metadata exactly where dlmalloc
+//! does — **inside the simulated arena**:
+//!
+//! * every chunk has an 8-byte header word (`size | flags`) directly before
+//!   the user data;
+//! * free chunks carry doubly-linked free-list pointers (`fd`, `bk`) in
+//!   their payload bytes.
+//!
+//! Overflows that smash a neighbouring header or a free chunk's links
+//! produce the authentic failure modes: wild unlink writes, segfault-valued
+//! [`Fault`]s when a corrupted pointer leaves the heap, and
+//! [`Fault::Livelock`] when a double free cycles a bin. Nothing here
+//! checks more than 2006-era dlmalloc did — that is the point.
+//!
+//! Simplifications relative to dlmalloc, none of which change the failure
+//! model: forward-only coalescing (no prev-footer walk), first-fit binning
+//! without a top-chunk cache, and bin heads held out-of-band (dlmalloc keeps
+//! them in `malloc_state`, also out of the chunk stream).
+
+use diehard_sim::arena::PagedArena;
+use diehard_sim::fault::Fault;
+use diehard_sim::traits::{Addr, SimAllocator};
+
+/// Chunk header flag: the chunk is allocated.
+const IN_USE: u64 = 0x1;
+/// Mask clearing the flag bits from a header word.
+const SIZE_MASK: u64 = !0xF;
+/// Minimum chunk size: header + fd + bk, aligned.
+const MIN_CHUNK: usize = 32;
+/// Chunk alignment.
+const ALIGN: usize = 16;
+/// Steps an operation may take before the livelock detector fires
+/// (a cycled bin would otherwise spin forever, as real dlmalloc does).
+const STEP_BUDGET: u64 = 200_000;
+
+/// Number of small bins (exact-size, stride 16, covering up to 1 KB) plus
+/// log-spaced large bins.
+const SMALL_BINS: usize = 62;
+const LARGE_BINS: usize = 24;
+const NUM_BINS: usize = SMALL_BINS + LARGE_BINS;
+
+/// The dlmalloc-style baseline allocator.
+#[derive(Debug)]
+pub struct LeaSimAllocator {
+    arena: PagedArena,
+    /// First chunk address of each bin's free list (0 = empty). Bin heads
+    /// live out-of-band like dlmalloc's `malloc_state`; the *links* live in
+    /// the arena, which is what overflows corrupt.
+    bins: [Addr; NUM_BINS],
+    /// Program break: chunks are carved below this.
+    brk: usize,
+    max_span: usize,
+    live_bytes: usize,
+    steps: u64,
+    /// Step count at the start of the current operation; the livelock
+    /// detector is per-operation, like a watchdog on a single malloc/free.
+    op_start: u64,
+}
+
+impl LeaSimAllocator {
+    /// Creates an allocator with a maximum heap span of `max_span` bytes.
+    #[must_use]
+    pub fn new(max_span: usize) -> Self {
+        let mut arena = PagedArena::new(0);
+        // Address 0 is reserved so "0" can mean "no chunk" in links.
+        arena.set_limit(ALIGN);
+        Self {
+            arena,
+            bins: [0; NUM_BINS],
+            brk: ALIGN,
+            max_span,
+            live_bytes: 0,
+            steps: 0,
+            op_start: 0,
+        }
+    }
+
+    /// Current program break (diagnostics).
+    #[must_use]
+    pub fn brk(&self) -> usize {
+        self.brk
+    }
+
+    fn bin_index(size: usize) -> usize {
+        if size < MIN_CHUNK + SMALL_BINS * ALIGN {
+            (size - MIN_CHUNK) / ALIGN
+        } else {
+            let extra = (size / (MIN_CHUNK + SMALL_BINS * ALIGN)).ilog2() as usize;
+            (SMALL_BINS + extra).min(NUM_BINS - 1)
+        }
+    }
+
+    fn chunk_size_for(request: usize) -> usize {
+        ((request + 8 + ALIGN - 1) & !(ALIGN - 1)).max(MIN_CHUNK)
+    }
+
+    fn step(&mut self) -> Result<(), Fault> {
+        self.steps += 1;
+        if self.steps - self.op_start > STEP_BUDGET {
+            // A single malloc/free burned the whole budget: only a cycled
+            // free list (e.g. from a double free) can do that.
+            return Err(Fault::Livelock);
+        }
+        Ok(())
+    }
+
+    /// Reads and sanity-checks a chunk header, exactly as far as dlmalloc
+    /// implicitly does by using the value: the *address* must be readable;
+    /// an insane *size* crashes only once arithmetic walks somewhere
+    /// unmapped.
+    fn read_header(&self, chunk: Addr) -> Result<u64, Fault> {
+        self.arena.read_u64(chunk)
+    }
+
+    fn header_size(header: u64) -> usize {
+        (header & SIZE_MASK) as usize
+    }
+
+    /// Validates a link target the way a pointer dereference would: it must
+    /// be readable (within the break) — not that it is a *sensible* chunk.
+    fn check_link(&self, addr: Addr) -> Result<(), Fault> {
+        if addr >= self.brk || addr < ALIGN {
+            return Err(Fault::Segv { addr });
+        }
+        Ok(())
+    }
+
+    /// Unlinks `chunk` from bin `bin`: the classic `unlink` macro, writes
+    /// and all. Corrupted `fd`/`bk` values turn this into the famous
+    /// wild-write primitive or a crash.
+    fn unlink(&mut self, bin: usize, chunk: Addr) -> Result<(), Fault> {
+        let fd = self.arena.read_u64(chunk + 8)? as usize;
+        let bk = self.arena.read_u64(chunk + 16)? as usize;
+        if bk == 0 {
+            self.bins[bin] = fd;
+        } else {
+            self.check_link(bk)?;
+            self.arena.write_u64(bk + 8, fd as u64)?; // bk->fd = fd
+        }
+        if fd != 0 {
+            self.check_link(fd)?;
+            self.arena.write_u64(fd + 16, bk as u64)?; // fd->bk = bk
+        }
+        Ok(())
+    }
+
+    /// Pushes a free chunk onto its bin's list, threading `fd`/`bk` through
+    /// the arena.
+    fn push_free(&mut self, chunk: Addr, size: usize) -> Result<(), Fault> {
+        let bin = Self::bin_index(size);
+        let head = self.bins[bin];
+        self.arena.write_u64(chunk, size as u64)?; // header, IN_USE clear
+        self.arena.write_u64(chunk + 8, head as u64)?; // fd
+        self.arena.write_u64(chunk + 16, 0)?; // bk (list front)
+        if head != 0 {
+            self.check_link(head)?;
+            self.arena.write_u64(head + 16, chunk as u64)?; // head->bk
+        }
+        self.bins[bin] = chunk;
+        Ok(())
+    }
+
+    /// First-fit search through `bin` for a chunk of at least `need` bytes.
+    fn search_bin(&mut self, bin: usize, need: usize) -> Result<Option<Addr>, Fault> {
+        let mut chunk = self.bins[bin];
+        while chunk != 0 {
+            self.step()?;
+            self.check_link(chunk)?;
+            let header = self.read_header(chunk)?;
+            let size = Self::header_size(header);
+            if size >= need && chunk.checked_add(size).is_some_and(|e| e <= self.brk) {
+                self.unlink(bin, chunk)?;
+                return Ok(Some(chunk));
+            }
+            chunk = self.arena.read_u64(chunk + 8)? as usize; // fd
+        }
+        Ok(None)
+    }
+
+    fn extend_brk(&mut self, need: usize) -> Option<Addr> {
+        if self.brk + need > self.max_span {
+            return None;
+        }
+        let chunk = self.brk;
+        self.brk += need;
+        self.arena.set_limit(self.brk);
+        Some(chunk)
+    }
+}
+
+impl SimAllocator for LeaSimAllocator {
+    fn name(&self) -> &'static str {
+        "lea-malloc"
+    }
+
+    fn malloc(&mut self, size: usize, _roots: &[Addr]) -> Result<Option<Addr>, Fault> {
+        self.op_start = self.steps;
+        if size == 0 {
+            return Ok(None);
+        }
+        let need = Self::chunk_size_for(size);
+        // Exact bin, then successively larger bins.
+        for bin in Self::bin_index(need)..NUM_BINS {
+            self.step()?;
+            if let Some(chunk) = self.search_bin(bin, need)? {
+                let header = self.read_header(chunk)?;
+                let found = Self::header_size(header);
+                // Split when the remainder can stand alone as a chunk.
+                if found >= need + MIN_CHUNK {
+                    let rest = chunk + need;
+                    self.push_free(rest, found - need)?;
+                    self.arena.write_u64(chunk, need as u64 | IN_USE)?;
+                } else {
+                    self.arena.write_u64(chunk, found as u64 | IN_USE)?;
+                }
+                self.live_bytes += size;
+                return Ok(Some(chunk + 8));
+            }
+        }
+        // Wilderness: extend the break.
+        match self.extend_brk(need) {
+            Some(chunk) => {
+                self.arena.write_u64(chunk, need as u64 | IN_USE)?;
+                self.live_bytes += size;
+                Ok(Some(chunk + 8))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn free(&mut self, addr: Addr) -> Result<(), Fault> {
+        self.op_start = self.steps;
+        if addr == 0 {
+            return Ok(());
+        }
+        // dlmalloc trusts the boundary tag it finds 8 bytes before the
+        // pointer — misdirected or double frees do whatever the bytes say.
+        let chunk = addr.wrapping_sub(8);
+        if chunk < ALIGN || chunk >= self.brk {
+            return Err(Fault::Segv { addr: chunk });
+        }
+        let header = self.read_header(chunk)?;
+        let mut size = Self::header_size(header);
+        // The only checks dlmalloc effectively performs are the ones that
+        // crash it: an insane size walks somewhere unmapped.
+        if size < MIN_CHUNK || chunk.checked_add(size).is_none_or(|e| e > self.brk) {
+            return Err(Fault::CorruptMetadata {
+                addr: chunk,
+                what: "free(): invalid chunk size",
+            });
+        }
+        // Forward coalescing: if the next chunk is free, absorb it. dlmalloc
+        // unconditionally walks to the chunk *after* next (for its
+        // prev-inuse bit), so an insane next-size means a wild dereference —
+        // the §4.1 one-byte-overflow crash.
+        let next = chunk + size;
+        if next + 8 <= self.brk {
+            let next_header = self.read_header(next)?;
+            let next_size = Self::header_size(next_header);
+            if next_size < MIN_CHUNK
+                || next.checked_add(next_size).is_none_or(|e| e > self.brk)
+            {
+                return Err(Fault::CorruptMetadata {
+                    addr: next,
+                    what: "free(): corrupt adjacent chunk header",
+                });
+            }
+            if next_header & IN_USE == 0 {
+                self.unlink(Self::bin_index(next_size), next)?;
+                size += next_size;
+            }
+        }
+        self.push_free(chunk, size)?;
+        self.live_bytes = self.live_bytes.saturating_sub(size - 8);
+        Ok(())
+    }
+
+    fn memory(&self) -> &PagedArena {
+        &self.arena
+    }
+
+    fn memory_mut(&mut self) -> &mut PagedArena {
+        &mut self.arena
+    }
+
+    fn usable_size(&self, addr: Addr) -> Option<usize> {
+        let chunk = addr.checked_sub(8)?;
+        if chunk < ALIGN || chunk >= self.brk {
+            return None;
+        }
+        let header = self.read_header(chunk).ok()?;
+        if header & IN_USE == 0 {
+            return None;
+        }
+        Some(Self::header_size(header).checked_sub(8)?)
+    }
+
+    fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+
+    fn work(&self) -> u64 {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diehard_core::rng::Mwc;
+    use proptest::prelude::*;
+
+    fn lea() -> LeaSimAllocator {
+        LeaSimAllocator::new(64 << 20)
+    }
+
+    #[test]
+    fn alloc_write_read_free() {
+        let mut a = lea();
+        let p = a.malloc(100, &[]).unwrap().unwrap();
+        a.memory_mut().write(p, &[9u8; 100]).unwrap();
+        let mut buf = [0u8; 100];
+        a.memory().read(p, &mut buf).unwrap();
+        assert_eq!(buf, [9u8; 100]);
+        assert!(a.usable_size(p).unwrap() >= 100);
+        a.free(p).unwrap();
+        assert_eq!(a.usable_size(p), None, "freed chunk is not in use");
+    }
+
+    #[test]
+    fn freed_memory_is_reused() {
+        let mut a = lea();
+        let p = a.malloc(64, &[]).unwrap().unwrap();
+        a.free(p).unwrap();
+        let q = a.malloc(64, &[]).unwrap().unwrap();
+        assert_eq!(p, q, "first-fit must reuse the freed chunk immediately");
+    }
+
+    #[test]
+    fn adjacent_allocations_are_contiguous() {
+        // The defining contrast with DieHard: fresh chunks sit side by side,
+        // separated only by an 8-byte boundary tag.
+        let mut a = lea();
+        let p = a.malloc(24, &[]).unwrap().unwrap();
+        let q = a.malloc(24, &[]).unwrap().unwrap();
+        assert_eq!(q - p, 32, "24-byte request rounds to one 32-byte chunk");
+    }
+
+    #[test]
+    fn split_leaves_usable_remainder() {
+        let mut a = lea();
+        let big = a.malloc(1024, &[]).unwrap().unwrap();
+        a.free(big).unwrap();
+        let small = a.malloc(32, &[]).unwrap().unwrap();
+        assert_eq!(small, big, "split head of the freed chunk");
+        let small2 = a.malloc(32, &[]).unwrap().unwrap();
+        assert!(small2 > small && small2 < big + 1040, "remainder reused");
+    }
+
+    #[test]
+    fn forward_coalescing_merges_neighbours() {
+        let mut a = lea();
+        let p = a.malloc(24, &[]).unwrap().unwrap();
+        let q = a.malloc(24, &[]).unwrap().unwrap();
+        let _guard = a.malloc(24, &[]).unwrap().unwrap();
+        a.free(q).unwrap();
+        a.free(p).unwrap(); // p coalesces with q → 64-byte chunk
+        let merged = a.malloc(56, &[]).unwrap().unwrap();
+        assert_eq!(merged, p, "coalesced chunk serves a larger request");
+    }
+
+    #[test]
+    fn overflow_corrupting_next_header_crashes_on_free() {
+        // §4.1's one-byte-overflow scenario, scaled to a full header smash:
+        // the victim's size field becomes garbage and free() walks into it.
+        let mut a = lea();
+        let p = a.malloc(24, &[]).unwrap().unwrap();
+        let q = a.malloc(24, &[]).unwrap().unwrap();
+        // Overflow p: wipe q's boundary tag with 0xFF.
+        a.memory_mut().write(p + 24, &[0xFF; 8]).unwrap();
+        let err = a.free(q).unwrap_err();
+        assert!(
+            matches!(err, Fault::CorruptMetadata { .. } | Fault::Segv { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn overflow_corrupting_free_list_links_crashes_or_wild_writes() {
+        let mut a = lea();
+        let p = a.malloc(24, &[]).unwrap().unwrap();
+        let q = a.malloc(24, &[]).unwrap().unwrap();
+        let _guard = a.malloc(24, &[]).unwrap().unwrap();
+        a.free(q).unwrap(); // q now carries fd/bk links in its payload
+        // Overflow p with pointer-looking garbage over q's header AND links.
+        let evil = (64u64 << 32) | 0xFFFF_FFF0;
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(64u64).to_ne_bytes()); // plausible size, free
+        payload.extend_from_slice(&evil.to_ne_bytes()); // fd
+        payload.extend_from_slice(&evil.to_ne_bytes()); // bk
+        a.memory_mut().write(p + 24, &payload).unwrap();
+        // Malloc that reuses q must unlink through the smashed pointers.
+        let result = a.malloc(24, &[]);
+        assert!(result.is_err(), "unlink through garbage must fault, got {result:?}");
+    }
+
+    #[test]
+    fn double_free_cycles_the_bin() {
+        // "Repeated calls to free of objects that have already been freed
+        // cause freelist-based allocators to fail" (§1).
+        let mut a = lea();
+        let p = a.malloc(24, &[]).unwrap().unwrap();
+        let _guard = a.malloc(24, &[]).unwrap().unwrap();
+        a.free(p).unwrap();
+        a.free(p).unwrap(); // inserts p twice → self-cycle via head->bk
+        // Walking the bin now either livelocks or serves the same chunk
+        // twice; allocate repeatedly and require a detected failure or an
+        // aliased allocation.
+        let first = a.malloc(24, &[]);
+        let second = a.malloc(24, &[]);
+        let aliased = matches!((&first, &second), (Ok(Some(x)), Ok(Some(y))) if x == y);
+        let faulted = first.is_err() || second.is_err();
+        assert!(
+            aliased || faulted,
+            "double free must corrupt: {first:?} then {second:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_free_of_wild_pointer_faults() {
+        let mut a = lea();
+        let _p = a.malloc(24, &[]).unwrap().unwrap();
+        assert!(a.free(0x4000_0000).is_err(), "beyond the break");
+        // An in-heap but misaligned free reads a garbage header: the bytes
+        // there are object payload (zeros) → size 0 → corrupt metadata.
+        let p = a.malloc(64, &[]).unwrap().unwrap();
+        assert!(a.free(p + 8).is_err());
+    }
+
+    #[test]
+    fn exhaustion_returns_null() {
+        let mut a = LeaSimAllocator::new(4096);
+        let mut served = 0;
+        for _ in 0..200 {
+            match a.malloc(64, &[]) {
+                Ok(Some(_)) => served += 1,
+                Ok(None) => break,
+                Err(e) => panic!("clean exhaustion expected, got {e}"),
+            }
+        }
+        assert!(served > 0 && served < 200);
+    }
+
+    #[test]
+    fn bin_index_monotone() {
+        let mut last = 0;
+        for size in (MIN_CHUNK..100_000).step_by(16) {
+            let b = LeaSimAllocator::bin_index(size);
+            assert!(b >= last || b >= SMALL_BINS - 1, "regression at {size}");
+            assert!(b < NUM_BINS);
+            last = b.max(last);
+        }
+    }
+
+    proptest! {
+        /// Without injected corruption, the allocator never faults, never
+        /// hands out overlapping chunks, and reuses memory.
+        #[test]
+        fn clean_runs_never_fault(seed in any::<u64>(), ops in 1usize..400) {
+            let mut a = lea();
+            let mut rng = Mwc::seeded(seed);
+            let mut live: Vec<(Addr, usize)> = Vec::new();
+            for _ in 0..ops {
+                if rng.chance(0.6) || live.is_empty() {
+                    let sz = 1 + rng.below(2000);
+                    let p = a.malloc(sz, &[]).unwrap();
+                    if let Some(p) = p {
+                        for &(q, qs) in &live {
+                            prop_assert!(p + sz <= q || q + qs <= p,
+                                "overlap {p}+{sz} vs {q}+{qs}");
+                        }
+                        live.push((p, sz));
+                    }
+                } else {
+                    let (p, _) = live.swap_remove(rng.below(live.len()));
+                    a.free(p).unwrap();
+                }
+            }
+            for (p, _) in live {
+                a.free(p).unwrap();
+            }
+        }
+
+        /// Usable size always covers the request for served allocations.
+        #[test]
+        fn usable_size_covers_request(sz in 1usize..5000) {
+            let mut a = lea();
+            let p = a.malloc(sz, &[]).unwrap().unwrap();
+            prop_assert!(a.usable_size(p).unwrap() >= sz);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # diehard-baselines
+//!
+//! The allocators DieHard is evaluated against in the paper, rebuilt from
+//! scratch over the simulated address space of `diehard-sim`:
+//!
+//! * [`LeaSimAllocator`] — the GNU-libc/dlmalloc baseline with in-band
+//!   boundary tags and free-list links, vulnerable to every §1 error class;
+//! * [`BdwGcSim`] — the Boehm-Demers-Weiser-style conservative mark-sweep
+//!   collector, immune to free-family errors but not overflows;
+//! * [`WindowsSimAllocator`] — the slow pre-LFH Windows-XP-style best-fit
+//!   allocator behind Figure 5(b)'s platform contrast.
+//!
+//! All three implement [`diehard_sim::SimAllocator`], so the executor in
+//! `diehard-runtime` can drive identical workloads across DieHard and every
+//! baseline.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gc;
+pub mod lea;
+pub mod windows;
+
+pub use gc::BdwGcSim;
+pub use lea::LeaSimAllocator;
+pub use windows::WindowsSimAllocator;

@@ -1,0 +1,361 @@
+//! A Windows-XP-era default-allocator stand-in.
+//!
+//! §7.2.2 attributes DieHard's strong showing on Windows partly to the fact
+//! that "the default Windows XP allocator is substantially slower than the
+//! Lea allocator". This baseline reproduces that cost profile with the
+//! classic pre-LFH design: a **single address-ordered free list** searched
+//! **best-fit, end to end**, with boundary tags in the arena just like the
+//! Lea baseline. Every malloc is O(free chunks), every free re-walks the
+//! list for its insertion point — faithfully slow.
+
+use diehard_sim::arena::PagedArena;
+use diehard_sim::fault::Fault;
+use diehard_sim::traits::{Addr, SimAllocator};
+
+const IN_USE: u64 = 0x1;
+const SIZE_MASK: u64 = !0xF;
+const MIN_CHUNK: usize = 32;
+const ALIGN: usize = 16;
+const STEP_BUDGET: u64 = 400_000;
+
+/// The slow, single-free-list baseline allocator.
+#[derive(Debug)]
+pub struct WindowsSimAllocator {
+    arena: PagedArena,
+    /// Head of the address-ordered free list (0 = empty); links (`next` at
+    /// chunk+8) are threaded through the arena.
+    head: Addr,
+    brk: usize,
+    max_span: usize,
+    live_bytes: usize,
+    steps: u64,
+    op_start: u64,
+}
+
+impl WindowsSimAllocator {
+    /// Creates an allocator with a maximum heap span of `max_span` bytes.
+    #[must_use]
+    pub fn new(max_span: usize) -> Self {
+        let mut arena = PagedArena::new(0);
+        arena.set_limit(ALIGN);
+        Self {
+            arena,
+            head: 0,
+            brk: ALIGN,
+            max_span,
+            live_bytes: 0,
+            steps: 0,
+            op_start: 0,
+        }
+    }
+
+    fn chunk_size_for(request: usize) -> usize {
+        ((request + 8 + ALIGN - 1) & !(ALIGN - 1)).max(MIN_CHUNK)
+    }
+
+    fn step(&mut self) -> Result<(), Fault> {
+        self.steps += 1;
+        if self.steps - self.op_start > STEP_BUDGET {
+            return Err(Fault::Livelock);
+        }
+        Ok(())
+    }
+
+    fn check_link(&self, addr: Addr) -> Result<(), Fault> {
+        if addr >= self.brk || addr < ALIGN {
+            return Err(Fault::Segv { addr });
+        }
+        Ok(())
+    }
+
+    /// Best-fit scan of the entire free list. Returns `(prev, chunk, size)`.
+    fn find_best(&mut self, need: usize) -> Result<Option<(Addr, Addr, usize)>, Fault> {
+        let mut best: Option<(Addr, Addr, usize)> = None;
+        let mut prev = 0;
+        let mut cur = self.head;
+        while cur != 0 {
+            self.step()?;
+            self.check_link(cur)?;
+            let header = self.arena.read_u64(cur)?;
+            let size = (header & SIZE_MASK) as usize;
+            if size >= need && cur.checked_add(size).is_some_and(|e| e <= self.brk) {
+                let better = match best {
+                    Some((_, _, bs)) => size < bs,
+                    None => true,
+                };
+                if better {
+                    best = Some((prev, cur, size));
+                    if size == need {
+                        break; // exact fit: cannot improve
+                    }
+                }
+            }
+            prev = cur;
+            cur = self.arena.read_u64(cur + 8)? as usize;
+        }
+        Ok(best)
+    }
+
+    fn remove_after(&mut self, prev: Addr, chunk: Addr) -> Result<(), Fault> {
+        let next = self.arena.read_u64(chunk + 8)?;
+        if prev == 0 {
+            self.head = next as usize;
+        } else {
+            self.arena.write_u64(prev + 8, next)?;
+        }
+        Ok(())
+    }
+
+    /// Inserts a free chunk keeping the list address-ordered, coalescing
+    /// with adjacent neighbours found during the walk.
+    fn insert_free(&mut self, chunk: Addr, mut size: usize) -> Result<(), Fault> {
+        let mut prev = 0;
+        let mut cur = self.head;
+        while cur != 0 && cur < chunk {
+            self.step()?;
+            self.check_link(cur)?;
+            prev = cur;
+            cur = self.arena.read_u64(cur + 8)? as usize;
+        }
+        // Coalesce forward: `cur` directly follows the new chunk.
+        if cur != 0 && chunk.checked_add(size) == Some(cur) {
+            self.check_link(cur)?;
+            let cur_header = self.arena.read_u64(cur)?;
+            size += (cur_header & SIZE_MASK) as usize;
+            cur = self.arena.read_u64(cur + 8)? as usize;
+        }
+        // Coalesce backward: `prev` directly precedes it.
+        if prev != 0 {
+            let prev_header = self.arena.read_u64(prev)?;
+            let prev_size = (prev_header & SIZE_MASK) as usize;
+            if prev.checked_add(prev_size) == Some(chunk) {
+                let merged = prev_size + size;
+                self.arena.write_u64(prev, merged as u64)?;
+                self.arena.write_u64(prev + 8, cur as u64)?;
+                return Ok(());
+            }
+        }
+        self.arena.write_u64(chunk, size as u64)?;
+        self.arena.write_u64(chunk + 8, cur as u64)?;
+        if prev == 0 {
+            self.head = chunk;
+        } else {
+            self.arena.write_u64(prev + 8, chunk as u64)?;
+        }
+        Ok(())
+    }
+}
+
+impl SimAllocator for WindowsSimAllocator {
+    fn name(&self) -> &'static str {
+        "win-default"
+    }
+
+    fn malloc(&mut self, size: usize, _roots: &[Addr]) -> Result<Option<Addr>, Fault> {
+        self.op_start = self.steps;
+        if size == 0 {
+            return Ok(None);
+        }
+        let need = Self::chunk_size_for(size);
+        if let Some((prev, chunk, found)) = self.find_best(need)? {
+            self.remove_after(prev, chunk)?;
+            if found >= need + MIN_CHUNK {
+                self.insert_free(chunk + need, found - need)?;
+                self.arena.write_u64(chunk, need as u64 | IN_USE)?;
+            } else {
+                self.arena.write_u64(chunk, found as u64 | IN_USE)?;
+            }
+            self.live_bytes += size;
+            return Ok(Some(chunk + 8));
+        }
+        if self.brk + need > self.max_span {
+            return Ok(None);
+        }
+        let chunk = self.brk;
+        self.brk += need;
+        self.arena.set_limit(self.brk);
+        self.arena.write_u64(chunk, need as u64 | IN_USE)?;
+        self.live_bytes += size;
+        Ok(Some(chunk + 8))
+    }
+
+    fn free(&mut self, addr: Addr) -> Result<(), Fault> {
+        self.op_start = self.steps;
+        if addr == 0 {
+            return Ok(());
+        }
+        let chunk = addr.wrapping_sub(8);
+        if chunk < ALIGN || chunk >= self.brk {
+            return Err(Fault::Segv { addr: chunk });
+        }
+        let header = self.arena.read_u64(chunk)?;
+        let size = (header & SIZE_MASK) as usize;
+        if size < MIN_CHUNK || chunk.checked_add(size).is_none_or(|e| e > self.brk) {
+            return Err(Fault::CorruptMetadata {
+                addr: chunk,
+                what: "free(): invalid chunk size",
+            });
+        }
+        self.insert_free(chunk, size)?;
+        self.live_bytes = self.live_bytes.saturating_sub(size - 8);
+        Ok(())
+    }
+
+    fn memory(&self) -> &PagedArena {
+        &self.arena
+    }
+
+    fn memory_mut(&mut self) -> &mut PagedArena {
+        &mut self.arena
+    }
+
+    fn usable_size(&self, addr: Addr) -> Option<usize> {
+        let chunk = addr.checked_sub(8)?;
+        if chunk < ALIGN || chunk >= self.brk {
+            return None;
+        }
+        let header = self.arena.read_u64(chunk).ok()?;
+        if header & IN_USE == 0 {
+            return None;
+        }
+        ((header & SIZE_MASK) as usize).checked_sub(8)
+    }
+
+    fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+
+    fn work(&self) -> u64 {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diehard_core::rng::Mwc;
+    use proptest::prelude::*;
+
+    fn win() -> WindowsSimAllocator {
+        WindowsSimAllocator::new(64 << 20)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut a = win();
+        let p = a.malloc(100, &[]).unwrap().unwrap();
+        a.memory_mut().write(p, &[3u8; 100]).unwrap();
+        let mut buf = [0u8; 100];
+        a.memory().read(p, &mut buf).unwrap();
+        assert_eq!(buf, [3u8; 100]);
+        a.free(p).unwrap();
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_chunk() {
+        let mut a = win();
+        let big = a.malloc(512, &[]).unwrap().unwrap();
+        let _g1 = a.malloc(16, &[]).unwrap().unwrap();
+        let small = a.malloc(64, &[]).unwrap().unwrap();
+        let _g2 = a.malloc(16, &[]).unwrap().unwrap();
+        a.free(big).unwrap();
+        a.free(small).unwrap();
+        // A 64-byte request must choose the tight 72-byte chunk, not the
+        // 520-byte one.
+        let p = a.malloc(64, &[]).unwrap().unwrap();
+        assert_eq!(p, small);
+    }
+
+    #[test]
+    fn address_ordered_coalescing_merges_all_three() {
+        let mut a = win();
+        let p1 = a.malloc(24, &[]).unwrap().unwrap();
+        let p2 = a.malloc(24, &[]).unwrap().unwrap();
+        let p3 = a.malloc(24, &[]).unwrap().unwrap();
+        let _guard = a.malloc(24, &[]).unwrap().unwrap();
+        a.free(p1).unwrap();
+        a.free(p3).unwrap();
+        a.free(p2).unwrap(); // middle free merges p1+p2+p3 into 96 bytes
+        let merged = a.malloc(88, &[]).unwrap().unwrap();
+        assert_eq!(merged, p1);
+    }
+
+    #[test]
+    fn slower_than_lea_on_fragmented_heaps() {
+        // The §7.2.2 claim, as a work-model assertion: with many free
+        // chunks, best-fit full scans burn far more steps than Lea's
+        // binned first-fit.
+        let mut w = win();
+        let mut l = crate::lea::LeaSimAllocator::new(64 << 20);
+        let mut rng = Mwc::seeded(42);
+        for alloc in [&mut w as &mut dyn SimAllocator, &mut l as &mut dyn SimAllocator] {
+            let mut live = Vec::new();
+            for _ in 0..2000 {
+                let sz = 16 + rng.below(800);
+                if let Some(p) = alloc.malloc(sz, &[]).unwrap() {
+                    live.push(p);
+                }
+            }
+            // Free every other object to fragment the heap, then churn.
+            for p in live.iter().step_by(2) {
+                alloc.free(*p).unwrap();
+            }
+            for _ in 0..2000 {
+                let sz = 16 + rng.below(800);
+                let _ = alloc.malloc(sz, &[]).unwrap();
+            }
+        }
+        assert!(
+            w.work() > l.work() * 3,
+            "windows {} steps vs lea {} steps",
+            w.work(),
+            l.work()
+        );
+    }
+
+    #[test]
+    fn corrupted_header_crashes_free() {
+        let mut a = win();
+        let p = a.malloc(24, &[]).unwrap().unwrap();
+        let q = a.malloc(24, &[]).unwrap().unwrap();
+        a.memory_mut().write(p + 24, &[0xFF; 8]).unwrap();
+        assert!(a.free(q).is_err());
+    }
+
+    #[test]
+    fn exhaustion_returns_null() {
+        let mut a = WindowsSimAllocator::new(4096);
+        let mut served = 0;
+        while let Ok(Some(_)) = a.malloc(64, &[]) {
+            served += 1;
+            if served > 500 {
+                break;
+            }
+        }
+        assert!(served > 0 && served < 500);
+    }
+
+    proptest! {
+        /// Clean runs: no faults, no overlap, memory reused.
+        #[test]
+        fn clean_runs_never_fault(seed in any::<u64>(), ops in 1usize..200) {
+            let mut a = win();
+            let mut rng = Mwc::seeded(seed);
+            let mut live: Vec<(Addr, usize)> = Vec::new();
+            for _ in 0..ops {
+                if rng.chance(0.6) || live.is_empty() {
+                    let sz = 1 + rng.below(1000);
+                    if let Some(p) = a.malloc(sz, &[]).unwrap() {
+                        for &(q, qs) in &live {
+                            prop_assert!(p + sz <= q || q + qs <= p);
+                        }
+                        live.push((p, sz));
+                    }
+                } else {
+                    let (p, _) = live.swap_remove(rng.below(live.len()));
+                    a.free(p).unwrap();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Allocator microbenchmarks: malloc/free churn across DieHard and every
+//! baseline, on identical op sequences, plus the cost of DieHard's free
+//! validation (§4.3) including the ignored erroneous kinds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diehard_baselines::{BdwGcSim, LeaSimAllocator, WindowsSimAllocator};
+use diehard_core::config::HeapConfig;
+use diehard_core::rng::Mwc;
+use diehard_sim::{DieHardSimHeap, SimAllocator};
+use std::hint::black_box;
+
+const SPAN: usize = 64 << 20;
+const OPS: usize = 2000;
+
+/// A fixed malloc/free churn: allocate into a window, free the oldest.
+fn churn<A: SimAllocator>(alloc: &mut A, sizes: &[usize]) {
+    let mut live: Vec<usize> = Vec::with_capacity(80);
+    for (i, &sz) in sizes.iter().cycle().take(OPS).enumerate() {
+        if let Ok(Some(p)) = alloc.malloc(sz, &[]) {
+            live.push(p);
+        }
+        if live.len() > 64 {
+            let victim = live.remove(i % 32);
+            let _ = alloc.free(victim);
+        }
+    }
+    for p in live {
+        let _ = alloc.free(p);
+    }
+}
+
+fn sizes_for(pattern: &str) -> Vec<usize> {
+    let mut rng = Mwc::seeded(0xBEAC4);
+    match pattern {
+        "small" => (0..64).map(|_| 8 + rng.below(56)).collect(),
+        "mixed" => (0..64).map(|_| 8 + rng.below(2040)).collect(),
+        "large" => (0..64).map(|_| 1024 + rng.below(15_360)).collect(),
+        _ => unreachable!(),
+    }
+}
+
+fn bench_alloc_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_churn");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for pattern in ["small", "mixed", "large"] {
+        let sizes = sizes_for(pattern);
+        group.bench_with_input(BenchmarkId::new("diehard", pattern), &sizes, |b, sizes| {
+            b.iter(|| {
+                let mut a = DieHardSimHeap::new(HeapConfig::default(), 1).unwrap();
+                churn(&mut a, black_box(sizes));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("lea", pattern), &sizes, |b, sizes| {
+            b.iter(|| {
+                let mut a = LeaSimAllocator::new(SPAN);
+                churn(&mut a, black_box(sizes));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("windows", pattern), &sizes, |b, sizes| {
+            b.iter(|| {
+                let mut a = WindowsSimAllocator::new(SPAN);
+                churn(&mut a, black_box(sizes));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bdw-gc", pattern), &sizes, |b, sizes| {
+            b.iter(|| {
+                let mut a = BdwGcSim::new(SPAN);
+                churn(&mut a, black_box(sizes));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Free-validation cost: valid frees vs the ignored erroneous kinds.
+fn bench_free_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("free_validation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("diehard_valid_free", |b| {
+        let mut heap = DieHardSimHeap::new(HeapConfig::default(), 2).unwrap();
+        b.iter(|| {
+            let p = heap.malloc(64, &[]).unwrap().unwrap();
+            heap.free(black_box(p)).unwrap();
+        });
+    });
+    group.bench_function("diehard_double_free_ignored", |b| {
+        let mut heap = DieHardSimHeap::new(HeapConfig::default(), 3).unwrap();
+        let p = heap.malloc(64, &[]).unwrap().unwrap();
+        heap.free(p).unwrap();
+        b.iter(|| heap.free(black_box(p)).unwrap());
+    });
+    group.bench_function("diehard_wild_free_ignored", |b| {
+        let mut heap = DieHardSimHeap::new(HeapConfig::default(), 4).unwrap();
+        b.iter(|| heap.free(black_box(0xDEAD_BEEF)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc_churn, bench_free_validation);
+criterion_main!(benches);

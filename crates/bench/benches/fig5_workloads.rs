@@ -1,0 +1,53 @@
+//! Criterion companion to Figures 5(a)/5(b): representative workloads
+//! across all four allocators, with statistical rigor (the standalone
+//! `fig5a`/`fig5b` binaries print the full normalized tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diehard_baselines::{BdwGcSim, LeaSimAllocator, WindowsSimAllocator};
+use diehard_core::config::HeapConfig;
+use diehard_runtime::{run_program, ExecOptions};
+use diehard_sim::DieHardSimHeap;
+use diehard_workloads::profile_by_name;
+
+const SPAN: usize = 64 << 20;
+const SCALE: f64 = 0.05;
+
+fn bench_workloads(c: &mut Criterion) {
+    // One representative from each family: allocation-intensive (cfrac),
+    // mid (espresso), wide-size-range pathological (300.twolf).
+    for name in ["cfrac", "espresso", "300.twolf"] {
+        let prog = profile_by_name(name).expect("known profile").generate(SCALE, 0xBE);
+        let mut group = c.benchmark_group(format!("fig5/{name}"));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+        group.bench_with_input(BenchmarkId::new("lea", name), &prog, |b, prog| {
+            b.iter(|| {
+                let mut a = LeaSimAllocator::new(SPAN);
+                run_program(&mut a, prog, &ExecOptions::default())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("diehard", name), &prog, |b, prog| {
+            b.iter(|| {
+                let mut a = DieHardSimHeap::new(HeapConfig::default(), 0xD).unwrap();
+                run_program(&mut a, prog, &ExecOptions::default())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bdw-gc", name), &prog, |b, prog| {
+            b.iter(|| {
+                let mut a = BdwGcSim::new(SPAN);
+                run_program(&mut a, prog, &ExecOptions::default())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("windows", name), &prog, |b, prog| {
+            b.iter(|| {
+                let mut a = WindowsSimAllocator::new(SPAN);
+                run_program(&mut a, prog, &ExecOptions::default())
+            });
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

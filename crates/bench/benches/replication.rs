@@ -1,0 +1,53 @@
+//! Replication-cost bench (§7.2.3 companion): one program, k ∈ {1, 3, 16}
+//! replicas, serial vs parallel execution of the replica set, plus the
+//! voting machinery in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diehard_core::config::HeapConfig;
+use diehard_runtime::ReplicaSet;
+use diehard_workloads::profile_by_name;
+
+fn bench_replica_counts(c: &mut Criterion) {
+    let prog = profile_by_name("espresso")
+        .expect("espresso")
+        .generate(0.02, 0x9E9);
+    let mut group = c.benchmark_group("replication");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for k in [1usize, 3, 16] {
+        let set = ReplicaSet::new(k, 0xFEED, HeapConfig::default());
+        group.bench_with_input(BenchmarkId::new("serial", k), &set, |b, set| {
+            b.iter(|| set.run(&prog));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", k), &set, |b, set| {
+            b.iter(|| set.run_parallel(&prog));
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_fill_cost(c: &mut Criterion) {
+    use diehard_core::config::FillPolicy;
+    use diehard_sim::{DieHardSimHeap, SimAllocator};
+
+    // The replicated allocator's extra cost: filling allocations with
+    // random values (§4.2).
+    let mut group = c.benchmark_group("fill_policy");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, fill) in [("none", FillPolicy::None), ("random", FillPolicy::Random)] {
+        group.bench_function(name, |b| {
+            let cfg = HeapConfig::default().with_fill(fill);
+            let mut heap = DieHardSimHeap::new(cfg, 5).unwrap();
+            b.iter(|| {
+                let p = heap.malloc(256, &[]).unwrap().unwrap();
+                heap.free(p).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replica_counts, bench_random_fill_cost);
+criterion_main!(benches);

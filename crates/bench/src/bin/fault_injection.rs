@@ -1,0 +1,85 @@
+//! §7.3.1: the fault-injection campaign on espresso.
+//!
+//! * **Dangling pointers**: "frequency of 50% with distance 10: one out of
+//!   every two objects is freed ten allocations too early. This high error
+//!   rate prevents espresso from running to completion with the default
+//!   allocator in all runs. However, with DieHard, espresso runs correctly
+//!   in 9 out of 10 runs."
+//! * **Buffer overflows**: "1% rate ... under-allocating object requests of
+//!   32 bytes or more by 4 bytes. With the default allocator, espresso
+//!   crashes in 9 out of 10 runs and enters an infinite loop in the tenth.
+//!   With DieHard, it runs successfully in all 10 of 10 runs."
+//!
+//! Substitution note (documented in DESIGN.md): our Lea model rounds chunks
+//!   to 16 bytes without dlmalloc's borrowed-footer trick, so a 4-byte
+//!   under-allocation is absorbed by rounding; the experiment uses one
+//!   16-byte granule instead, which exercises the identical code path
+//!   (app writes past the usable chunk end, onto the next boundary tag).
+//!
+//! Run: `cargo run --release -p diehard-bench --bin fault_injection [dangling|overflow] [runs]`
+
+use diehard_bench::TextTable;
+use diehard_core::config::HeapConfig;
+use diehard_inject::{inject, Injection};
+use diehard_runtime::System;
+use diehard_workloads::profile_by_name;
+
+const SCALE: f64 = 0.05;
+
+fn campaign(name: &str, injection: &Injection, runs: u64) -> TextTable {
+    let espresso = profile_by_name("espresso").expect("espresso profile");
+    // The paper's default configuration: a 384 MB DieHard heap.
+    let dh_config = HeapConfig::paper_default();
+    let mut table = TextTable::new(vec!["run", "default allocator", "DieHard"]);
+    let (mut libc_ok, mut dh_ok) = (0u64, 0u64);
+    for run in 0..runs {
+        let prog = espresso.generate(SCALE, 0xE59 + run);
+        let bad = inject(&prog, injection, 0x1A2B + run);
+        let libc_v = System::Libc.evaluate(&bad);
+        let dh_v = System::DieHard { config: dh_config.clone(), seed: 0xD1E + run }
+            .evaluate(&bad);
+        if libc_v.is_correct() {
+            libc_ok += 1;
+        }
+        if dh_v.is_correct() {
+            dh_ok += 1;
+        }
+        table.row(vec![
+            (run + 1).to_string(),
+            libc_v.to_string(),
+            dh_v.to_string(),
+        ]);
+    }
+    table.row(vec![
+        "TOTAL correct".to_string(),
+        format!("{libc_ok}/{runs}"),
+        format!("{dh_ok}/{runs}"),
+    ]);
+    println!("== {name} ==");
+    table
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let runs: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    println!("§7.3.1 — Fault injection on espresso ({runs} runs each)\n");
+
+    if which == "dangling" || which == "all" {
+        let t = campaign(
+            "Dangling pointers: 50% of frees, 10 allocations early",
+            &Injection::Dangling { frequency: 0.5, distance: 10 },
+            runs,
+        );
+        println!("{}", t.render());
+        println!("Paper: default allocator 0/10; DieHard 9/10.\n");
+    }
+    if which == "overflow" || which == "all" {
+        let t = campaign(
+            "Buffer overflows: 1% of allocations ≥ 32 B under-allocated by one granule",
+            &Injection::Underflow { rate: 0.01, min_size: 32, shrink_by: 16 },
+            runs,
+        );
+        println!("{}", t.render());
+        println!("Paper: default allocator 0/10 (9 crashes + 1 infinite loop); DieHard 10/10.");
+    }
+}

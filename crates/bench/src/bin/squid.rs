@@ -1,0 +1,56 @@
+//! §7.3.2 — Real faults: the Squid buffer overflow.
+//!
+//! "Version 2.3s5 of the Squid web cache server has a buffer overflow error
+//! that can be triggered by an ill-formed input. When faced with this input
+//! and running with either the GNU libc allocator or the Boehm-Demers-
+//! Weiser collector, Squid crashes with a segmentation fault. Using DieHard
+//! in stand-alone mode, the overflow has no effect."
+//!
+//! Run: `cargo run --release -p diehard-bench --bin squid [runs]`
+
+use diehard_bench::TextTable;
+use diehard_core::config::HeapConfig;
+use diehard_runtime::System;
+use diehard_workloads::squid;
+
+fn main() {
+    let runs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    println!("§7.3.2 — squid-sim: one ill-formed request amid normal traffic\n");
+
+    // Control: clean traffic works everywhere.
+    let clean = squid::clean_scenario(30);
+    let attack = squid::attack_scenario(30);
+
+    let mut table = TextTable::new(vec!["system", "clean traffic", "ill-formed input"]);
+    for system in [System::Libc, System::BdwGc] {
+        let clean_v = system.evaluate(&clean);
+        let attack_v = system.evaluate(&attack);
+        table.row(vec![
+            system.name().to_string(),
+            clean_v.to_string(),
+            attack_v.to_string(),
+        ]);
+    }
+    // DieHard across seeds: the survival is probabilistic, overwhelmingly
+    // in DieHard's favour.
+    let mut correct = 0;
+    for seed in 0..runs {
+        let v = System::DieHard { config: HeapConfig::default(), seed }.evaluate(&attack);
+        if v.is_correct() {
+            correct += 1;
+        }
+    }
+    let clean_dh = System::DieHard { config: HeapConfig::default(), seed: 0 }.evaluate(&clean);
+    table.row(vec![
+        "DieHard".to_string(),
+        clean_dh.to_string(),
+        format!("correct {correct}/{runs} seeds"),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "Paper: GNU libc → segfault; BDW GC → segfault; DieHard → runs correctly.\n\
+         The overflow smashes whatever follows the 64-byte title buffer: a\n\
+         boundary tag (libc), the adjacent cache entry's payload pointer (GC),\n\
+         or — under DieHard — a random spot in a half-empty region."
+    );
+}

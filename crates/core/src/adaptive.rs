@@ -1,0 +1,250 @@
+//! Adaptive region growth — the paper's principal "future directions" item
+//! (§9): "We plan to investigate an adaptive version of DieHard that grows
+//! memory regions dynamically as objects are allocated."
+//!
+//! [`AdaptiveHeap`] starts each size-class region at a small slot count and
+//! doubles it whenever the region hits its `1/M` cap, up to the configured
+//! maximum. Object *addresses* are stable across growth: the region's
+//! virtual span is reserved at the maximum size up front and only the
+//! probing range (and therefore the live-data density) changes — exactly
+//! the trade-off the paper describes, protection proportional to the
+//! *current* region size rather than the maximum.
+
+use crate::config::{ConfigError, HeapConfig};
+use crate::engine::{FreeOutcome, Slot};
+use crate::partition::Partition;
+use crate::rng::Mwc;
+use crate::size_class::SizeClass;
+
+/// Default fraction of the maximum capacity each region starts at.
+pub const DEFAULT_INITIAL_FRACTION: usize = 64;
+
+/// A DieHard heap whose regions grow on demand (future-work variant, §9).
+///
+/// # Examples
+///
+/// ```
+/// use diehard_core::{adaptive::AdaptiveHeap, config::HeapConfig};
+///
+/// let mut heap = AdaptiveHeap::new(HeapConfig::default(), 7)?;
+/// let before = heap.committed_slots(diehard_core::size_class::SizeClass::from_index(0));
+/// for _ in 0..before {
+///     heap.alloc(8);
+/// }
+/// let after = heap.committed_slots(diehard_core::size_class::SizeClass::from_index(0));
+/// assert!(after > before, "region grew under pressure");
+/// # Ok::<(), diehard_core::config::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct AdaptiveHeap {
+    config: HeapConfig,
+    rng: Mwc,
+    partitions: Vec<Partition>,
+    growths: u64,
+}
+
+impl AdaptiveHeap {
+    /// Creates an adaptive heap; every region starts at `1/64` of its
+    /// maximum slot count (at least enough for one object at the cap).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is invalid.
+    pub fn new(config: HeapConfig, seed: u64) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let partitions = SizeClass::all()
+            .map(|c| {
+                let max_cap = config.capacity(c);
+                let min_start = (config.multiplier.ceil() as usize).max(2);
+                let start = (max_cap / DEFAULT_INITIAL_FRACTION)
+                    .max(min_start)
+                    .min(max_cap);
+                let threshold = ((start as f64 / config.multiplier) as usize).max(1);
+                Partition::new(c, start, threshold)
+            })
+            .collect();
+        Ok(Self {
+            config,
+            rng: Mwc::seeded(seed),
+            partitions,
+            growths: 0,
+        })
+    }
+
+    /// The heap's configuration (region sizes are *maximums* here).
+    #[must_use]
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// Currently committed slot count for `class` (grows over time).
+    #[must_use]
+    pub fn committed_slots(&self, class: SizeClass) -> usize {
+        self.partitions[class.index()].capacity()
+    }
+
+    /// Committed bytes across all regions — the adaptive variant's memory
+    /// footprint, compared against the fixed heap in the ablation bench.
+    #[must_use]
+    pub fn committed_bytes(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| p.capacity() * p.class().object_size())
+            .sum()
+    }
+
+    /// Number of doubling events so far.
+    #[must_use]
+    pub fn growth_events(&self) -> u64 {
+        self.growths
+    }
+
+    /// Currently live objects.
+    #[must_use]
+    pub fn live_objects(&self) -> usize {
+        self.partitions.iter().map(Partition::in_use).sum()
+    }
+
+    /// Allocates `size` bytes, doubling the region first when it is at its
+    /// `1/M` cap. Returns `None` only for zero/oversized requests or once
+    /// the region has reached its configured maximum *and* is full.
+    pub fn alloc(&mut self, size: usize) -> Option<Slot> {
+        let class = SizeClass::for_size(size)?;
+        let max_cap = self.config.capacity(class);
+        let p = &mut self.partitions[class.index()];
+        if p.at_threshold() && p.capacity() < max_cap {
+            let new_cap = (p.capacity() * 2).min(max_cap);
+            let new_threshold = ((new_cap as f64 / self.config.multiplier) as usize).max(1);
+            p.grow(new_cap, new_threshold);
+            self.growths += 1;
+        }
+        let index = self.partitions[class.index()].alloc(&mut self.rng)?;
+        Some(Slot { class, index })
+    }
+
+    /// Byte offset of `slot` within the (maximum) heap span; stable across
+    /// growth because regions are laid out at their maximum spacing.
+    #[must_use]
+    pub fn offset_of(&self, slot: Slot) -> usize {
+        self.config.region_base(slot.class) + (slot.index << slot.class.shift())
+    }
+
+    /// Validated free, identical to the fixed heap's pipeline (§4.3).
+    pub fn free_at(&mut self, offset: usize) -> FreeOutcome {
+        if offset >= self.config.heap_span() {
+            return FreeOutcome::NotInHeap;
+        }
+        let class = SizeClass::from_index(offset / self.config.region_bytes);
+        let within = offset - self.config.region_base(class);
+        if within & (class.object_size() - 1) != 0 {
+            return FreeOutcome::MisalignedOffset;
+        }
+        let index = within >> class.shift();
+        let p = &mut self.partitions[class.index()];
+        if index < p.capacity() && p.free(index) {
+            FreeOutcome::Freed(Slot { class, index })
+        } else {
+            FreeOutcome::NotAllocated
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn heap(seed: u64) -> AdaptiveHeap {
+        AdaptiveHeap::new(HeapConfig::default(), seed).unwrap()
+    }
+
+    #[test]
+    fn starts_small() {
+        let h = heap(1);
+        let c0 = SizeClass::from_index(0);
+        let max = h.config().capacity(c0);
+        assert!(h.committed_slots(c0) <= max / DEFAULT_INITIAL_FRACTION + 2);
+        assert!(h.committed_bytes() < HeapConfig::default().heap_span() / 16);
+    }
+
+    #[test]
+    fn grows_under_pressure_and_addresses_stay_valid() {
+        let mut h = heap(2);
+        let c0 = SizeClass::from_index(0);
+        let start = h.committed_slots(c0);
+        let mut offsets = Vec::new();
+        for _ in 0..start * 2 {
+            let slot = h.alloc(8).expect("adaptive heap must grow, not fail");
+            offsets.push(h.offset_of(slot));
+        }
+        assert!(h.committed_slots(c0) > start);
+        assert!(h.growth_events() > 0);
+        // All earlier offsets still free correctly after growth.
+        for off in offsets {
+            assert!(h.free_at(off).freed(), "offset {off} should still be live");
+        }
+        assert_eq!(h.live_objects(), 0);
+    }
+
+    #[test]
+    fn growth_capped_at_configured_maximum() {
+        let cfg = HeapConfig::default().with_region_bytes(64 * 1024);
+        let mut h = AdaptiveHeap::new(cfg.clone(), 3).unwrap();
+        let c11 = SizeClass::from_index(11); // 16 KB: max capacity 4
+        let max_cap = cfg.capacity(c11);
+        let mut got = 0;
+        for _ in 0..max_cap + 4 {
+            if h.alloc(16 * 1024).is_some() {
+                got += 1;
+            }
+        }
+        assert_eq!(h.committed_slots(c11), max_cap);
+        assert!(got <= max_cap);
+        assert!(got >= max_cap / 2, "should serve up to the 1/M cap");
+    }
+
+    #[test]
+    fn double_free_ignored() {
+        let mut h = heap(4);
+        let slot = h.alloc(64).unwrap();
+        let off = h.offset_of(slot);
+        assert!(h.free_at(off).freed());
+        assert_eq!(h.free_at(off), FreeOutcome::NotAllocated);
+    }
+
+    #[test]
+    fn offsets_disjoint_from_other_classes() {
+        let mut h = heap(5);
+        let a = h.alloc(8).unwrap();
+        let b = h.alloc(16 * 1024).unwrap();
+        let (oa, ob) = (h.offset_of(a), h.offset_of(b));
+        assert!(oa < h.config().region_bytes);
+        assert!(ob >= 11 * h.config().region_bytes);
+    }
+
+    proptest! {
+        /// Under arbitrary alloc/free interleavings the adaptive heap never
+        /// hands out overlapping objects, even across growth events.
+        #[test]
+        fn no_overlap_across_growth(seed in any::<u64>(), ops in proptest::collection::vec((any::<bool>(), 1usize..512), 1..300)) {
+            let mut h = heap(seed);
+            let mut live: Vec<(usize, usize)> = Vec::new(); // (offset, size)
+            let mut rng = Mwc::seeded(seed);
+            for (do_alloc, sz) in ops {
+                if do_alloc || live.is_empty() {
+                    if let Some(slot) = h.alloc(sz) {
+                        let off = h.offset_of(slot);
+                        for &(o, s) in &live {
+                            prop_assert!(off + slot.size() <= o || o + s <= off,
+                                "overlap at {off}");
+                        }
+                        live.push((off, slot.size()));
+                    }
+                } else {
+                    let (off, _) = live.swap_remove(rng.below(live.len()));
+                    prop_assert!(h.free_at(off).freed());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Heap configuration: the `M` multiplier and region geometry.
+//!
+//! The paper (§3.1): "We replace the infinite heap with one that is M times
+//! larger than the maximum required to obtain an M-approximation to
+//! infinite-heap semantics." Each of the twelve per-class regions is allowed
+//! to become at most `1/M` full (§4.1).
+
+use crate::size_class::{SizeClass, MAX_OBJECT_SIZE, NUM_CLASSES};
+
+/// Whether newly served memory is filled with random values.
+///
+/// The replicated version of DieHard fills the heap and every allocated
+/// object with random values so that uninitialized reads diverge across
+/// replicas and are caught by the voter (§3.2, §4.2). The stand-alone
+/// version skips the fill for speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FillPolicy {
+    /// Leave memory as the substrate provides it (stand-alone mode).
+    #[default]
+    None,
+    /// Fill allocations (and, conceptually, the whole heap) with
+    /// pseudo-random values drawn from the heap's RNG (replicated mode).
+    Random,
+}
+
+/// Configuration for a DieHard heap.
+///
+/// # Examples
+///
+/// ```
+/// use diehard_core::config::HeapConfig;
+///
+/// let cfg = HeapConfig::default();          // M = 2, 1 MB regions
+/// assert_eq!(cfg.multiplier, 2.0);
+/// let big = HeapConfig::paper_default();    // the paper's 384 MB heap
+/// assert_eq!(big.region_bytes * 12, 384 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeapConfig {
+    /// The heap expansion factor `M`: each region may be at most `1/M` full.
+    /// The paper's default configuration uses `M = 2` ("up to 1/2 is
+    /// available for allocation", §7.1).
+    pub multiplier: f64,
+    /// Bytes reserved for each of the twelve size-class regions. Must be a
+    /// power of two, at least [`min_region_bytes`](Self::min_region_bytes).
+    pub region_bytes: usize,
+    /// Random-fill policy for detecting uninitialized reads.
+    pub fill: FillPolicy,
+}
+
+impl HeapConfig {
+    /// Experiment-friendly default: `M = 2` with 1 MB regions (12 MB total),
+    /// small enough that Monte Carlo campaigns run thousands of heaps.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            multiplier: 2.0,
+            region_bytes: 1 << 20,
+            fill: FillPolicy::None,
+        }
+    }
+
+    /// The paper's evaluation configuration (§7.1): a 384 MB heap — twelve
+    /// 32 MB regions — of which up to half is available for allocation.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            multiplier: 2.0,
+            region_bytes: 32 << 20,
+            fill: FillPolicy::None,
+        }
+    }
+
+    /// Sets the expansion factor `M` (builder style).
+    #[must_use]
+    pub fn with_multiplier(mut self, m: f64) -> Self {
+        self.multiplier = m;
+        self
+    }
+
+    /// Sets the per-class region size in bytes (builder style).
+    #[must_use]
+    pub fn with_region_bytes(mut self, bytes: usize) -> Self {
+        self.region_bytes = bytes;
+        self
+    }
+
+    /// Sets the fill policy (builder style).
+    #[must_use]
+    pub fn with_fill(mut self, fill: FillPolicy) -> Self {
+        self.fill = fill;
+        self
+    }
+
+    /// Smallest legal region size for a given multiplier: the largest size
+    /// class (16 KB) must be able to hold at least one live object below the
+    /// `1/M` threshold.
+    #[must_use]
+    pub fn min_region_bytes(multiplier: f64) -> usize {
+        let needed = (multiplier.max(1.0) * MAX_OBJECT_SIZE as f64).ceil() as usize;
+        needed.next_power_of_two()
+    }
+
+    /// Number of object slots in the region for `class`.
+    #[must_use]
+    #[inline]
+    pub fn capacity(&self, class: SizeClass) -> usize {
+        self.region_bytes >> class.shift()
+    }
+
+    /// Maximum live objects allowed in `class`'s region: `capacity / M`
+    /// (§4.1: "Each region is allowed to become at most 1/M full").
+    #[must_use]
+    #[inline]
+    pub fn threshold(&self, class: SizeClass) -> usize {
+        (self.capacity(class) as f64 / self.multiplier) as usize
+    }
+
+    /// Total bytes spanned by the twelve small-object regions.
+    #[must_use]
+    pub fn heap_span(&self) -> usize {
+        self.region_bytes * NUM_CLASSES
+    }
+
+    /// Byte offset of the start of `class`'s region within the heap span.
+    ///
+    /// The twelve regions are laid out back to back; converting a heap
+    /// offset to (class, slot) is two shifts and a mask, matching the
+    /// paper's bit-shifting arithmetic (§4.1).
+    #[must_use]
+    #[inline]
+    pub fn region_base(&self, class: SizeClass) -> usize {
+        class.index() * self.region_bytes
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when `M < 1`, the region size is not a power
+    /// of two, or the region is too small to host the largest size class
+    /// under the `1/M` cap.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.multiplier.is_finite() || self.multiplier < 1.0 {
+            return Err(ConfigError::BadMultiplier(self.multiplier));
+        }
+        if !self.region_bytes.is_power_of_two() {
+            return Err(ConfigError::RegionNotPowerOfTwo(self.region_bytes));
+        }
+        if self.region_bytes < Self::min_region_bytes(self.multiplier) {
+            return Err(ConfigError::RegionTooSmall {
+                got: self.region_bytes,
+                need: Self::min_region_bytes(self.multiplier),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An invalid [`HeapConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `M` must be a finite value of at least 1.
+    BadMultiplier(f64),
+    /// Region sizes must be powers of two so offset arithmetic stays
+    /// shift/mask only.
+    RegionNotPowerOfTwo(usize),
+    /// The region cannot hold even one largest-class object under `1/M`.
+    RegionTooSmall {
+        /// The configured region size.
+        got: usize,
+        /// The minimum region size for the configured multiplier.
+        need: usize,
+    },
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::BadMultiplier(m) => write!(f, "heap multiplier {m} must be finite and >= 1"),
+            Self::RegionNotPowerOfTwo(b) => {
+                write!(f, "region size {b} is not a power of two")
+            }
+            Self::RegionTooSmall { got, need } => {
+                write!(f, "region size {got} below minimum {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        HeapConfig::default().validate().unwrap();
+        HeapConfig::paper_default().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_default_is_384_mb_m2() {
+        let cfg = HeapConfig::paper_default();
+        assert_eq!(cfg.heap_span(), 384 << 20);
+        assert_eq!(cfg.multiplier, 2.0);
+    }
+
+    #[test]
+    fn capacity_and_threshold() {
+        let cfg = HeapConfig::new(); // 1 MB regions, M = 2
+        let c0 = SizeClass::from_index(0); // 8 B
+        assert_eq!(cfg.capacity(c0), (1 << 20) / 8);
+        assert_eq!(cfg.threshold(c0), (1 << 20) / 16);
+        let c11 = SizeClass::from_index(11); // 16 KB
+        assert_eq!(cfg.capacity(c11), 64);
+        assert_eq!(cfg.threshold(c11), 32);
+    }
+
+    #[test]
+    fn threshold_scales_with_multiplier() {
+        let cfg = HeapConfig::new().with_multiplier(4.0);
+        let c0 = SizeClass::from_index(0);
+        assert_eq!(cfg.threshold(c0), cfg.capacity(c0) / 4);
+    }
+
+    #[test]
+    fn fractional_multiplier_supported() {
+        // M = 4/3 leaves the heap up to 3/4 full, used by Fig 4(a)'s
+        // "1/2 full" ... "1/8 full" sweeps via other values.
+        let cfg = HeapConfig::new().with_multiplier(4.0 / 3.0);
+        cfg.validate().unwrap();
+        let c0 = SizeClass::from_index(0);
+        let frac = cfg.threshold(c0) as f64 / cfg.capacity(c0) as f64;
+        assert!((frac - 0.75).abs() < 0.001);
+    }
+
+    #[test]
+    fn rejects_multiplier_below_one() {
+        let cfg = HeapConfig::new().with_multiplier(0.5);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadMultiplier(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_region() {
+        let cfg = HeapConfig::new().with_region_bytes(1_000_000);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::RegionNotPowerOfTwo(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_too_small_region() {
+        let cfg = HeapConfig::new().with_region_bytes(16 * 1024);
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::RegionTooSmall { .. }));
+        // Error message is human-readable.
+        assert!(err.to_string().contains("below minimum"));
+    }
+
+    #[test]
+    fn min_region_bytes_tracks_multiplier() {
+        assert_eq!(HeapConfig::min_region_bytes(2.0), 32 * 1024);
+        assert_eq!(HeapConfig::min_region_bytes(8.0), 128 * 1024);
+        // M < 1 clamps to 1.
+        assert_eq!(HeapConfig::min_region_bytes(0.5), 16 * 1024);
+    }
+
+    #[test]
+    fn region_bases_are_contiguous() {
+        let cfg = HeapConfig::new();
+        let mut expect = 0;
+        for c in SizeClass::all() {
+            assert_eq!(cfg.region_base(c), expect);
+            expect += cfg.region_bytes;
+        }
+        assert_eq!(expect, cfg.heap_span());
+    }
+}

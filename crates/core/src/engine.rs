@@ -1,0 +1,504 @@
+//! The DieHard allocation engine: twelve randomized partitions behind the
+//! offset arithmetic of `DieHardMalloc`/`DieHardFree` (Figure 2).
+//!
+//! The engine is *memory-free*: it decides where objects live (as byte
+//! offsets inside the heap span) and validates frees, but never reads or
+//! writes the heap itself. The simulated heap maps offsets into an arena;
+//! the real allocator maps them into an `mmap`ed region. Both therefore
+//! share one implementation of the paper's placement and validation logic.
+
+use crate::config::{ConfigError, FillPolicy, HeapConfig};
+use crate::partition::Partition;
+use crate::rng::Mwc;
+use crate::size_class::{SizeClass, NUM_CLASSES};
+
+/// A small-object allocation: its size class and slot index.
+///
+/// The byte offset of the object inside the heap span is
+/// `region_base(class) + (index << class.shift())`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Slot {
+    /// The size class whose region holds the object.
+    pub class: SizeClass,
+    /// The slot index within that region.
+    pub index: usize,
+}
+
+impl Slot {
+    /// The object's byte size (the rounded, power-of-two class size).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.class.object_size()
+    }
+}
+
+/// The result of `DieHardFree`'s validation pipeline (§4.3). Erroneous frees
+/// are *ignored*, never fatal; the variants record why for stats and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreeOutcome {
+    /// The object was live and is now free.
+    Freed(Slot),
+    /// The offset lies outside the small-object heap span; the caller should
+    /// consult the large-object table (paper: "indicating it may be a large
+    /// object").
+    NotInHeap,
+    /// The offset is inside a region but not a multiple of the object size
+    /// ("the offset ... must be a multiple of the object size") — an invalid
+    /// free, ignored.
+    MisalignedOffset,
+    /// The slot is not currently allocated — a double or invalid free,
+    /// ignored.
+    NotAllocated,
+}
+
+impl FreeOutcome {
+    /// `true` when the free actually released an object.
+    #[must_use]
+    pub fn freed(&self) -> bool {
+        matches!(self, FreeOutcome::Freed(_))
+    }
+}
+
+/// Running counters for one heap, used by the experiment harnesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Successful small-object allocations.
+    pub allocs: u64,
+    /// Successful frees.
+    pub frees: u64,
+    /// Frees ignored by validation (double/invalid frees).
+    pub ignored_frees: u64,
+    /// Allocation requests denied because a region hit its `1/M` cap.
+    pub exhausted: u64,
+}
+
+/// The randomized small-object heap core.
+///
+/// # Examples
+///
+/// ```
+/// use diehard_core::{config::HeapConfig, engine::HeapCore};
+///
+/// let mut heap = HeapCore::new(HeapConfig::default(), 42)?;
+/// let slot = heap.alloc(100).expect("space available");
+/// assert_eq!(slot.size(), 128);
+/// let off = heap.offset_of(slot);
+/// assert!(heap.free_at(off).freed());
+/// # Ok::<(), diehard_core::config::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct HeapCore {
+    config: HeapConfig,
+    rng: Mwc,
+    partitions: [Partition; NUM_CLASSES],
+    stats: HeapStats,
+}
+
+impl HeapCore {
+    /// Creates an empty heap with the given configuration and RNG seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is invalid.
+    pub fn new(config: HeapConfig, seed: u64) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let partitions = core::array::from_fn(|i| {
+            let c = SizeClass::from_index(i);
+            Partition::new(c, config.capacity(c), config.threshold(c))
+        });
+        Ok(Self {
+            config,
+            rng: Mwc::seeded(seed),
+            partitions,
+            stats: HeapStats::default(),
+        })
+    }
+
+    /// As [`new`](Self::new), but hosting all twelve allocation bitmaps in
+    /// caller-provided storage so that construction performs **no heap
+    /// allocation** — required when DieHard itself is the process's global
+    /// allocator (metadata lives in a segregated mmap arena, §4.1).
+    ///
+    /// # Safety
+    ///
+    /// `bitmap_words` must point to at least
+    /// [`bitmap_words_needed`](Self::bitmap_words_needed)`(&config)` zeroed
+    /// `u64`s, valid and exclusively owned for the heap's lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is invalid.
+    pub unsafe fn from_raw_parts(
+        config: HeapConfig,
+        seed: u64,
+        bitmap_words: *mut u64,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let mut cursor = bitmap_words;
+        let partitions = core::array::from_fn(|i| {
+            let c = SizeClass::from_index(i);
+            let cap = config.capacity(c);
+            // SAFETY: the caller provides enough zeroed words for the sum of
+            // all class bitmaps; we carve them off sequentially.
+            let p = unsafe { Partition::from_storage(c, cap, config.threshold(c), cursor) };
+            cursor = unsafe { cursor.add(cap.div_ceil(64)) };
+            p
+        });
+        Ok(Self {
+            config,
+            rng: Mwc::seeded(seed),
+            partitions,
+            stats: HeapStats::default(),
+        })
+    }
+
+    /// Number of `u64` words of bitmap storage [`from_raw_parts`]
+    /// (Self::from_raw_parts) requires for `config`.
+    #[must_use]
+    pub fn bitmap_words_needed(config: &HeapConfig) -> usize {
+        SizeClass::all()
+            .map(|c| config.capacity(c).div_ceil(64))
+            .sum()
+    }
+
+    /// The heap's configuration.
+    #[must_use]
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// Counters since construction.
+    #[must_use]
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// The heap's RNG; exposed so wrappers can draw the random fill values
+    /// of replicated mode from the same seeded stream.
+    pub fn rng_mut(&mut self) -> &mut Mwc {
+        &mut self.rng
+    }
+
+    /// Whether allocations should be filled with random values.
+    #[must_use]
+    pub fn fill_policy(&self) -> FillPolicy {
+        self.config.fill
+    }
+
+    /// The partition serving `class`.
+    #[must_use]
+    pub fn partition(&self, class: SizeClass) -> &Partition {
+        &self.partitions[class.index()]
+    }
+
+    /// Allocates `size` bytes, returning the chosen slot, or `None` when the
+    /// request is zero, larger than 16 KB (large-object path), or the class
+    /// region is at its `1/M` cap (the paper returns `NULL`).
+    pub fn alloc(&mut self, size: usize) -> Option<Slot> {
+        let class = SizeClass::for_size(size)?;
+        match self.partitions[class.index()].alloc(&mut self.rng) {
+            Some(index) => {
+                self.stats.allocs += 1;
+                Some(Slot { class, index })
+            }
+            None => {
+                self.stats.exhausted += 1;
+                None
+            }
+        }
+    }
+
+    /// Byte offset of `slot` within the heap span.
+    #[must_use]
+    #[inline]
+    pub fn offset_of(&self, slot: Slot) -> usize {
+        self.config.region_base(slot.class) + (slot.index << slot.class.shift())
+    }
+
+    /// Resolves a byte offset to the slot containing it, requiring the
+    /// offset to point exactly at the slot start when `exact` is set (free
+    /// validation) or anywhere inside the object otherwise (used by the
+    /// bounded string functions of §4.4 to find an object's start).
+    #[must_use]
+    pub fn slot_containing(&self, offset: usize) -> Option<Slot> {
+        if offset >= self.config.heap_span() {
+            return None;
+        }
+        let class = SizeClass::from_index(offset / self.config.region_bytes);
+        let within = offset - self.config.region_base(class);
+        Some(Slot {
+            class,
+            index: within >> class.shift(),
+        })
+    }
+
+    /// `DieHardFree` (§4.3): validates and frees the object at `offset`.
+    ///
+    /// The three checks, in order: the offset must fall inside the heap
+    /// span; it must be a multiple of its region's object size; and the slot
+    /// must currently be allocated. Failing any check *ignores* the free —
+    /// this is what makes DieHard immune to double and invalid frees.
+    pub fn free_at(&mut self, offset: usize) -> FreeOutcome {
+        if offset >= self.config.heap_span() {
+            return FreeOutcome::NotInHeap;
+        }
+        let class = SizeClass::from_index(offset / self.config.region_bytes);
+        let within = offset - self.config.region_base(class);
+        let size_mask = class.object_size() - 1;
+        if within & size_mask != 0 {
+            self.stats.ignored_frees += 1;
+            return FreeOutcome::MisalignedOffset;
+        }
+        let index = within >> class.shift();
+        if self.partitions[class.index()].free(index) {
+            self.stats.frees += 1;
+            FreeOutcome::Freed(Slot { class, index })
+        } else {
+            self.stats.ignored_frees += 1;
+            FreeOutcome::NotAllocated
+        }
+    }
+
+    /// Whether the object at `offset` (any interior pointer) is live.
+    #[must_use]
+    pub fn is_live_at(&self, offset: usize) -> bool {
+        match self.slot_containing(offset) {
+            Some(slot) => self.partitions[slot.class.index()].is_live(slot.index),
+            None => false,
+        }
+    }
+
+    /// Total live bytes across all regions (rounded object sizes).
+    #[must_use]
+    pub fn live_bytes(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| p.in_use() * p.class().object_size())
+            .sum()
+    }
+
+    /// Total live objects across all regions.
+    #[must_use]
+    pub fn live_objects(&self) -> usize {
+        self.partitions.iter().map(Partition::in_use).sum()
+    }
+
+    /// Iterates over every live slot in the heap, smallest class first.
+    pub fn live_slots(&self) -> impl Iterator<Item = Slot> + '_ {
+        self.partitions.iter().flat_map(|p| {
+            let class = p.class();
+            p.live_slots().map(move |index| Slot { class, index })
+        })
+    }
+
+    /// Bytes spanned by the small-object heap (12 × region size).
+    #[must_use]
+    pub fn heap_span(&self) -> usize {
+        self.config.heap_span()
+    }
+}
+
+/// Number of size classes the engine manages; re-exported for harnesses.
+pub const CLASS_COUNT: usize = NUM_CLASSES;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn heap(seed: u64) -> HeapCore {
+        HeapCore::new(HeapConfig::default(), seed).unwrap()
+    }
+
+    #[test]
+    fn alloc_routes_to_correct_class() {
+        let mut h = heap(1);
+        for (req, expect) in [(1usize, 8usize), (8, 8), (24, 32), (4096, 4096), (9000, 16384)] {
+            let slot = h.alloc(req).unwrap();
+            assert_eq!(slot.size(), expect, "request {req}");
+        }
+    }
+
+    #[test]
+    fn zero_and_large_requests_return_none() {
+        let mut h = heap(2);
+        assert_eq!(h.alloc(0), None);
+        assert_eq!(h.alloc(16 * 1024 + 1), None);
+        assert_eq!(h.stats().allocs, 0);
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let mut h = heap(3);
+        for req in [8usize, 64, 1000, 16384] {
+            let slot = h.alloc(req).unwrap();
+            let off = h.offset_of(slot);
+            assert_eq!(h.slot_containing(off), Some(slot));
+            // Interior pointers resolve to the same slot.
+            assert_eq!(h.slot_containing(off + slot.size() - 1), Some(slot));
+        }
+    }
+
+    #[test]
+    fn free_validation_pipeline() {
+        let mut h = heap(4);
+        let slot = h.alloc(64).unwrap();
+        let off = h.offset_of(slot);
+
+        // Interior (misaligned) pointer: ignored.
+        assert_eq!(h.free_at(off + 1), FreeOutcome::MisalignedOffset);
+        assert!(h.is_live_at(off));
+
+        // Proper free succeeds.
+        assert_eq!(h.free_at(off), FreeOutcome::Freed(slot));
+        assert!(!h.is_live_at(off));
+
+        // Double free: ignored.
+        assert_eq!(h.free_at(off), FreeOutcome::NotAllocated);
+
+        // Outside the heap: reported for the large-object path.
+        assert_eq!(h.free_at(usize::MAX / 2), FreeOutcome::NotInHeap);
+
+        let stats = h.stats();
+        assert_eq!(stats.frees, 1);
+        assert_eq!(stats.ignored_frees, 2);
+    }
+
+    #[test]
+    fn free_of_wrong_class_alignment_ignored() {
+        let mut h = heap(5);
+        // Allocate an 8-byte object, then try to free at an offset inside
+        // the 16 KB region that was never allocated.
+        let _ = h.alloc(8).unwrap();
+        let off_16k = h.config().region_base(SizeClass::from_index(11));
+        assert_eq!(h.free_at(off_16k), FreeOutcome::NotAllocated);
+    }
+
+    #[test]
+    fn live_accounting() {
+        let mut h = heap(6);
+        let a = h.alloc(8).unwrap();
+        let b = h.alloc(100).unwrap();
+        assert_eq!(h.live_objects(), 2);
+        assert_eq!(h.live_bytes(), 8 + 128);
+        h.free_at(h.offset_of(a));
+        assert_eq!(h.live_objects(), 1);
+        h.free_at(h.offset_of(b));
+        assert_eq!(h.live_objects(), 0);
+        assert_eq!(h.live_bytes(), 0);
+    }
+
+    #[test]
+    fn exhaustion_counted() {
+        let cfg = HeapConfig::default().with_region_bytes(32 * 1024);
+        let mut h = HeapCore::new(cfg, 7).unwrap();
+        // 16 KB class has capacity 2, threshold 1 with M=2.
+        assert!(h.alloc(16 * 1024).is_some());
+        assert!(h.alloc(16 * 1024).is_none());
+        assert_eq!(h.stats().exhausted, 1);
+    }
+
+    #[test]
+    fn identical_seeds_identical_layout() {
+        let mut a = heap(99);
+        let mut b = heap(99);
+        for req in [8, 16, 8, 300, 4000, 8, 64] {
+            assert_eq!(a.alloc(req), b.alloc(req));
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_layout() {
+        let mut a = heap(1);
+        let mut b = heap(2);
+        let mut same = 0;
+        for _ in 0..32 {
+            if a.alloc(64) == b.alloc(64) {
+                same += 1;
+            }
+        }
+        assert!(same < 8, "layouts should diverge across seeds ({same}/32 agree)");
+    }
+
+    #[test]
+    fn live_slots_enumerates_everything() {
+        let mut h = heap(8);
+        let mut expect = Vec::new();
+        for req in [8, 8, 50, 1000, 16000] {
+            expect.push(h.alloc(req).unwrap());
+        }
+        let mut got: Vec<Slot> = h.live_slots().collect();
+        let key = |s: &Slot| (s.class.index(), s.index);
+        got.sort_by_key(key);
+        expect.sort_by_key(key);
+        assert_eq!(got, expect);
+    }
+
+    proptest! {
+        /// Any interleaving of allocs and (valid or bogus) frees keeps the
+        /// engine consistent with a shadow model keyed by offset.
+        #[test]
+        fn engine_matches_shadow_model(
+            seed in any::<u64>(),
+            ops in proptest::collection::vec((0usize..3, 1usize..20_000), 1..300),
+        ) {
+            let mut h = heap(seed);
+            let mut model: HashMap<usize, Slot> = HashMap::new();
+            let mut rng = Mwc::seeded(seed ^ 0xABCD);
+            for (op, arg) in ops {
+                match op {
+                    0 => {
+                        if let Some(slot) = h.alloc(arg.min(16 * 1024)) {
+                            let off = h.offset_of(slot);
+                            prop_assert!(!model.contains_key(&off), "offset reuse while live");
+                            model.insert(off, slot);
+                        }
+                    }
+                    1 => {
+                        if !model.is_empty() {
+                            let keys: Vec<usize> = model.keys().copied().collect();
+                            let off = keys[rng.below(keys.len())];
+                            prop_assert!(h.free_at(off).freed());
+                            model.remove(&off);
+                        }
+                    }
+                    _ => {
+                        // Bogus free at a random offset: must never free a
+                        // *different* object or corrupt accounting.
+                        let off = rng.below(h.heap_span() + 1000);
+                        let before = h.live_objects();
+                        let out = h.free_at(off);
+                        match out {
+                            FreeOutcome::Freed(_) => {
+                                prop_assert!(model.remove(&off).is_some(),
+                                    "freed an object the model did not know");
+                            }
+                            _ => prop_assert_eq!(h.live_objects(), before),
+                        }
+                    }
+                }
+                prop_assert_eq!(h.live_objects(), model.len());
+            }
+        }
+
+        /// Live objects never overlap in the offset space.
+        #[test]
+        fn no_byte_overlap(seed in any::<u64>(), n in 1usize..200) {
+            let mut h = heap(seed);
+            let mut intervals: Vec<(usize, usize)> = Vec::new();
+            let mut rng = Mwc::seeded(seed);
+            for _ in 0..n {
+                let sz = 1 + rng.below(16 * 1024);
+                if let Some(slot) = h.alloc(sz) {
+                    let off = h.offset_of(slot);
+                    intervals.push((off, off + slot.size()));
+                }
+            }
+            intervals.sort_unstable();
+            for w in intervals.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+            }
+        }
+    }
+}

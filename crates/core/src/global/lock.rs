@@ -1,0 +1,115 @@
+//! A minimal spinlock for the global allocator.
+//!
+//! The allocator's lock must never allocate: general-purpose mutexes
+//! (including `parking_lot`) may lazily allocate per-thread parking state on
+//! contention, which would re-enter the allocator mid-initialization.
+//! DieHard's critical sections are a handful of bitmap probes, so a spinlock
+//! with exponential backoff is both safe and fast here.
+
+use core::cell::UnsafeCell;
+use core::ops::{Deref, DerefMut};
+use core::sync::atomic::{AtomicBool, Ordering};
+
+/// A spin-based mutual-exclusion lock.
+#[derive(Debug)]
+pub struct SpinLock<T> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the lock provides exclusive access to `T` across threads.
+unsafe impl<T: Send> Send for SpinLock<T> {}
+unsafe impl<T: Send> Sync for SpinLock<T> {}
+
+impl<T> SpinLock<T> {
+    /// Creates an unlocked lock around `value` (usable in statics).
+    pub const fn new(value: T) -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires the lock, spinning with exponential backoff until free.
+    pub fn lock(&self) -> SpinGuard<'_, T> {
+        let mut spins = 0u32;
+        while self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            // Backoff: brief busy-wait, then yield to the scheduler.
+            if spins < 10 {
+                for _ in 0..(1 << spins) {
+                    core::hint::spin_loop();
+                }
+                spins += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        SpinGuard { lock: self }
+    }
+}
+
+/// RAII guard returned by [`SpinLock::lock`]; releases on drop.
+#[derive(Debug)]
+pub struct SpinGuard<'a, T> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T> Deref for SpinGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the lock, so access is exclusive.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for SpinGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn exclusive_increment_across_threads() {
+        let lock = Arc::new(SpinLock::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let lock = Arc::clone(&lock);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    *lock.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.lock(), 80_000);
+    }
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let lock = SpinLock::new(5);
+        {
+            let mut g = lock.lock();
+            *g = 6;
+        }
+        assert_eq!(*lock.lock(), 6);
+    }
+}

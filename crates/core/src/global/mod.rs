@@ -1,0 +1,581 @@
+//! The real DieHard allocator: an `mmap`-backed heap usable as Rust's
+//! `#[global_allocator]`.
+//!
+//! This is the production analogue of the paper's `LD_PRELOAD` interposition
+//! (§5.1): where the C implementation replaces `malloc`/`free` at link time,
+//! a Rust program opts in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: diehard_core::global::DieHard = diehard_core::global::DieHard::new();
+//! ```
+//!
+//! Everything the paper prescribes is here: twelve randomized power-of-two
+//! regions capped at `1/M` fullness, metadata fully segregated in its own
+//! mapping, large objects served by dedicated `mmap`s with `PROT_NONE`
+//! guard pages on both ends, validated (and silently ignored) erroneous
+//! frees, and seeding from `/dev/urandom`.
+//!
+//! Environment knobs (read once, at first allocation):
+//!
+//! * `DIEHARD_SEED` — decimal RNG seed (default: true randomness).
+//! * `DIEHARD_REGION_MB` — per-class region megabytes (default 32, i.e. the
+//!   paper's 384 MB heap).
+//! * `DIEHARD_M` — integer expansion factor `M` (default 2).
+
+mod lock;
+mod sys;
+
+pub use lock::{SpinGuard, SpinLock};
+
+use crate::config::HeapConfig;
+use crate::engine::HeapCore;
+use crate::large::LargeTable;
+use crate::rng::entropy_seed;
+use crate::safe_str;
+use core::alloc::{GlobalAlloc, Layout};
+use core::ptr;
+
+/// Capacity of the large-object validity tables (live large objects).
+const LARGE_CAPACITY: usize = 4096;
+
+/// The state behind an initialized allocator.
+struct GlobalHeap {
+    core: HeapCore,
+    heap_base: *mut u8,
+    page: usize,
+    /// user pointer → mapping base (differs from the user pointer by the
+    /// front guard page and any extra alignment padding).
+    large_base: LargeTable,
+    /// user pointer → total mapping length (guards included).
+    large_len: LargeTable,
+}
+
+// SAFETY: the raw pointers reference mappings owned by this heap; all access
+// is serialized by the enclosing SpinLock.
+unsafe impl Send for GlobalHeap {}
+
+impl core::fmt::Debug for GlobalHeap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("GlobalHeap")
+            .field("heap_base", &self.heap_base)
+            .field("live_objects", &self.core.live_objects())
+            .field("large_objects", &self.large_len.len())
+            .finish()
+    }
+}
+
+/// The DieHard global allocator.
+///
+/// Construct it `const` in a static; the heap initializes lazily on first
+/// allocation (never allocating through itself — all metadata lives in a
+/// dedicated `mmap` arena).
+#[derive(Debug)]
+pub struct DieHard {
+    state: SpinLock<Option<GlobalHeap>>,
+    fixed_seed: Option<u64>,
+}
+
+impl DieHard {
+    /// Creates an uninitialized allocator; usable in `static` items.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            state: SpinLock::new(None),
+            fixed_seed: None,
+        }
+    }
+
+    /// As [`new`](Self::new) but with a fixed RNG seed — deterministic
+    /// layouts for tests and debugging (heap differencing, §9).
+    #[must_use]
+    pub const fn with_seed(seed: u64) -> Self {
+        Self {
+            state: SpinLock::new(None),
+            fixed_seed: Some(seed),
+        }
+    }
+
+    /// C-style allocation entry point: allocate `size` bytes aligned to 8
+    /// bytes, matching the paper's smallest (8-byte) size class. Rust
+    /// callers needing stricter alignment go through [`GlobalAlloc::alloc`]
+    /// with an explicit `Layout`. Returns null when the size class is at its
+    /// `1/M` cap or the system is out of memory.
+    #[must_use]
+    pub fn malloc(&self, size: usize) -> *mut u8 {
+        if size == 0 {
+            return ptr::null_mut();
+        }
+        let layout = Layout::from_size_align(size, 8).unwrap_or(Layout::new::<u8>());
+        // SAFETY: size is non-zero and the layout is valid.
+        unsafe { self.alloc(layout) }
+    }
+
+    /// C-style free: validates `ptr` exactly like `DieHardFree` (§4.3) and
+    /// *ignores* invalid, double, and foreign frees.
+    pub fn free(&self, ptr: *mut u8) {
+        if ptr.is_null() {
+            return;
+        }
+        let mut guard = self.state.lock();
+        let Some(heap) = guard.as_mut() else { return };
+        Self::release(heap, ptr);
+    }
+
+    /// DieHard's bounded `strcpy` (§4.4): copies the NUL-terminated string
+    /// at `src` to `dest`, clamped to the true remaining space of the heap
+    /// object containing `dest`. Falls back to an ordinary bounded-by-source
+    /// copy when `dest` is not a DieHard heap pointer.
+    ///
+    /// Returns the number of payload bytes copied.
+    ///
+    /// # Safety
+    ///
+    /// `src` must point to a NUL-terminated string; `dest` must be valid for
+    /// writes of the computed bound (always true for live DieHard objects).
+    pub unsafe fn strcpy(&self, dest: *mut u8, src: *const u8) -> usize {
+        // SAFETY: src is NUL-terminated per contract.
+        let src_len = unsafe { c_strlen(src) };
+        let src_slice = unsafe { core::slice::from_raw_parts(src, src_len) };
+
+        let space = {
+            let mut guard = self.state.lock();
+            match guard.as_mut() {
+                Some(heap) => Self::object_space(heap, dest),
+                None => None,
+            }
+        };
+        let space = space.unwrap_or(src_len + 1);
+        // SAFETY: dest is valid for `space` bytes: inside the heap that is
+        // the distance to the object end; outside it the caller guarantees
+        // room for the whole string.
+        let dest_slice = unsafe { core::slice::from_raw_parts_mut(dest, space) };
+        safe_str::bounded_strcpy(dest_slice, space, src_slice).copied
+    }
+
+    /// DieHard's bounded `strncpy` (§4.4): the caller's `n` is clamped by
+    /// the true object bound.
+    ///
+    /// # Safety
+    ///
+    /// As [`strcpy`](Self::strcpy); `src` must be valid for `n` bytes or up
+    /// to its NUL terminator, whichever comes first.
+    pub unsafe fn strncpy(&self, dest: *mut u8, src: *const u8, n: usize) -> usize {
+        // SAFETY: per contract.
+        let src_len = unsafe { c_strlen_bounded(src, n) };
+        let src_slice = unsafe { core::slice::from_raw_parts(src, src_len) };
+        let space = {
+            let mut guard = self.state.lock();
+            match guard.as_mut() {
+                Some(heap) => Self::object_space(heap, dest),
+                None => None,
+            }
+        };
+        let space = space.unwrap_or(n.max(src_len + 1));
+        // SAFETY: as in `strcpy`.
+        let dest_slice = unsafe { core::slice::from_raw_parts_mut(dest, space) };
+        safe_str::bounded_strncpy(dest_slice, space, src_slice, n).copied
+    }
+
+    /// Live small objects currently tracked (diagnostics).
+    #[must_use]
+    pub fn live_objects(&self) -> usize {
+        let mut guard = self.state.lock();
+        guard.as_mut().map_or(0, |h| h.core.live_objects())
+    }
+
+    /// Heap statistics since initialization.
+    #[must_use]
+    pub fn stats(&self) -> crate::engine::HeapStats {
+        let mut guard = self.state.lock();
+        guard.as_mut().map_or_else(Default::default, |h| h.core.stats())
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    fn init(&self, slot: &mut Option<GlobalHeap>) -> bool {
+        if slot.is_some() {
+            return true;
+        }
+        let region_mb = sys::env_u64("DIEHARD_REGION_MB\0").unwrap_or(32).max(1);
+        let m = sys::env_u64("DIEHARD_M\0").unwrap_or(2).max(1);
+        let config = HeapConfig::paper_default()
+            .with_region_bytes((region_mb as usize) << 20)
+            .with_multiplier(m as f64);
+        if config.validate().is_err() {
+            return false;
+        }
+        let seed = self
+            .fixed_seed
+            .or_else(|| sys::env_u64("DIEHARD_SEED\0"))
+            .unwrap_or_else(entropy_seed);
+
+        let page = sys::page_size();
+        let words = HeapCore::bitmap_words_needed(&config);
+        let table_cap = (LARGE_CAPACITY * 2).next_power_of_two();
+        let meta_bytes = (words * 8 + 4 * table_cap * 8 + page - 1) & !(page - 1);
+        let meta = sys::map_reserve(meta_bytes);
+        if meta.is_null() {
+            return false;
+        }
+        let heap_base = sys::map_reserve(config.heap_span());
+        if heap_base.is_null() {
+            // SAFETY: meta was just mapped with this length.
+            unsafe { sys::unmap(meta, meta_bytes) };
+            return false;
+        }
+
+        let bitmap_words = meta.cast::<u64>();
+        // SAFETY: the meta arena provides `words` zeroed u64s followed by
+        // four table arrays of `table_cap` usizes each; mmap'd memory is
+        // zeroed and exclusively ours.
+        let core = match unsafe { HeapCore::from_raw_parts(config, seed, bitmap_words) } {
+            Ok(c) => c,
+            Err(_) => return false,
+        };
+        let tables = unsafe { meta.add(words * 8).cast::<usize>() };
+        // SAFETY: as above; disjoint quarters of the table area.
+        let large_base = unsafe {
+            LargeTable::from_storage(tables, tables.add(table_cap), table_cap)
+        };
+        let large_len = unsafe {
+            LargeTable::from_storage(
+                tables.add(2 * table_cap),
+                tables.add(3 * table_cap),
+                table_cap,
+            )
+        };
+        *slot = Some(GlobalHeap {
+            core,
+            heap_base,
+            page,
+            large_base,
+            large_len,
+        });
+        true
+    }
+
+    /// Distance from `ptr` to the end of its (small) heap object, when
+    /// `ptr` points into the small-object heap.
+    fn object_space(heap: &mut GlobalHeap, ptr: *mut u8) -> Option<usize> {
+        let base = heap.heap_base as usize;
+        let addr = ptr as usize;
+        if addr < base || addr >= base + heap.core.heap_span() {
+            return None;
+        }
+        safe_str::space_to_object_end(&heap.core, addr - base)
+    }
+
+    fn release(heap: &mut GlobalHeap, ptr: *mut u8) {
+        let base = heap.heap_base as usize;
+        let addr = ptr as usize;
+        if addr >= base && addr < base + heap.core.heap_span() {
+            // Small object: full §4.3 validation inside.
+            let _ = heap.core.free_at(addr - base);
+            return;
+        }
+        // Possibly a large object: consult the validity tables; unknown
+        // addresses are ignored ("otherwise, it ignores the request").
+        let Some(total) = heap.large_len.remove(addr) else { return };
+        let map_base = heap
+            .large_base
+            .remove(addr)
+            .expect("large tables out of sync");
+        // SAFETY: we recorded (map_base, total) when mapping this object and
+        // it has not been released since (the table entry was live).
+        unsafe { sys::unmap(map_base as *mut u8, total) };
+    }
+
+    fn alloc_large(heap: &mut GlobalHeap, size: usize, align: usize) -> *mut u8 {
+        let page = heap.page;
+        let user_len = (size + page - 1) & !(page - 1);
+        let extra_align = if align > page { align } else { 0 };
+        let total = user_len + 2 * page + extra_align;
+        let base = sys::map_reserve(total);
+        if base.is_null() {
+            return ptr::null_mut();
+        }
+        let user = {
+            let candidate = base as usize + page;
+            let aligned = if align > page {
+                (candidate + align - 1) & !(align - 1)
+            } else {
+                candidate
+            };
+            aligned as *mut u8
+        };
+        let user_addr = user as usize;
+        // Guard everything before and after the user range (§4.1: "guard
+        // pages without read or write access on either end").
+        // SAFETY: the ranges are page-aligned and inside the fresh mapping.
+        unsafe {
+            sys::protect_none(base, user_addr - base as usize);
+            let tail = user_addr + user_len;
+            sys::protect_none(tail as *mut u8, base as usize + total - tail);
+        }
+        if !heap.large_len.insert(user_addr, total) {
+            // Table full: refuse rather than lose track of the mapping.
+            // SAFETY: mapping is unreferenced; release it whole.
+            unsafe { sys::unmap(base, total) };
+            return ptr::null_mut();
+        }
+        let inserted = heap.large_base.insert(user_addr, base as usize);
+        debug_assert!(inserted, "large tables out of sync");
+        user
+    }
+}
+
+impl Default for DieHard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: `alloc`/`dealloc` satisfy the GlobalAlloc contract: blocks are
+// valid for the layout, never aliased while live (uniqueness is the bitmap
+// no-overlap invariant), and dealloc releases exactly what alloc returned.
+unsafe impl GlobalAlloc for DieHard {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let mut guard = self.state.lock();
+        if !self.init(&mut guard) {
+            return ptr::null_mut();
+        }
+        let heap = guard.as_mut().expect("initialized above");
+        // Slots are naturally aligned to their (power-of-two) class size, so
+        // serving max(size, align) satisfies any alignment request.
+        let need = layout.size().max(layout.align()).max(1);
+        if need <= crate::size_class::MAX_OBJECT_SIZE {
+            match heap.core.alloc(need) {
+                Some(slot) => {
+                    let off = heap.core.offset_of(slot);
+                    // SAFETY: `off` lies within the reserved heap span.
+                    unsafe { heap.heap_base.add(off) }
+                }
+                None => ptr::null_mut(),
+            }
+        } else {
+            Self::alloc_large(heap, layout.size(), layout.align())
+        }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, _layout: Layout) {
+        let mut guard = self.state.lock();
+        let Some(heap) = guard.as_mut() else { return };
+        Self::release(heap, ptr);
+    }
+}
+
+/// Length of the NUL-terminated string at `p`.
+///
+/// # Safety
+///
+/// `p` must point to a NUL-terminated string.
+unsafe fn c_strlen(p: *const u8) -> usize {
+    let mut n = 0;
+    // SAFETY: caller guarantees a terminator exists.
+    while unsafe { *p.add(n) } != 0 {
+        n += 1;
+    }
+    n
+}
+
+/// Length of the string at `p`, scanning at most `max` bytes.
+///
+/// # Safety
+///
+/// `p` must be valid for reads up to `max` bytes or its NUL terminator.
+unsafe fn c_strlen_bounded(p: *const u8, max: usize) -> usize {
+    let mut n = 0;
+    // SAFETY: caller guarantees validity up to `max` or the terminator.
+    while n < max && unsafe { *p.add(n) } != 0 {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_test_heap() -> DieHard {
+        // Small regions keep test address-space usage modest; seed fixed for
+        // reproducibility. Region must be set via env for lazily-initialized
+        // statics, but direct construction lets us test instance-by-instance.
+        std::env::set_var("DIEHARD_REGION_MB", "1");
+        DieHard::with_seed(0xFEED_FACE)
+    }
+
+    #[test]
+    fn malloc_free_roundtrip() {
+        let heap = small_test_heap();
+        let p = heap.malloc(100);
+        assert!(!p.is_null());
+        // The object is writable through its full rounded size.
+        // SAFETY: DieHard returned a live 128-byte object.
+        unsafe {
+            for i in 0..128 {
+                *p.add(i) = i as u8;
+            }
+            assert_eq!(*p.add(127), 127);
+        }
+        assert_eq!(heap.live_objects(), 1);
+        heap.free(p);
+        assert_eq!(heap.live_objects(), 0);
+    }
+
+    #[test]
+    fn double_free_is_ignored() {
+        let heap = small_test_heap();
+        let p = heap.malloc(64);
+        heap.free(p);
+        heap.free(p); // must not crash or corrupt
+        heap.free(p);
+        assert_eq!(heap.stats().ignored_frees, 2);
+    }
+
+    #[test]
+    fn invalid_free_is_ignored() {
+        let heap = small_test_heap();
+        let p = heap.malloc(64);
+        // Interior pointer.
+        // SAFETY: p+1 stays within the allocated object.
+        heap.free(unsafe { p.add(1) });
+        // Wild pointer.
+        heap.free(0x1234_5678 as *mut u8);
+        assert_eq!(heap.live_objects(), 1, "victim object must stay live");
+        heap.free(p);
+    }
+
+    #[test]
+    fn alignment_served_up_to_class_sizes() {
+        let heap = small_test_heap();
+        for align in [1usize, 8, 64, 4096] {
+            let layout = Layout::from_size_align(40, align).unwrap();
+            // SAFETY: valid non-zero layout.
+            let p = unsafe { heap.alloc(layout) };
+            assert!(!p.is_null());
+            assert_eq!(p as usize % align, 0, "alignment {align}");
+            // SAFETY: p came from alloc with this layout.
+            unsafe { heap.dealloc(p, layout) };
+        }
+    }
+
+    #[test]
+    fn large_objects_roundtrip_with_guard_pages() {
+        let heap = small_test_heap();
+        let p = heap.malloc(100_000);
+        assert!(!p.is_null());
+        // SAFETY: 100k bytes live at p.
+        unsafe {
+            *p = 1;
+            *p.add(99_999) = 2;
+            assert_eq!(*p, 1);
+        }
+        heap.free(p);
+        // Freeing again is ignored (validity table already empty).
+        heap.free(p);
+    }
+
+    #[test]
+    fn zero_malloc_returns_null() {
+        let heap = small_test_heap();
+        assert!(heap.malloc(0).is_null());
+    }
+
+    #[test]
+    fn exhaustion_returns_null_not_crash() {
+        std::env::set_var("DIEHARD_REGION_MB", "1");
+        let heap = DieHard::with_seed(7);
+        // The 16 KB class in a 1 MB region holds 64 slots, 32 live cap.
+        let mut got = 0;
+        for _ in 0..100 {
+            if !heap.malloc(16 * 1024).is_null() {
+                got += 1;
+            }
+        }
+        assert_eq!(got, 32, "1/M cap must bound live objects");
+    }
+
+    #[test]
+    fn strcpy_contains_overflow() {
+        let heap = small_test_heap();
+        let dst = heap.malloc(8);
+        let neighbor = heap.malloc(8);
+        assert!(!dst.is_null() && !neighbor.is_null());
+        // SAFETY: neighbor is a live 8-byte object.
+        unsafe { neighbor.write_bytes(0x5A, 8) };
+        let long = b"this string is far longer than eight bytes\0";
+        // SAFETY: dst is a live heap object; src is NUL-terminated.
+        let copied = unsafe { heap.strcpy(dst, long.as_ptr()) };
+        assert_eq!(copied, 7, "8-byte object keeps 7 payload bytes + NUL");
+        // SAFETY: both objects are live.
+        unsafe {
+            assert_eq!(*dst.add(7), 0);
+            for i in 0..8 {
+                assert_eq!(*neighbor.add(i), 0x5A, "neighbor byte {i} corrupted");
+            }
+        }
+        heap.free(dst);
+        heap.free(neighbor);
+    }
+
+    #[test]
+    fn strncpy_clamps_lying_length() {
+        let heap = small_test_heap();
+        let dst = heap.malloc(8);
+        let src = b"aaaaaaaaaaaaaaaaaaaaaaaa\0";
+        // Caller claims dst holds 100 bytes; DieHard knows better.
+        // SAFETY: dst is live; src NUL-terminated.
+        let copied = unsafe { heap.strncpy(dst, src.as_ptr(), 100) };
+        assert_eq!(copied, 7);
+        heap.free(dst);
+    }
+
+    #[test]
+    fn different_seeds_randomize_layout() {
+        std::env::set_var("DIEHARD_REGION_MB", "1");
+        let a = DieHard::with_seed(1);
+        let b = DieHard::with_seed(2);
+        let base_a = a.malloc(64) as isize;
+        let base_b = b.malloc(64) as isize;
+        let mut same = 0;
+        for _ in 0..32 {
+            let pa = a.malloc(64) as isize - base_a;
+            let pb = b.malloc(64) as isize - base_b;
+            if pa == pb {
+                same += 1;
+            }
+        }
+        assert!(same < 8, "layouts should differ across seeds");
+    }
+
+    #[test]
+    fn concurrent_alloc_free_safe() {
+        std::env::set_var("DIEHARD_REGION_MB", "1");
+        let heap: &'static DieHard = Box::leak(Box::new(DieHard::with_seed(3)));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            handles.push(std::thread::spawn(move || {
+                let mut ptrs = Vec::new();
+                for i in 0..500 {
+                    let p = heap.malloc(8 + (t * 97 + i) % 2000);
+                    if !p.is_null() {
+                        // SAFETY: live object of at least 8 bytes.
+                        unsafe { p.write_bytes(t as u8, 8) };
+                        ptrs.push(p);
+                    }
+                    if ptrs.len() > 50 {
+                        heap.free(ptrs.swap_remove(0));
+                    }
+                }
+                for p in ptrs {
+                    heap.free(p);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(heap.live_objects(), 0);
+    }
+}

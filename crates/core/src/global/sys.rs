@@ -1,0 +1,134 @@
+//! Thin, allocation-free wrappers over the Unix virtual-memory syscalls the
+//! real DieHard heap needs: reserve, release, and guard-page protection.
+
+/// The system page size, queried once per call site (cheap syscall; the
+/// allocator caches it in its state).
+#[must_use]
+pub fn page_size() -> usize {
+    // SAFETY: sysconf is async-signal-safe and has no preconditions.
+    let sz = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
+    if sz <= 0 {
+        4096
+    } else {
+        sz as usize
+    }
+}
+
+/// Reserves `len` bytes of zeroed, lazily-committed, read-write anonymous
+/// memory (the paper: "memory that is reserved by DieHard but not used does
+/// not consume any virtual memory; the actual implementation of DieHard
+/// lazily initializes heap partitions"). Returns null on failure.
+#[must_use]
+pub fn map_reserve(len: usize) -> *mut u8 {
+    // SAFETY: anonymous private mapping with no address hint; all argument
+    // combinations here are valid per POSIX.
+    let ptr = unsafe {
+        libc::mmap(
+            core::ptr::null_mut(),
+            len,
+            libc::PROT_READ | libc::PROT_WRITE,
+            libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_NORESERVE,
+            -1,
+            0,
+        )
+    };
+    if ptr == libc::MAP_FAILED {
+        core::ptr::null_mut()
+    } else {
+        ptr.cast::<u8>()
+    }
+}
+
+/// Releases a mapping previously returned by [`map_reserve`].
+///
+/// # Safety
+///
+/// `ptr`/`len` must denote a live mapping created by [`map_reserve`] and no
+/// references into it may outlive the call.
+pub unsafe fn unmap(ptr: *mut u8, len: usize) {
+    // SAFETY: forwarded caller contract.
+    unsafe {
+        libc::munmap(ptr.cast::<libc::c_void>(), len);
+    }
+}
+
+/// Revokes all access to `[ptr, ptr + len)`, turning it into a guard region
+/// ("guard pages without read or write access", §4.1).
+///
+/// # Safety
+///
+/// The range must lie within a live mapping and be page-aligned.
+pub unsafe fn protect_none(ptr: *mut u8, len: usize) {
+    // SAFETY: forwarded caller contract.
+    unsafe {
+        libc::mprotect(ptr.cast::<libc::c_void>(), len, libc::PROT_NONE);
+    }
+}
+
+/// Reads environment variable `name` (NUL-terminated) as a decimal `u64`
+/// without allocating. Returns `None` when unset or malformed.
+#[must_use]
+pub fn env_u64(name: &'static str) -> Option<u64> {
+    debug_assert!(name.ends_with('\0'), "env names must be NUL-terminated");
+    // SAFETY: `name` is NUL-terminated; getenv does not allocate.
+    let raw = unsafe { libc::getenv(name.as_ptr().cast::<libc::c_char>()) };
+    if raw.is_null() {
+        return None;
+    }
+    let mut value: u64 = 0;
+    let mut any = false;
+    let mut p = raw;
+    loop {
+        // SAFETY: `p` walks the NUL-terminated string returned by getenv.
+        let c = unsafe { *p } as u8;
+        if c == 0 {
+            break;
+        }
+        if !c.is_ascii_digit() {
+            return None;
+        }
+        value = value.checked_mul(10)?.checked_add(u64::from(c - b'0'))?;
+        any = true;
+        // SAFETY: still within the string (previous byte was non-NUL).
+        p = unsafe { p.add(1) };
+    }
+    any.then_some(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_is_sane() {
+        let p = page_size();
+        assert!(p >= 4096);
+        assert!(p.is_power_of_two());
+    }
+
+    #[test]
+    fn map_and_unmap() {
+        let len = 1 << 20;
+        let ptr = map_reserve(len);
+        assert!(!ptr.is_null());
+        // Newly mapped anonymous memory reads as zero and is writable.
+        // SAFETY: `ptr` maps `len` zeroed writable bytes.
+        unsafe {
+            assert_eq!(*ptr, 0);
+            *ptr = 0xAB;
+            assert_eq!(*ptr, 0xAB);
+            unmap(ptr, len);
+        }
+    }
+
+    #[test]
+    fn env_parsing() {
+        std::env::set_var("DIEHARD_TEST_ENV_NUM", "12345");
+        assert_eq!(env_u64("DIEHARD_TEST_ENV_NUM\0"), Some(12345));
+        std::env::set_var("DIEHARD_TEST_ENV_NUM", "12x45");
+        assert_eq!(env_u64("DIEHARD_TEST_ENV_NUM\0"), None);
+        std::env::remove_var("DIEHARD_TEST_ENV_NUM");
+        assert_eq!(env_u64("DIEHARD_TEST_ENV_NUM\0"), None);
+        assert_eq!(env_u64("DIEHARD_TEST_ENV_UNSET\0"), None);
+    }
+}

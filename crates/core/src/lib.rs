@@ -1,0 +1,81 @@
+//! # diehard-core
+//!
+//! A from-scratch Rust implementation of the **DieHard** randomized memory
+//! manager from *DieHard: Probabilistic Memory Safety for Unsafe Languages*
+//! (Berger & Zorn, PLDI 2006).
+//!
+//! DieHard approximates an *infinite heap* — one where objects are never
+//! reused and live infinitely far apart, so buffer overflows and dangling
+//! pointers are benign — with a heap `M` times larger than required:
+//! objects are placed **uniformly at random** within twelve power-of-two
+//! size-class regions, each capped at `1/M` fullness; heap metadata is fully
+//! segregated from the heap; and frees are validated and *ignored* when
+//! invalid. The result is **probabilistic memory safety**: exact, computable
+//! probabilities of surviving buffer overflows and dangling-pointer errors,
+//! and (with replicas) of detecting uninitialized reads.
+//!
+//! ## Layout of this crate
+//!
+//! * [`rng`] — Marsaglia multiply-with-carry generator (§4.1).
+//! * [`bitmap`] — one-bit-per-object allocation bitmaps (§4.1).
+//! * [`size_class`] — the twelve 8 B…16 KB classes (§4.1).
+//! * [`partition`] — per-class random probing and the `1/M` cap (§4.2).
+//! * [`engine`] — [`engine::HeapCore`], `DieHardMalloc`/`DieHardFree` over
+//!   abstract byte offsets, shared by the simulated and real heaps.
+//! * [`large`] — the large-object validity table (§4.1–4.3).
+//! * [`safe_str`] — heap-bounded `strcpy`/`strncpy` (§4.4).
+//! * [`analysis`] — Theorems 1–3 and the expectation formulas (§3.1, §6).
+//! * [`adaptive`] — the adaptive-growth variant from future work (§9).
+//! * [`global`] *(feature `global`, Unix)* — a real `#[global_allocator]`
+//!   built on `mmap`, with guard-paged large objects.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use diehard_core::{config::HeapConfig, engine::HeapCore};
+//!
+//! let mut heap = HeapCore::new(HeapConfig::default(), 0xD1E_4A8D)?;
+//! let slot = heap.alloc(48).expect("plenty of room");
+//! assert_eq!(slot.size(), 64); // rounded to the class size
+//! let offset = heap.offset_of(slot);
+//!
+//! // Erroneous frees are ignored, not fatal:
+//! assert!(!heap.free_at(offset + 1).freed()); // misaligned: ignored
+//! assert!(heap.free_at(offset).freed());      // valid free
+//! assert!(!heap.free_at(offset).freed());     // double free: ignored
+//! # Ok::<(), diehard_core::config::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adaptive;
+pub mod analysis;
+pub mod bitmap;
+pub mod config;
+pub mod engine;
+pub mod large;
+pub mod partition;
+pub mod rng;
+pub mod safe_str;
+pub mod size_class;
+
+#[cfg(all(feature = "global", unix))]
+pub mod global;
+
+pub use config::{FillPolicy, HeapConfig};
+pub use engine::{FreeOutcome, HeapCore, HeapStats, Slot};
+pub use rng::Mwc;
+pub use size_class::SizeClass;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_where_expected() {
+        fn assert_send<T: Send>() {}
+        assert_send::<crate::engine::HeapCore>();
+        assert_send::<crate::rng::Mwc>();
+        assert_send::<crate::bitmap::Bitmap>();
+        assert_send::<crate::large::LargeTable>();
+    }
+}

@@ -1,0 +1,415 @@
+//! A single size-class region: bitmap, fullness accounting, random probing.
+//!
+//! Implements the per-region half of `DieHardMalloc`/`DieHardFree`
+//! (Figure 2 of the paper): hash-table-style probing for a free slot,
+//! the `1/M` fullness threshold, and the allocated-bit bookkeeping.
+
+use crate::bitmap::Bitmap;
+use crate::rng::Mwc;
+use crate::size_class::SizeClass;
+
+/// One size-class region of the DieHard heap.
+///
+/// The partition works purely in slot indices; converting indices to byte
+/// offsets (or machine pointers) is the enclosing heap's job. This lets the
+/// simulated heap and the real `mmap`-backed heap share the exact same
+/// placement logic.
+#[derive(Debug)]
+pub struct Partition {
+    class: SizeClass,
+    bitmap: Bitmap,
+    capacity: usize,
+    threshold: usize,
+    in_use: usize,
+    /// Total probes performed by `alloc`, for validating the paper's
+    /// E[probes] = 1/(1 - 1/M) claim (§4.2).
+    probes: u64,
+    allocs: u64,
+}
+
+impl Partition {
+    /// Creates an empty partition with `capacity` slots of which at most
+    /// `threshold` may be live at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold > capacity` or `capacity == 0`.
+    #[must_use]
+    pub fn new(class: SizeClass, capacity: usize, threshold: usize) -> Self {
+        assert!(capacity > 0, "partition capacity must be positive");
+        assert!(
+            threshold <= capacity,
+            "threshold {threshold} exceeds capacity {capacity}"
+        );
+        Self {
+            class,
+            bitmap: Bitmap::new(capacity),
+            capacity,
+            threshold,
+            in_use: 0,
+            probes: 0,
+            allocs: 0,
+        }
+    }
+
+    /// As [`new`](Self::new) but over caller-provided zeroed bitmap words,
+    /// for allocators that cannot allocate (the global allocator's metadata
+    /// arena).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Bitmap::from_storage`].
+    #[must_use]
+    pub unsafe fn from_storage(
+        class: SizeClass,
+        capacity: usize,
+        threshold: usize,
+        words: *mut u64,
+    ) -> Self {
+        assert!(capacity > 0, "partition capacity must be positive");
+        assert!(
+            threshold <= capacity,
+            "threshold {threshold} exceeds capacity {capacity}"
+        );
+        Self {
+            class,
+            // SAFETY: forwarded caller contract.
+            bitmap: unsafe { Bitmap::from_storage(words, capacity) },
+            capacity,
+            threshold,
+            in_use: 0,
+            probes: 0,
+            allocs: 0,
+        }
+    }
+
+    /// The size class this partition serves.
+    #[must_use]
+    pub fn class(&self) -> SizeClass {
+        self.class
+    }
+
+    /// Total slots in the region.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Maximum simultaneously-live slots (`capacity / M`).
+    #[must_use]
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Currently live slots (the paper's `inUse[c]`).
+    #[must_use]
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Fraction of the region currently live.
+    #[must_use]
+    pub fn fullness(&self) -> f64 {
+        self.in_use as f64 / self.capacity as f64
+    }
+
+    /// `true` when the region has hit its `1/M` cap.
+    #[must_use]
+    pub fn at_threshold(&self) -> bool {
+        self.in_use >= self.threshold
+    }
+
+    /// Picks a uniformly random free slot, marks it live, and returns its
+    /// index; `None` when the region is at its threshold (the paper returns
+    /// `NULL` here — "At threshold: no more memory").
+    ///
+    /// Probing repeats until an empty slot is found, exactly like probing an
+    /// open hash table (§4.2). Because at most `1/M` of the region is ever
+    /// live, the expected probe count is `1/(1 - 1/M)`.
+    pub fn alloc(&mut self, rng: &mut Mwc) -> Option<usize> {
+        if self.at_threshold() {
+            return None;
+        }
+        self.allocs += 1;
+        loop {
+            self.probes += 1;
+            let index = rng.below(self.capacity);
+            if self.bitmap.try_set(index) {
+                self.in_use += 1;
+                return Some(index);
+            }
+        }
+    }
+
+    /// Frees `index` if it is currently live; returns `false` (ignoring the
+    /// request, §4.3) when the slot is already free — a double or invalid
+    /// free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity` — the enclosing heap validates range
+    /// and alignment before calling in, so this indicates a heap bug.
+    pub fn free(&mut self, index: usize) -> bool {
+        if self.bitmap.get(index) {
+            self.bitmap.clear(index);
+            self.in_use -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `index` is currently live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    #[must_use]
+    pub fn is_live(&self, index: usize) -> bool {
+        self.bitmap.get(index)
+    }
+
+    /// Iterates over the indices of live slots.
+    pub fn live_slots(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bitmap.iter_ones()
+    }
+
+    /// Mean number of free slots between consecutive live slots, used to
+    /// check the paper's E[minimum separation] = M − 1 claim (§3.1).
+    /// Returns `None` with fewer than two live slots.
+    #[must_use]
+    pub fn mean_live_gap(&self) -> Option<f64> {
+        let live: Vec<usize> = self.bitmap.iter_ones().collect();
+        if live.len() < 2 {
+            return None;
+        }
+        let gaps: usize = live.windows(2).map(|w| w[1] - w[0] - 1).sum();
+        Some(gaps as f64 / (live.len() - 1) as f64)
+    }
+
+    /// Lifetime probe statistics: `(allocations, total probes)`.
+    #[must_use]
+    pub fn probe_stats(&self) -> (u64, u64) {
+        (self.allocs, self.probes)
+    }
+
+    /// Grows the region's slot count to `new_capacity`, rescaling the
+    /// threshold proportionally. Supports the adaptive variant sketched in
+    /// the paper's future work (§9). Existing live slots keep their indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_capacity < capacity`, or when the partition was built
+    /// over raw storage (the fixed-size global allocator never grows).
+    pub fn grow(&mut self, new_capacity: usize, new_threshold: usize) {
+        assert!(
+            new_capacity >= self.capacity,
+            "cannot shrink partition from {} to {new_capacity}",
+            self.capacity
+        );
+        assert!(new_threshold <= new_capacity);
+        let mut bigger = Bitmap::new(new_capacity);
+        for idx in self.bitmap.iter_ones() {
+            bigger.set(idx);
+        }
+        self.bitmap = bigger;
+        self.capacity = new_capacity;
+        self.threshold = new_threshold;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn part(cap: usize, thresh: usize) -> Partition {
+        Partition::new(SizeClass::from_index(0), cap, thresh)
+    }
+
+    #[test]
+    fn alloc_until_threshold() {
+        let mut p = part(64, 32);
+        let mut rng = Mwc::seeded(1);
+        let mut seen = HashSet::new();
+        for _ in 0..32 {
+            let idx = p.alloc(&mut rng).expect("below threshold");
+            assert!(seen.insert(idx), "duplicate slot handed out");
+            assert!(idx < 64);
+        }
+        assert!(p.at_threshold());
+        assert_eq!(p.alloc(&mut rng), None, "at threshold: no more memory");
+        assert_eq!(p.in_use(), 32);
+    }
+
+    #[test]
+    fn free_returns_slot_for_reuse() {
+        let mut p = part(16, 8);
+        let mut rng = Mwc::seeded(2);
+        let idx = p.alloc(&mut rng).unwrap();
+        assert!(p.is_live(idx));
+        assert!(p.free(idx));
+        assert!(!p.is_live(idx));
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    fn double_free_is_ignored() {
+        let mut p = part(16, 8);
+        let mut rng = Mwc::seeded(3);
+        let idx = p.alloc(&mut rng).unwrap();
+        assert!(p.free(idx));
+        assert!(!p.free(idx), "second free must be ignored");
+        assert_eq!(p.in_use(), 0, "accounting unchanged by double free");
+    }
+
+    #[test]
+    fn invalid_free_of_never_allocated_slot_ignored() {
+        let mut p = part(16, 8);
+        assert!(!p.free(5));
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    fn fullness_tracks_in_use() {
+        let mut p = part(64, 32);
+        let mut rng = Mwc::seeded(4);
+        assert_eq!(p.fullness(), 0.0);
+        for _ in 0..16 {
+            p.alloc(&mut rng);
+        }
+        assert!((p.fullness() - 0.25).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn expected_probes_near_formula() {
+        // M = 2 ⇒ the heap is at most half full ⇒ E[probes] ≤ 2; measured
+        // over a region driven to its threshold, the mean probe count from
+        // an occupancy ramping 0 → 1/2 must be well under 2.
+        let mut p = part(4096, 2048);
+        let mut rng = Mwc::seeded(5);
+        while p.alloc(&mut rng).is_some() {}
+        let (allocs, probes) = p.probe_stats();
+        assert_eq!(allocs, 2048);
+        let mean = probes as f64 / allocs as f64;
+        assert!(
+            mean > 1.0 && mean < 2.0,
+            "mean probes {mean} outside (1, 2) for ramp to half full"
+        );
+    }
+
+    #[test]
+    fn probes_at_steady_state_half_full() {
+        // Hold the region exactly at threshold−1 and measure steady-state
+        // probing: should approach 1/(1 − 1/M) = 2 for M = 2.
+        let mut p = part(4096, 2048);
+        let mut rng = Mwc::seeded(6);
+        for _ in 0..2047 {
+            p.alloc(&mut rng);
+        }
+        let (a0, p0) = p.probe_stats();
+        let mut freed: Vec<usize> = Vec::new();
+        for _ in 0..20_000 {
+            let idx = p.alloc(&mut rng).unwrap();
+            freed.push(idx);
+            let victim = freed.swap_remove(rng.below(freed.len()));
+            p.free(victim);
+        }
+        let (a1, p1) = p.probe_stats();
+        let mean = (p1 - p0) as f64 / (a1 - a0) as f64;
+        assert!(
+            (mean - 2.0).abs() < 0.15,
+            "steady-state probes {mean}, expected ≈ 2"
+        );
+    }
+
+    #[test]
+    fn mean_gap_none_when_sparse() {
+        let mut p = part(64, 32);
+        assert_eq!(p.mean_live_gap(), None);
+        let mut rng = Mwc::seeded(7);
+        p.alloc(&mut rng);
+        assert_eq!(p.mean_live_gap(), None);
+        p.alloc(&mut rng);
+        assert!(p.mean_live_gap().is_some());
+    }
+
+    #[test]
+    fn grow_preserves_live_slots() {
+        let mut p = part(32, 16);
+        let mut rng = Mwc::seeded(8);
+        let mut live = HashSet::new();
+        for _ in 0..16 {
+            live.insert(p.alloc(&mut rng).unwrap());
+        }
+        assert!(p.at_threshold());
+        p.grow(64, 32);
+        assert!(!p.at_threshold());
+        let after: HashSet<usize> = p.live_slots().collect();
+        assert_eq!(after, live);
+        // Freshly unlocked capacity is allocatable.
+        assert!(p.alloc(&mut rng).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn grow_rejects_shrinking() {
+        part(32, 16).grow(16, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn new_rejects_threshold_above_capacity() {
+        part(8, 9);
+    }
+
+    proptest! {
+        /// No two live allocations ever share a slot, and accounting matches
+        /// the bitmap exactly under arbitrary interleavings.
+        #[test]
+        fn no_overlap_and_consistent_accounting(
+            seed in any::<u64>(),
+            ops in proptest::collection::vec(any::<bool>(), 1..400),
+        ) {
+            let mut p = part(256, 128);
+            let mut rng = Mwc::seeded(seed);
+            let mut model: Vec<usize> = Vec::new();
+            for op in ops {
+                if op || model.is_empty() {
+                    if let Some(idx) = p.alloc(&mut rng) {
+                        prop_assert!(!model.contains(&idx), "slot {} double-booked", idx);
+                        model.push(idx);
+                    } else {
+                        prop_assert!(p.at_threshold());
+                    }
+                } else {
+                    let victim = model.swap_remove(rng.below(model.len()));
+                    prop_assert!(p.free(victim));
+                }
+                prop_assert_eq!(p.in_use(), model.len());
+                let bitmap_live: HashSet<usize> = p.live_slots().collect();
+                let model_live: HashSet<usize> = model.iter().copied().collect();
+                prop_assert_eq!(bitmap_live, model_live);
+            }
+        }
+
+        /// Freeing everything returns the partition to pristine state.
+        #[test]
+        fn drain_restores_empty(seed in any::<u64>(), n in 1usize..100) {
+            let mut p = part(256, 128);
+            let mut rng = Mwc::seeded(seed);
+            let mut live = Vec::new();
+            for _ in 0..n {
+                if let Some(idx) = p.alloc(&mut rng) {
+                    live.push(idx);
+                }
+            }
+            for idx in live {
+                prop_assert!(p.free(idx));
+            }
+            prop_assert_eq!(p.in_use(), 0);
+            prop_assert_eq!(p.live_slots().count(), 0);
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! The fault injector (§7.3.1).
+//!
+//! "The fault injector triggers errors probabilistically, based on the
+//! requested frequencies. To trigger an underflow, it requests less memory
+//! from the underlying allocator than was requested by the application. To
+//! trigger a dangling pointer error, it uses the log to invoke free on an
+//! object before it is actually freed by the application, and ignores the
+//! subsequent (actual) call to free. The fault injector only inserts
+//! dangling pointer errors for small object requests (< 16K)."
+//!
+//! Because programs here are op streams, injection is a deterministic
+//! program-to-program rewrite driven by the allocation log and a seeded
+//! RNG — every campaign run is exactly reproducible.
+
+use crate::trace::AllocLog;
+use diehard_core::rng::Mwc;
+use diehard_core::size_class::MAX_OBJECT_SIZE;
+use diehard_runtime::ops::{Op, Program};
+
+/// A fault-injection strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Injection {
+    /// Under-allocate requests (§7.3.1's buffer-overflow injection): each
+    /// `Alloc` of at least `min_size` bytes is shrunk by `shrink_by` with
+    /// probability `rate`, while the program's accesses keep their original
+    /// extent. The paper's experiment: rate 1%, `min_size` 32, shrink 4.
+    Underflow {
+        /// Probability an eligible allocation is shrunk.
+        rate: f64,
+        /// Only requests at least this large are shrunk.
+        min_size: usize,
+        /// Bytes removed from the request.
+        shrink_by: usize,
+    },
+    /// Premature frees (§7.3.1's dangling-pointer injection): each freed
+    /// small object is, with probability `frequency`, freed `distance`
+    /// allocations early; the original free is dropped. The paper's
+    /// experiment: frequency 50%, distance 10.
+    Dangling {
+        /// Probability an eligible object is freed early.
+        frequency: f64,
+        /// How many allocations early the free lands.
+        distance: u64,
+    },
+    /// Double frees: each `Free` is immediately repeated with probability
+    /// `rate`.
+    DoubleFree {
+        /// Probability a free is duplicated.
+        rate: f64,
+    },
+    /// Invalid frees: with probability `rate`, a `free(p + delta)` of a
+    /// non-pointer address is inserted right after an object's allocation.
+    InvalidFree {
+        /// Probability per allocation.
+        rate: f64,
+        /// Offset added to the object pointer.
+        delta: isize,
+    },
+    /// Uninitialized reads: with probability `rate`, a read of an object's
+    /// first bytes is inserted immediately after allocation, before any
+    /// write, and its value propagates to output.
+    UninitRead {
+        /// Probability per allocation.
+        rate: f64,
+        /// Bytes read (B = 8·len bits in Theorem 3's terms).
+        len: usize,
+    },
+}
+
+/// Applies `injection` to `program`, deterministically under `seed`.
+///
+/// The returned program contains real memory errors; run it under any
+/// [`diehard_runtime::System`] to observe that system's failure behaviour.
+#[must_use]
+pub fn inject(program: &Program, injection: &Injection, seed: u64) -> Program {
+    match injection {
+        Injection::Underflow { rate, min_size, shrink_by } => {
+            inject_underflow(program, *rate, *min_size, *shrink_by, seed)
+        }
+        Injection::Dangling { frequency, distance } => {
+            inject_dangling(program, *frequency, *distance, seed)
+        }
+        Injection::DoubleFree { rate } => inject_double_free(program, *rate, seed),
+        Injection::InvalidFree { rate, delta } => {
+            inject_invalid_free(program, *rate, *delta, seed)
+        }
+        Injection::UninitRead { rate, len } => inject_uninit_read(program, *rate, *len, seed),
+    }
+}
+
+fn inject_underflow(
+    program: &Program,
+    rate: f64,
+    min_size: usize,
+    shrink_by: usize,
+    seed: u64,
+) -> Program {
+    let mut rng = Mwc::seeded(seed);
+    let ops = program
+        .ops
+        .iter()
+        .map(|op| match op {
+            Op::Alloc { id, size } if *size >= min_size && rng.chance(rate) => Op::Alloc {
+                id: *id,
+                size: size.saturating_sub(shrink_by).max(1),
+            },
+            other => other.clone(),
+        })
+        .collect();
+    Program::new(format!("{}+underflow", program.name), ops)
+}
+
+fn inject_dangling(program: &Program, frequency: f64, distance: u64, seed: u64) -> Program {
+    let mut rng = Mwc::seeded(seed);
+    let log = AllocLog::trace(program);
+    // Choose victims: freed, small (< 16 K), coin flip at `frequency`.
+    let mut victims: Vec<(u32, u64, usize)> = Vec::new(); // (id, early_time, orig_free_op)
+    for rec in &log.records {
+        let (Some(free_time), Some(free_op)) = (rec.free_time, rec.free_op) else { continue };
+        if rec.size >= MAX_OBJECT_SIZE {
+            continue; // "only ... for small object requests (< 16K)"
+        }
+        if !rng.chance(frequency) {
+            continue;
+        }
+        // Freed `distance` allocations too early, clamped to just after its
+        // own allocation.
+        let early = free_time.saturating_sub(distance).max(rec.alloc_time + 1);
+        victims.push((rec.id, early, free_op));
+    }
+    let dropped: std::collections::HashSet<usize> =
+        victims.iter().map(|&(_, _, op)| op).collect();
+    let mut early_by_time: std::collections::HashMap<u64, Vec<u32>> = Default::default();
+    for &(id, t, _) in &victims {
+        early_by_time.entry(t).or_default().push(id);
+    }
+
+    let mut ops = Vec::with_capacity(program.ops.len() + victims.len());
+    let mut alloc_clock: u64 = 0;
+    // Emit premature frees scheduled for time 0 (cannot happen: early >=
+    // alloc_time + 1 >= 1, but keep the general pattern).
+    for op in program.ops.iter().enumerate().map(|(i, op)| (i, op)) {
+        let (op_idx, op) = op;
+        match op {
+            Op::Alloc { .. } => {
+                ops.push(op.clone());
+                alloc_clock += 1;
+                // Any victim scheduled to be freed at this allocation time
+                // is freed *now* — `distance` allocations before its
+                // original free point.
+                if let Some(ids) = early_by_time.get(&alloc_clock) {
+                    for &id in ids {
+                        ops.push(Op::Free { id });
+                    }
+                }
+            }
+            Op::Free { .. } if dropped.contains(&op_idx) => {
+                // "ignores the subsequent (actual) call to free".
+            }
+            other => ops.push(other.clone()),
+        }
+    }
+    Program::new(format!("{}+dangling", program.name), ops)
+}
+
+fn inject_double_free(program: &Program, rate: f64, seed: u64) -> Program {
+    let mut rng = Mwc::seeded(seed);
+    let mut ops = Vec::with_capacity(program.ops.len());
+    for op in &program.ops {
+        ops.push(op.clone());
+        if let Op::Free { id } = op {
+            if rng.chance(rate) {
+                ops.push(Op::Free { id: *id });
+            }
+        }
+    }
+    Program::new(format!("{}+doublefree", program.name), ops)
+}
+
+fn inject_invalid_free(program: &Program, rate: f64, delta: isize, seed: u64) -> Program {
+    let mut rng = Mwc::seeded(seed);
+    let mut ops = Vec::with_capacity(program.ops.len());
+    for op in &program.ops {
+        ops.push(op.clone());
+        if let Op::Alloc { id, .. } = op {
+            if rng.chance(rate) {
+                ops.push(Op::FreeRaw { id: *id, delta });
+            }
+        }
+    }
+    Program::new(format!("{}+invalidfree", program.name), ops)
+}
+
+fn inject_uninit_read(program: &Program, rate: f64, len: usize, seed: u64) -> Program {
+    let mut rng = Mwc::seeded(seed);
+    let mut ops = Vec::with_capacity(program.ops.len());
+    for op in &program.ops {
+        ops.push(op.clone());
+        if let Op::Alloc { id, size } = op {
+            if rng.chance(rate) {
+                ops.push(Op::Read { id: *id, offset: 0, len: len.min(*size) });
+            }
+        }
+    }
+    Program::new(format!("{}+uninit", program.name), ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn base_program() -> Program {
+        let mut ops = Vec::new();
+        for i in 0..40u32 {
+            ops.push(Op::Alloc { id: i, size: 16 + (i as usize * 13) % 100 });
+            ops.push(Op::Write { id: i, offset: 0, len: 16, seed: 1 });
+            ops.push(Op::Read { id: i, offset: 0, len: 16 });
+            if i >= 5 {
+                ops.push(Op::Free { id: i - 5 });
+                ops.push(Op::Forget { id: i - 5 });
+            }
+        }
+        Program::new("base", ops)
+    }
+
+    #[test]
+    fn underflow_shrinks_only_eligible_allocs() {
+        let prog = base_program();
+        let injected = inject(
+            &prog,
+            &Injection::Underflow { rate: 1.0, min_size: 32, shrink_by: 4 },
+            1,
+        );
+        for (orig, new) in prog.ops.iter().zip(&injected.ops) {
+            if let (Op::Alloc { size: s0, .. }, Op::Alloc { size: s1, .. }) = (orig, new) {
+                if *s0 >= 32 {
+                    assert_eq!(*s1, s0 - 4);
+                } else {
+                    assert_eq!(s1, s0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dangling_moves_frees_earlier_and_drops_originals() {
+        let prog = base_program();
+        let injected = inject(
+            &prog,
+            &Injection::Dangling { frequency: 1.0, distance: 3 },
+            2,
+        );
+        // Same number of frees (each moved, none duplicated).
+        let count_frees = |p: &Program| {
+            p.ops.iter().filter(|o| matches!(o, Op::Free { .. })).count()
+        };
+        assert_eq!(count_frees(&prog), count_frees(&injected));
+        // Every free now happens at least one allocation earlier (in op
+        // order relative to the Forget that stayed put).
+        let log_orig = AllocLog::trace(&prog);
+        let log_new = AllocLog::trace(&injected);
+        let mut moved = 0;
+        for (a, b) in log_orig.records.iter().zip(&log_new.records) {
+            assert_eq!(a.id, b.id);
+            if let (Some(fa), Some(fb)) = (a.free_time, b.free_time) {
+                assert!(fb <= fa, "id {} freed later than original", a.id);
+                if fb < fa {
+                    moved += 1;
+                }
+            }
+        }
+        assert!(moved > 0, "at least some frees must move");
+    }
+
+    #[test]
+    fn dangling_distance_respected() {
+        let prog = base_program();
+        let injected = inject(
+            &prog,
+            &Injection::Dangling { frequency: 1.0, distance: 3 },
+            3,
+        );
+        let log_orig = AllocLog::trace(&prog);
+        let log_new = AllocLog::trace(&injected);
+        for (a, b) in log_orig.records.iter().zip(&log_new.records) {
+            if let (Some(fa), Some(fb)) = (a.free_time, b.free_time) {
+                // Freed exactly `distance` early, clamped to just past its
+                // own allocation.
+                let expect = fa.saturating_sub(3).max(a.alloc_time + 1);
+                assert_eq!(fb, expect, "id {}", a.id);
+            }
+        }
+    }
+
+    #[test]
+    fn dangling_skips_large_objects() {
+        let prog = Program::new(
+            "large",
+            vec![
+                Op::Alloc { id: 0, size: 32 * 1024 },
+                Op::Alloc { id: 1, size: 8 },
+                Op::Alloc { id: 2, size: 8 },
+                Op::Free { id: 0 },
+                Op::Forget { id: 0 },
+            ],
+        );
+        let injected = inject(&prog, &Injection::Dangling { frequency: 1.0, distance: 2 }, 4);
+        let log = AllocLog::trace(&injected);
+        assert_eq!(log.records[0].free_time, AllocLog::trace(&prog).records[0].free_time,
+            "large object's free must not move");
+    }
+
+    #[test]
+    fn double_free_duplicates() {
+        let prog = base_program();
+        let injected = inject(&prog, &Injection::DoubleFree { rate: 1.0 }, 5);
+        let frees = |p: &Program| p.ops.iter().filter(|o| matches!(o, Op::Free { .. })).count();
+        assert_eq!(frees(&injected), frees(&prog) * 2);
+    }
+
+    #[test]
+    fn invalid_free_inserts_raw_frees() {
+        let prog = base_program();
+        let injected = inject(&prog, &Injection::InvalidFree { rate: 1.0, delta: 6 }, 6);
+        let raws = injected
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::FreeRaw { delta: 6, .. }))
+            .count();
+        assert_eq!(raws, prog.alloc_count());
+    }
+
+    #[test]
+    fn uninit_read_inserted_before_writes() {
+        let prog = base_program();
+        let injected = inject(&prog, &Injection::UninitRead { rate: 1.0, len: 8 }, 7);
+        // Each Alloc is now directly followed by a Read.
+        for (i, op) in injected.ops.iter().enumerate() {
+            if matches!(op, Op::Alloc { .. }) {
+                assert!(
+                    matches!(injected.ops[i + 1], Op::Read { .. }),
+                    "op {} not followed by read",
+                    i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let prog = base_program();
+        let inj = Injection::Underflow { rate: 0.5, min_size: 16, shrink_by: 4 };
+        assert_eq!(inject(&prog, &inj, 42), inject(&prog, &inj, 42));
+        assert_ne!(inject(&prog, &inj, 42), inject(&prog, &inj, 43));
+    }
+
+    proptest! {
+        /// Rate zero is the identity transform (modulo the name).
+        #[test]
+        fn rate_zero_is_identity(seed in any::<u64>()) {
+            let prog = base_program();
+            for inj in [
+                Injection::Underflow { rate: 0.0, min_size: 0, shrink_by: 4 },
+                Injection::Dangling { frequency: 0.0, distance: 10 },
+                Injection::DoubleFree { rate: 0.0 },
+                Injection::InvalidFree { rate: 0.0, delta: 1 },
+                Injection::UninitRead { rate: 0.0, len: 8 },
+            ] {
+                prop_assert_eq!(&inject(&prog, &inj, seed).ops, &prog.ops);
+            }
+        }
+
+        /// Injected programs remain executable end to end on the oracle.
+        #[test]
+        fn oracle_absorbs_all_injections(seed in any::<u64>(), pick in 0usize..5) {
+            let prog = base_program();
+            let inj = match pick {
+                0 => Injection::Underflow { rate: 0.5, min_size: 16, shrink_by: 4 },
+                1 => Injection::Dangling { frequency: 0.5, distance: 5 },
+                2 => Injection::DoubleFree { rate: 0.5 },
+                3 => Injection::InvalidFree { rate: 0.5, delta: 4 },
+                _ => Injection::UninitRead { rate: 0.5, len: 8 },
+            };
+            let bad = inject(&prog, &inj, seed);
+            // The infinite heap tolerates everything except uninit reads
+            // (whose oracle output is still deterministic zeros).
+            let _ = diehard_runtime::oracle_output(&bad);
+        }
+    }
+}

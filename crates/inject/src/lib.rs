@@ -1,0 +1,19 @@
+//! # diehard-inject
+//!
+//! The §7.3.1 fault-injection methodology, reimplemented:
+//!
+//! * [`trace::AllocLog`] — the tracing allocator's allocation log
+//!   (alloc-time / free-time pairs, sorted by allocation time);
+//! * [`inject::inject`] — the fault injector, a deterministic program
+//!   rewrite producing buffer overflows (under-allocation), dangling
+//!   pointers (premature frees), double frees, invalid frees, and
+//!   uninitialized reads at configured rates.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod inject;
+pub mod trace;
+
+pub use inject::{inject, Injection};
+pub use trace::{AllocLog, AllocRecord};

@@ -1,0 +1,224 @@
+//! The tracing allocator's allocation log (§7.3.1).
+//!
+//! "We first run the application with a tracing allocator that generates an
+//! allocation log. Whenever an object is freed, the library outputs a pair,
+//! indicating when the object was allocated and when it was freed (in
+//! allocation time). We then sort the log by allocation time."
+//!
+//! Our programs are op streams, so tracing is a replay that counts
+//! allocations; the log drives the dangling-pointer injector exactly as the
+//! paper's sorted log drives theirs. A line-based text serialization is
+//! provided so logs can be saved and inspected like the original tool's.
+
+use diehard_runtime::ops::{Op, Program};
+
+/// One allocated object's lifetime in allocation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocRecord {
+    /// The program handle.
+    pub id: u32,
+    /// Requested size in bytes.
+    pub size: usize,
+    /// Allocation time: number of allocations before this one.
+    pub alloc_time: u64,
+    /// Allocation time at which the object was freed (`None` = never).
+    pub free_time: Option<u64>,
+    /// Op index of the `Alloc`.
+    pub alloc_op: usize,
+    /// Op index of the first `Free` for this handle.
+    pub free_op: Option<usize>,
+}
+
+/// A complete allocation log, sorted by allocation time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllocLog {
+    /// Records in allocation order.
+    pub records: Vec<AllocRecord>,
+}
+
+impl AllocLog {
+    /// Traces `program`, producing its allocation log.
+    #[must_use]
+    pub fn trace(program: &Program) -> Self {
+        let mut records: Vec<AllocRecord> = Vec::new();
+        let mut index_of: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        let mut alloc_clock: u64 = 0;
+        for (op_idx, op) in program.ops.iter().enumerate() {
+            match op {
+                Op::Alloc { id, size } => {
+                    index_of.insert(*id, records.len());
+                    records.push(AllocRecord {
+                        id: *id,
+                        size: *size,
+                        alloc_time: alloc_clock,
+                        free_time: None,
+                        alloc_op: op_idx,
+                        free_op: None,
+                    });
+                    alloc_clock += 1;
+                }
+                Op::Free { id } => {
+                    if let Some(&ri) = index_of.get(id) {
+                        let rec = &mut records[ri];
+                        if rec.free_time.is_none() {
+                            rec.free_time = Some(alloc_clock);
+                            rec.free_op = Some(op_idx);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Self { records }
+    }
+
+    /// Number of allocations in the log.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the traced program allocated nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serializes to the log's line format:
+    /// `id alloc_time free_time size` with `-` for never-freed.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for r in &self.records {
+            let free = r
+                .free_time
+                .map_or_else(|| "-".to_string(), |t| t.to_string());
+            s.push_str(&format!("{} {} {} {}\n", r.id, r.alloc_time, free, r.size));
+        }
+        s
+    }
+
+    /// Parses the [`to_text`](Self::to_text) format. Op indices are not
+    /// representable in the text form and come back as defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut records = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let mut next = |what: &str| {
+                parts
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing {what}", ln + 1))
+            };
+            let id: u32 = next("id")?
+                .parse()
+                .map_err(|e| format!("line {}: bad id: {e}", ln + 1))?;
+            let alloc_time: u64 = next("alloc_time")?
+                .parse()
+                .map_err(|e| format!("line {}: bad alloc_time: {e}", ln + 1))?;
+            let free_raw = next("free_time")?;
+            let free_time = if free_raw == "-" {
+                None
+            } else {
+                Some(
+                    free_raw
+                        .parse()
+                        .map_err(|e| format!("line {}: bad free_time: {e}", ln + 1))?,
+                )
+            };
+            let size: usize = next("size")?
+                .parse()
+                .map_err(|e| format!("line {}: bad size: {e}", ln + 1))?;
+            records.push(AllocRecord {
+                id,
+                size,
+                alloc_time,
+                free_time,
+                alloc_op: 0,
+                free_op: None,
+            });
+        }
+        Ok(Self { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program() -> Program {
+        Program::new(
+            "t",
+            vec![
+                Op::Alloc { id: 0, size: 64 },   // t=0
+                Op::Alloc { id: 1, size: 128 },  // t=1
+                Op::Free { id: 0 },              // freed at t=2
+                Op::Forget { id: 0 },
+                Op::Alloc { id: 2, size: 8 },    // t=2
+                Op::Free { id: 2 },              // freed at t=3
+                Op::Forget { id: 2 },
+                Op::Alloc { id: 3, size: 16 },   // t=3, never freed
+            ],
+        )
+    }
+
+    #[test]
+    fn trace_captures_lifetimes() {
+        let log = AllocLog::trace(&program());
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.records[0].alloc_time, 0);
+        assert_eq!(log.records[0].free_time, Some(2));
+        assert_eq!(log.records[1].free_time, None, "id 1 never freed");
+        assert_eq!(log.records[2].free_time, Some(3));
+        assert_eq!(log.records[3].free_time, None);
+    }
+
+    #[test]
+    fn trace_is_sorted_by_alloc_time() {
+        let log = AllocLog::trace(&program());
+        for w in log.records.windows(2) {
+            assert!(w[0].alloc_time < w[1].alloc_time);
+        }
+    }
+
+    #[test]
+    fn double_free_in_program_records_first_only() {
+        let prog = Program::new(
+            "df",
+            vec![
+                Op::Alloc { id: 0, size: 8 }, // t=0
+                Op::Free { id: 0 },
+                Op::Alloc { id: 1, size: 8 }, // t=1
+                Op::Free { id: 0 },           // duplicate: ignored by trace
+            ],
+        );
+        let log = AllocLog::trace(&prog);
+        assert_eq!(log.records[0].free_time, Some(1));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let log = AllocLog::trace(&program());
+        let text = log.to_text();
+        let parsed = AllocLog::from_text(&text).unwrap();
+        assert_eq!(parsed.len(), log.len());
+        for (a, b) in log.records.iter().zip(&parsed.records) {
+            assert_eq!((a.id, a.size, a.alloc_time, a.free_time),
+                       (b.id, b.size, b.alloc_time, b.free_time));
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(AllocLog::from_text("1 2").is_err());
+        assert!(AllocLog::from_text("x 0 - 8").is_err());
+        assert!(AllocLog::from_text("").unwrap().is_empty());
+    }
+}

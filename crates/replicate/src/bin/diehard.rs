@@ -1,0 +1,108 @@
+//! The `diehard` launcher (§5.1).
+//!
+//! "The diehard command takes three arguments: the path to the replicated
+//! variant of the DieHard memory allocator (a dynamically-loadable
+//! library), the number of replicas to create, and the application name."
+//!
+//! Usage:
+//!
+//! ```text
+//! diehard [-n REPLICAS] [--preload LIB] [--seed SEED] -- COMMAND [ARGS...]
+//! ```
+//!
+//! Standard input is broadcast to all replicas; standard output carries the
+//! voted output. Exit status: 0 on agreement, 2 on detected divergence
+//! (the uninitialized-read signal), 1 on usage or launch errors.
+
+use diehard_replicate::{run_replicated, LaunchConfig};
+use std::io::{Read, Write};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: diehard [-n REPLICAS] [--preload LIB] [--seed SEED] -- COMMAND [ARGS...]\n\
+         \n\
+         Runs COMMAND in REPLICAS differently-seeded replicas (default 3),\n\
+         broadcasting stdin and voting on stdout in 4 KB chunks.\n\
+         Each replica receives a unique DIEHARD_SEED; --preload exports\n\
+         LD_PRELOAD for C binaries using libdiehard-style interposition."
+    );
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut replicas = 3usize;
+    let mut preload: Option<String> = None;
+    let mut master_seed: Option<u64> = None;
+    let mut command: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-n" | "--replicas" => {
+                i += 1;
+                replicas = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--preload" => {
+                i += 1;
+                preload = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--seed" => {
+                i += 1;
+                master_seed = args.get(i).and_then(|s| s.parse().ok());
+                if master_seed.is_none() {
+                    usage();
+                }
+            }
+            "--" => {
+                command = args[i + 1..].to_vec();
+                break;
+            }
+            "-h" | "--help" => usage(),
+            other if command.is_empty() && !other.starts_with('-') => {
+                command = args[i..].to_vec();
+                break;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if command.is_empty() || replicas == 0 || replicas == 2 {
+        usage();
+    }
+
+    let mut input = Vec::new();
+    if std::io::stdin().read_to_end(&mut input).is_err() {
+        eprintln!("diehard: failed to read standard input");
+        std::process::exit(1);
+    }
+
+    let mut config = LaunchConfig::new(replicas, command, input);
+    config.preload = preload;
+    if let Some(seed) = master_seed {
+        config.seeds = (0..replicas as u64)
+            .map(|i| diehard_core::rng::splitmix(seed ^ (i + 1)))
+            .collect();
+    }
+
+    match run_replicated(&config) {
+        Ok(exit) => {
+            let mut stdout = std::io::stdout();
+            let _ = stdout.write_all(&exit.output);
+            let _ = stdout.flush();
+            if exit.diverged {
+                eprintln!(
+                    "diehard: replicas diverged (possible uninitialized read); terminated"
+                );
+                std::process::exit(2);
+            }
+            if !exit.killed.is_empty() {
+                eprintln!("diehard: killed {} disagreeing replica(s)", exit.killed.len());
+            }
+        }
+        Err(e) => {
+            eprintln!("diehard: launch failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

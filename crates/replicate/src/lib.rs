@@ -1,0 +1,288 @@
+//! # diehard-replicate
+//!
+//! Process-level replication (§5): "DieHard spawns each replica in a
+//! separate process ... Each replica receives its standard input from
+//! DieHard via a pipe ... DieHard manages output from the replicas by
+//! periodically synchronizing at barriers. Whenever all currently-live
+//! replicas terminate or fill their output buffers (currently 4K each, the
+//! unit of transfer of a pipe), the voter compares the contents of each
+//! replica's output buffer."
+//!
+//! The paper's launcher points `LD_PRELOAD` at `libdiehard.so` so every
+//! replica gets a differently-seeded allocator. The Rust analogue: child
+//! programs link the `diehard_core::global::DieHard` allocator and read
+//! their seed from `DIEHARD_SEED`, which this launcher sets uniquely per
+//! replica. (An `LD_PRELOAD` passthrough is provided for C binaries.)
+//!
+//! The [`Voter`] is shared with the launcher binary and unit-testable in
+//! isolation; [`run_replicated`] wires it to real processes and pipes.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod voter;
+
+pub use voter::{ChunkVote, Voter};
+
+use diehard_core::rng::{entropy_seed, splitmix};
+use std::io::{Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+
+/// The pipe-buffer chunk size the voter compares (§5.2).
+pub const CHUNK: usize = 4096;
+
+/// Configuration for a replicated launch.
+#[derive(Debug, Clone)]
+pub struct LaunchConfig {
+    /// Number of replicas (1, or at least 3 — a 1-1 tie cannot be broken).
+    pub replicas: usize,
+    /// The command and its arguments.
+    pub command: Vec<String>,
+    /// Bytes broadcast to every replica's standard input.
+    pub input: Vec<u8>,
+    /// Explicit per-replica seeds; when empty, true-random seeds are drawn
+    /// (the paper seeds each replica from `/dev/urandom`).
+    pub seeds: Vec<u64>,
+    /// Optional path exported as `LD_PRELOAD` for C binaries using the
+    /// original interposition mechanism.
+    pub preload: Option<String>,
+}
+
+impl LaunchConfig {
+    /// A config with `replicas` copies of `command`, reading `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is 0 or 2, or `command` is empty.
+    #[must_use]
+    pub fn new(replicas: usize, command: Vec<String>, input: Vec<u8>) -> Self {
+        assert!(replicas != 0, "at least one replica");
+        assert!(replicas != 2, "two replicas cannot vote (§6)");
+        assert!(!command.is_empty(), "command required");
+        Self { replicas, command, input, seeds: Vec::new(), preload: None }
+    }
+}
+
+/// The result of a replicated execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicatedExit {
+    /// The voted output committed to the caller.
+    pub output: Vec<u8>,
+    /// Whether the voter detected an unresolvable divergence (the §6.3
+    /// uninitialized-read signal): no two replicas agreed on some chunk.
+    pub diverged: bool,
+    /// Replica indices killed for disagreeing or dying.
+    pub killed: Vec<usize>,
+}
+
+/// Spawns the replicas, broadcasts stdin, votes on stdout chunks, and
+/// returns the committed output.
+///
+/// # Errors
+///
+/// Propagates process-spawn and pipe I/O failures. Replica *crashes* are
+/// not errors — the voter handles them by decrementing the live set.
+pub fn run_replicated(config: &LaunchConfig) -> std::io::Result<ReplicatedExit> {
+    let seeds: Vec<u64> = if config.seeds.len() == config.replicas {
+        config.seeds.clone()
+    } else {
+        let master = entropy_seed();
+        (0..config.replicas as u64)
+            .map(|i| splitmix(master ^ (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect()
+    };
+
+    // Spawn all replicas with stdin/stdout piped.
+    let mut children: Vec<Child> = Vec::with_capacity(config.replicas);
+    for &seed in &seeds {
+        let mut cmd = Command::new(&config.command[0]);
+        cmd.args(&config.command[1..])
+            .env("DIEHARD_SEED", seed.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if let Some(ref lib) = config.preload {
+            cmd.env("LD_PRELOAD", lib);
+        }
+        children.push(cmd.spawn()?);
+    }
+
+    // Broadcast the input to every replica on its own thread (a slow or
+    // dead replica must not stall the others).
+    let mut writers = Vec::new();
+    for child in &mut children {
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        let input = config.input.clone();
+        writers.push(std::thread::spawn(move || {
+            let _ = stdin.write_all(&input); // EPIPE from a dead replica is fine
+        }));
+    }
+
+    // Stream each replica's stdout in CHUNK units into a channel.
+    let (tx, rx) = mpsc::channel::<(usize, Option<Vec<u8>>)>();
+    for (idx, child) in children.iter_mut().enumerate() {
+        let mut stdout = child.stdout.take().expect("piped stdout");
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let mut buf = vec![0u8; CHUNK];
+            let mut pending: Vec<u8> = Vec::new();
+            loop {
+                match stdout.read(&mut buf) {
+                    Ok(0) | Err(_) => {
+                        // EOF: flush the partial chunk, then signal end.
+                        if !pending.is_empty() {
+                            let _ = tx.send((idx, Some(std::mem::take(&mut pending))));
+                        }
+                        let _ = tx.send((idx, None));
+                        return;
+                    }
+                    Ok(n) => {
+                        pending.extend_from_slice(&buf[..n]);
+                        while pending.len() >= CHUNK {
+                            let rest = pending.split_off(CHUNK);
+                            let chunk = std::mem::replace(&mut pending, rest);
+                            if tx.send((idx, Some(chunk))).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+    drop(tx);
+
+    // Collect chunk streams per replica, then vote. (Barrier semantics:
+    // the voter consumes chunk i from every live replica before moving on;
+    // buffering whole streams first is equivalent for finite outputs.)
+    let mut streams: Vec<Vec<Vec<u8>>> = vec![Vec::new(); config.replicas];
+    let mut crashed: Vec<bool> = vec![false; config.replicas];
+    while let Ok((idx, msg)) = rx.recv() {
+        if let Some(chunk) = msg {
+            streams[idx].push(chunk);
+        }
+    }
+    for w in writers {
+        let _ = w.join();
+    }
+    for (idx, child) in children.iter_mut().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            _ => crashed[idx] = true,
+        }
+    }
+
+    // Vote chunk-by-chunk over the replicas that produced output and
+    // exited cleanly.
+    let mut voter = Voter::new(config.replicas);
+    for (idx, dead) in crashed.iter().enumerate() {
+        if *dead {
+            voter.kill(idx);
+        }
+    }
+    let mut output = Vec::new();
+    let mut diverged = false;
+    let max_chunks = streams.iter().map(Vec::len).max().unwrap_or(0);
+    for chunk_idx in 0..max_chunks {
+        let ballots: Vec<Option<&[u8]>> = streams
+            .iter()
+            .map(|s| s.get(chunk_idx).map(Vec::as_slice))
+            .collect();
+        match voter.vote(&ballots) {
+            ChunkVote::Commit(bytes) => output.extend_from_slice(&bytes),
+            ChunkVote::Divergence => {
+                diverged = true;
+                break;
+            }
+            ChunkVote::AllDone => break,
+        }
+    }
+    // Kill any children still running (e.g. after divergence).
+    for child in &mut children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    Ok(ReplicatedExit { output, diverged, killed: voter.killed() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sh(script: &str) -> Vec<String> {
+        vec!["/bin/sh".into(), "-c".into(), script.into()]
+    }
+
+    #[test]
+    fn unanimous_replicas_commit_output() {
+        let cfg = LaunchConfig::new(3, sh("cat"), b"hello replicated world\n".to_vec());
+        let exit = run_replicated(&cfg).unwrap();
+        assert!(!exit.diverged);
+        assert_eq!(exit.output, b"hello replicated world\n");
+        assert!(exit.killed.is_empty());
+    }
+
+    #[test]
+    fn seed_dependent_output_diverges() {
+        // Every replica prints its own seed: no two agree → detected.
+        let cfg = LaunchConfig::new(3, sh("echo $DIEHARD_SEED"), Vec::new());
+        let exit = run_replicated(&cfg).unwrap();
+        assert!(exit.diverged, "distinct outputs must trigger divergence");
+    }
+
+    #[test]
+    fn majority_outvotes_a_bad_replica() {
+        let mut cfg = LaunchConfig::new(
+            3,
+            sh("if [ \"$DIEHARD_SEED\" = \"7\" ]; then echo bad; else echo good; fi"),
+            Vec::new(),
+        );
+        cfg.seeds = vec![1, 7, 2];
+        let exit = run_replicated(&cfg).unwrap();
+        assert!(!exit.diverged);
+        assert_eq!(exit.output, b"good\n");
+        assert_eq!(exit.killed, vec![1], "replica with seed 7 must be killed");
+    }
+
+    #[test]
+    fn crashing_replica_is_tolerated() {
+        let mut cfg = LaunchConfig::new(
+            3,
+            sh("if [ \"$DIEHARD_SEED\" = \"7\" ]; then exit 139; fi; echo ok"),
+            Vec::new(),
+        );
+        cfg.seeds = vec![7, 1, 2];
+        let exit = run_replicated(&cfg).unwrap();
+        assert!(!exit.diverged);
+        assert_eq!(exit.output, b"ok\n");
+        assert!(exit.killed.contains(&0));
+    }
+
+    #[test]
+    fn single_replica_passthrough() {
+        let cfg = LaunchConfig::new(1, sh("cat"), b"solo\n".to_vec());
+        let exit = run_replicated(&cfg).unwrap();
+        assert_eq!(exit.output, b"solo\n");
+    }
+
+    #[test]
+    fn large_output_voted_in_chunks() {
+        // 3 replicas each emit ~34 KB of identical output: nine chunks,
+        // all committed.
+        let cfg = LaunchConfig::new(
+            3,
+            sh("i=0; while [ $i -lt 1000 ]; do echo 'line of deterministic output data'; i=$((i+1)); done"),
+            Vec::new(),
+        );
+        let exit = run_replicated(&cfg).unwrap();
+        assert!(!exit.diverged);
+        assert_eq!(exit.output.len(), 34_000, "1000 x 34-byte lines");
+    }
+
+    #[test]
+    #[should_panic(expected = "two replicas cannot vote")]
+    fn two_replicas_rejected() {
+        let _ = LaunchConfig::new(2, sh("cat"), Vec::new());
+    }
+}

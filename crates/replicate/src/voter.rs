@@ -1,0 +1,181 @@
+//! The chunk voter (§5.2), isolated from process plumbing for testability.
+//!
+//! "If all agree, then the contents of one of the buffers are sent to
+//! standard output ... if not all of the buffers agree ... The voter then
+//! chooses an output buffer agreed upon by at least two replicas and sends
+//! that to standard out. Two replicas suffice, because the odds are slim
+//! that two randomized replicas with memory errors would return the same
+//! result."
+
+/// Result of voting on one round of chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkVote {
+    /// A quorum (≥ 2, or the lone survivor) agreed; commit these bytes.
+    Commit(Vec<u8>),
+    /// No two live replicas agreed: terminate (detected divergence).
+    Divergence,
+    /// Every live replica has ended its stream.
+    AllDone,
+}
+
+/// Tracks live replicas across voting rounds and kills disagreeing ones.
+#[derive(Debug, Clone)]
+pub struct Voter {
+    alive: Vec<bool>,
+    killed: Vec<usize>,
+}
+
+impl Voter {
+    /// A voter over `n` replicas, all initially live.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { alive: vec![true; n], killed: Vec::new() }
+    }
+
+    /// Marks a replica dead (crashed before voting).
+    pub fn kill(&mut self, idx: usize) {
+        if idx < self.alive.len() && self.alive[idx] {
+            self.alive[idx] = false;
+            self.killed.push(idx);
+        }
+    }
+
+    /// Number of currently live replicas.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Indices of replicas killed so far, in kill order.
+    #[must_use]
+    pub fn killed(&self) -> Vec<usize> {
+        self.killed.clone()
+    }
+
+    /// Votes on one chunk round. `ballots[i]` is replica `i`'s chunk, or
+    /// `None` when its stream has ended. Dead replicas' ballots are
+    /// ignored. Replicas that lose the vote are killed ("A replica that
+    /// has generated anomalous output is no longer useful").
+    pub fn vote(&mut self, ballots: &[Option<&[u8]>]) -> ChunkVote {
+        let live: Vec<usize> = (0..self.alive.len()).filter(|&i| self.alive[i]).collect();
+        if live.is_empty() {
+            return ChunkVote::AllDone;
+        }
+        // Streams that ended vote an "end" ballot; if everyone ended, done.
+        if live.iter().all(|&i| ballots[i].is_none()) {
+            return ChunkVote::AllDone;
+        }
+        if live.len() == 1 {
+            // Lone survivor: pass through (stand-alone degenerate case).
+            return match ballots[live[0]] {
+                Some(bytes) => ChunkVote::Commit(bytes.to_vec()),
+                None => ChunkVote::AllDone,
+            };
+        }
+        // Group live ballots (None = "ended" is its own group).
+        let mut groups: Vec<(Vec<usize>, Option<&[u8]>)> = Vec::new();
+        for &i in &live {
+            let b = ballots[i];
+            match groups.iter_mut().find(|(_, g)| *g == b) {
+                Some((members, _)) => members.push(i),
+                None => groups.push((vec![i], b)),
+            }
+        }
+        groups.sort_by_key(|(members, _)| core::cmp::Reverse(members.len()));
+        let (winners, winning) = groups[0].clone();
+        if winners.len() < 2 {
+            return ChunkVote::Divergence;
+        }
+        // Kill the losers.
+        for &i in &live {
+            if !winners.contains(&i) {
+                self.kill(i);
+            }
+        }
+        match winning {
+            Some(bytes) => ChunkVote::Commit(bytes.to_vec()),
+            // The quorum agreed the stream is over.
+            None => ChunkVote::AllDone,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_commit() {
+        let mut v = Voter::new(3);
+        let out = v.vote(&[Some(b"abc"), Some(b"abc"), Some(b"abc")]);
+        assert_eq!(out, ChunkVote::Commit(b"abc".to_vec()));
+        assert_eq!(v.live_count(), 3);
+    }
+
+    #[test]
+    fn majority_kills_minority() {
+        let mut v = Voter::new(3);
+        let out = v.vote(&[Some(b"abc"), Some(b"xyz"), Some(b"abc")]);
+        assert_eq!(out, ChunkVote::Commit(b"abc".to_vec()));
+        assert_eq!(v.live_count(), 2);
+        assert_eq!(v.killed(), vec![1]);
+    }
+
+    #[test]
+    fn all_disagree_is_divergence() {
+        let mut v = Voter::new(3);
+        let out = v.vote(&[Some(b"a"), Some(b"b"), Some(b"c")]);
+        assert_eq!(out, ChunkVote::Divergence);
+    }
+
+    #[test]
+    fn killed_replicas_do_not_vote() {
+        let mut v = Voter::new(3);
+        v.kill(0);
+        // Remaining two agree: commit. (Two replicas suffice, §5.2.)
+        let out = v.vote(&[Some(b"junk"), Some(b"ok"), Some(b"ok")]);
+        assert_eq!(out, ChunkVote::Commit(b"ok".to_vec()));
+    }
+
+    #[test]
+    fn two_survivors_disagreeing_is_divergence() {
+        let mut v = Voter::new(3);
+        v.kill(2);
+        let out = v.vote(&[Some(b"a"), Some(b"b"), Some(b"ignored")]);
+        assert_eq!(out, ChunkVote::Divergence);
+    }
+
+    #[test]
+    fn lone_survivor_passes_through() {
+        let mut v = Voter::new(3);
+        v.kill(0);
+        v.kill(1);
+        let out = v.vote(&[None, None, Some(b"solo")]);
+        assert_eq!(out, ChunkVote::Commit(b"solo".to_vec()));
+    }
+
+    #[test]
+    fn ended_streams_terminate_cleanly() {
+        let mut v = Voter::new(3);
+        assert_eq!(v.vote(&[None, None, None]), ChunkVote::AllDone);
+    }
+
+    #[test]
+    fn short_stream_outvoted_by_longer_majority() {
+        // Two replicas still produce data; one ended early: the enders
+        // lose 2-1 and are killed.
+        let mut v = Voter::new(3);
+        let out = v.vote(&[Some(b"more"), Some(b"more"), None]);
+        assert_eq!(out, ChunkVote::Commit(b"more".to_vec()));
+        assert_eq!(v.killed(), vec![2]);
+    }
+
+    #[test]
+    fn double_kill_is_idempotent() {
+        let mut v = Voter::new(3);
+        v.kill(1);
+        v.kill(1);
+        assert_eq!(v.killed(), vec![1]);
+        assert_eq!(v.live_count(), 2);
+    }
+}

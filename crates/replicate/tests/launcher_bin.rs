@@ -1,0 +1,51 @@
+//! Drives the installed `diehard` launcher binary end to end.
+
+#![cfg(unix)]
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+#[test]
+fn launcher_votes_and_passes_output_through() {
+    let bin = env!("CARGO_BIN_EXE_diehard");
+    let mut child = Command::new(bin)
+        .args(["-n", "3", "--", "/bin/sh", "-c", "tr a-z A-Z"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn diehard launcher");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(b"voted output\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(out.stdout, b"VOTED OUTPUT\n");
+}
+
+#[test]
+fn launcher_reports_divergence_with_exit_code_2() {
+    let bin = env!("CARGO_BIN_EXE_diehard");
+    let out = Command::new(bin)
+        .args(["-n", "3", "--", "/bin/sh", "-c", "echo $DIEHARD_SEED"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("run diehard launcher");
+    assert_eq!(out.status.code(), Some(2), "divergence exit code");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("diverged"));
+}
+
+#[test]
+fn launcher_usage_on_bad_args() {
+    let bin = env!("CARGO_BIN_EXE_diehard");
+    let out = Command::new(bin)
+        .args(["-n", "2", "--", "cat"]) // 2 replicas: rejected
+        .stdin(Stdio::null())
+        .output()
+        .expect("run diehard launcher");
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -1,0 +1,28 @@
+//! # diehard-runtime
+//!
+//! The evaluation harness for the DieHard (PLDI 2006) reproduction:
+//!
+//! * [`ops`] — simulated C programs as deterministic op streams;
+//! * [`exec`] — the executor, the infinite-heap oracle, and the
+//!   correct/corrupt/crash/hang/abort verdict model;
+//! * [`systems`] — each runtime system of Table 1 (libc, BDW GC, CCured,
+//!   Rx, failure-oblivious, DieHard) as a runnable configuration;
+//! * [`replicas`] — replicated DieHard with 4 KB output voting (§5);
+//! * [`output`] — program output streams and chunking;
+//! * [`heap_diff`] — the §9 heap-differencing debugging aid.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod exec;
+pub mod heap_diff;
+pub mod ops;
+pub mod output;
+pub mod replicas;
+pub mod systems;
+
+pub use exec::{oracle_output, run_program, verdict, CheckPolicy, ExecOptions, RunOutcome, Verdict};
+pub use ops::{Op, Program};
+pub use output::Output;
+pub use replicas::{ReplicaSet, ReplicatedOutcome, ReplicatedRun};
+pub use systems::System;

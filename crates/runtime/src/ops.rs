@@ -1,0 +1,188 @@
+//! The operation model: simulated C programs as deterministic op streams.
+//!
+//! A [`Program`] is the unit the whole evaluation runs on: the workload
+//! generators in `diehard-workloads` emit programs mimicking the paper's
+//! benchmarks, the fault injector in `diehard-inject` rewrites them to
+//! contain memory errors, and the executor replays them against any
+//! [`diehard_sim::SimAllocator`].
+
+/// One step of a simulated program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `p = malloc(size)`, binding the pointer to logical handle `id`.
+    Alloc {
+        /// Handle the program uses for this object from now on.
+        id: u32,
+        /// Requested size in bytes. (The fault injector shrinks this to
+        /// model under-allocation while later accesses keep the original
+        /// length — a buffer overflow.)
+        size: usize,
+    },
+    /// `free(p)` — the handle's pointer *value* survives until [`Op::Forget`],
+    /// so use-after-free and double-free remain expressible, and conservative
+    /// collectors still see the pointer as a root.
+    Free {
+        /// Handle to free.
+        id: u32,
+    },
+    /// `free(p + delta)` — an invalid free of a non-pointer address.
+    FreeRaw {
+        /// Handle whose pointer is misused.
+        id: u32,
+        /// Byte offset added to the pointer before freeing.
+        delta: isize,
+    },
+    /// The program drops its last reference: the handle disappears from the
+    /// root set. Generators emit `Free` immediately followed by `Forget`;
+    /// the injector separates them to create dangling windows.
+    Forget {
+        /// Handle to drop.
+        id: u32,
+    },
+    /// `memset(p + offset, f(id, seed), len)` — writes a deterministic
+    /// pattern the matching [`Op::Read`] can verify end to end.
+    Write {
+        /// Target handle.
+        id: u32,
+        /// Byte offset within the object.
+        offset: usize,
+        /// Bytes written. May exceed the *allocated* size after injection —
+        /// that is precisely a heap buffer overflow.
+        len: usize,
+        /// Pattern discriminator.
+        seed: u8,
+    },
+    /// Store the address of `src` into `dst` at `offset` — a heap pointer,
+    /// visible to conservative collectors and corruptible by overflows.
+    WritePtr {
+        /// Object written into.
+        dst: u32,
+        /// Byte offset of the pointer slot.
+        offset: usize,
+        /// Handle whose address is stored.
+        src: u32,
+    },
+    /// Read `len` bytes at `offset` and append them to program output
+    /// (prefix + hash). This is where corruption becomes *observable*.
+    Read {
+        /// Source handle.
+        id: u32,
+        /// Byte offset within the object.
+        offset: usize,
+        /// Bytes read.
+        len: usize,
+    },
+    /// Load a pointer previously stored with [`Op::WritePtr`] and read
+    /// `len` bytes through it — crashes if the pointer was corrupted.
+    ReadThroughPtr {
+        /// Object holding the pointer.
+        dst: u32,
+        /// Byte offset of the pointer slot.
+        offset: usize,
+        /// Bytes to read through the loaded pointer.
+        len: usize,
+    },
+    /// `strcpy(p, payload)` — copied through the allocator's (or DieHard's
+    /// bounded) string routine in systems that replace libc (§4.4); an
+    /// ordinary unbounded copy elsewhere.
+    Strcpy {
+        /// Destination handle.
+        id: u32,
+        /// NUL-free payload; a terminator is appended on copy.
+        payload: Vec<u8>,
+    },
+    /// Pure computation: `units` rounds of arithmetic between memory
+    /// operations. Dilutes allocator overhead exactly as real application
+    /// work does (alloc-intensive benchmarks have little of it, SPEC-style
+    /// ones a lot).
+    Compute {
+        /// Work units to burn.
+        units: u32,
+    },
+    /// Append literal bytes to the program output (e.g. a banner — output
+    /// that does not depend on heap contents).
+    Print {
+        /// Bytes to emit.
+        bytes: Vec<u8>,
+    },
+}
+
+/// A deterministic simulated program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Human-readable benchmark name (e.g. `"espresso"`).
+    pub name: String,
+    /// The op stream, executed front to back.
+    pub ops: Vec<Op>,
+}
+
+impl Program {
+    /// Creates a program from parts.
+    #[must_use]
+    pub fn new(name: impl Into<String>, ops: Vec<Op>) -> Self {
+        Self { name: name.into(), ops }
+    }
+
+    /// Number of allocation ops (the paper reports memory ops/sec).
+    #[must_use]
+    pub fn alloc_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, Op::Alloc { .. })).count()
+    }
+
+    /// Number of memory-management ops (allocs + frees).
+    #[must_use]
+    pub fn mem_op_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Alloc { .. } | Op::Free { .. } | Op::FreeRaw { .. }))
+            .count()
+    }
+
+    /// The deterministic byte pattern `Write`/`Read` pairs verify.
+    #[must_use]
+    #[inline]
+    pub fn pattern_byte(id: u32, seed: u8, position: usize) -> u8 {
+        // Cheap position-dependent mix; any bijection-ish function works —
+        // what matters is that corrupted bytes almost never match it.
+        let x = (id as usize)
+            .wrapping_mul(0x9E37)
+            .wrapping_add(position)
+            .wrapping_mul(usize::from(seed) | 1);
+        (x ^ (x >> 8)) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let p = Program::new(
+            "t",
+            vec![
+                Op::Alloc { id: 0, size: 8 },
+                Op::Write { id: 0, offset: 0, len: 8, seed: 1 },
+                Op::Free { id: 0 },
+                Op::Forget { id: 0 },
+                Op::Alloc { id: 1, size: 16 },
+                Op::FreeRaw { id: 1, delta: 4 },
+            ],
+        );
+        assert_eq!(p.alloc_count(), 2);
+        assert_eq!(p.mem_op_count(), 4);
+    }
+
+    #[test]
+    fn pattern_is_deterministic_and_varied() {
+        let a = Program::pattern_byte(1, 7, 0);
+        assert_eq!(a, Program::pattern_byte(1, 7, 0));
+        let distinct: std::collections::HashSet<u8> =
+            (0..256).map(|i| Program::pattern_byte(1, 7, i)).collect();
+        assert!(distinct.len() > 64, "pattern too repetitive: {}", distinct.len());
+        assert_ne!(
+            (0..32).map(|i| Program::pattern_byte(1, 7, i)).collect::<Vec<_>>(),
+            (0..32).map(|i| Program::pattern_byte(2, 7, i)).collect::<Vec<_>>(),
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! The Rx emulation: checkpoint/rollback with an allergen-avoiding allocator.
+//!
+//! Rx (Qin et al., SOSP 2005; §8 of the DieHard paper) "rolls back the
+//! application and restarts with an allocator that selectively ignores
+//! double frees, zero-fills buffers, pads object requests, and defers
+//! frees". Our executor's programs are replayable from the start, so the
+//! checkpoint is the program entry: on a crash or hang, the run is retried
+//! once under [`RxPaddedHeap`].
+
+use diehard_baselines::LeaSimAllocator;
+use diehard_sim::arena::PagedArena;
+use diehard_sim::fault::Fault;
+use diehard_sim::traits::{Addr, SimAllocator};
+
+/// Padding added to every request on the retry path ("pads object
+/// requests"); 64 bytes soaks up the small overflows Rx targets.
+pub const RX_PAD: usize = 64;
+
+/// The recovery-mode allocator: a Lea heap behind request padding, deferred
+/// frees, zero-filling, and double-free absorption.
+#[derive(Debug)]
+pub struct RxPaddedHeap {
+    inner: LeaSimAllocator,
+    /// Frees are deferred indefinitely during recovery: the dangling window
+    /// can never close on a reused chunk.
+    deferred: Vec<Addr>,
+}
+
+impl RxPaddedHeap {
+    /// Creates a recovery heap with `max_span` bytes.
+    #[must_use]
+    pub fn new(max_span: usize) -> Self {
+        Self {
+            inner: LeaSimAllocator::new(max_span),
+            deferred: Vec::new(),
+        }
+    }
+
+    /// Number of frees deferred so far.
+    #[must_use]
+    pub fn deferred_frees(&self) -> usize {
+        self.deferred.len()
+    }
+}
+
+impl SimAllocator for RxPaddedHeap {
+    fn name(&self) -> &'static str {
+        "rx-recovery"
+    }
+
+    fn malloc(&mut self, size: usize, roots: &[Addr]) -> Result<Option<Addr>, Fault> {
+        let padded = size.saturating_add(RX_PAD);
+        match self.inner.malloc(padded, roots)? {
+            Some(addr) => {
+                // "zero-fills buffers": scrubs stale data so dangling reads
+                // and uninit reads see deterministic zeros.
+                self.inner.memory_mut().fill_bytes(addr, 0, padded)?;
+                Ok(Some(addr))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn free(&mut self, addr: Addr) -> Result<(), Fault> {
+        // "defers frees" (and thereby ignores double and invalid frees).
+        self.deferred.push(addr);
+        Ok(())
+    }
+
+    fn memory(&self) -> &PagedArena {
+        self.inner.memory()
+    }
+
+    fn memory_mut(&mut self) -> &mut PagedArena {
+        self.inner.memory_mut()
+    }
+
+    fn usable_size(&self, addr: Addr) -> Option<usize> {
+        self.inner.usable_size(addr)
+    }
+
+    fn live_bytes(&self) -> usize {
+        self.inner.live_bytes()
+    }
+
+    fn work(&self) -> u64 {
+        self.inner.work()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_absorbs_small_overflow() {
+        let mut rx = RxPaddedHeap::new(1 << 20);
+        let a = rx.malloc(24, &[]).unwrap().unwrap();
+        let b = rx.malloc(24, &[]).unwrap().unwrap();
+        rx.memory_mut().write(b, &[0x11; 24]).unwrap();
+        // Overflow `a` by 4 bytes (the §7.3.1 injection): lands in padding.
+        rx.memory_mut().write(a, &[0xFF; 28]).unwrap();
+        let mut buf = [0u8; 24];
+        rx.memory().read(b, &mut buf).unwrap();
+        assert_eq!(buf, [0x11; 24], "padding must protect the neighbour");
+    }
+
+    #[test]
+    fn frees_deferred_so_dangling_is_safe() {
+        let mut rx = RxPaddedHeap::new(1 << 20);
+        let a = rx.malloc(64, &[]).unwrap().unwrap();
+        rx.memory_mut().write(a, &[0x22; 64]).unwrap();
+        rx.free(a).unwrap();
+        rx.free(a).unwrap(); // double free: absorbed
+        assert_eq!(rx.deferred_frees(), 2);
+        // New allocations cannot reuse the chunk.
+        for _ in 0..50 {
+            let p = rx.malloc(64, &[]).unwrap().unwrap();
+            assert_ne!(p, a);
+        }
+        let mut buf = [0u8; 64];
+        rx.memory().read(a, &mut buf).unwrap();
+        assert_eq!(buf, [0x22; 64]);
+    }
+
+    #[test]
+    fn zero_fill_scrubs_recycled_memory() {
+        // Even without reuse (frees deferred), fresh chunks are zeroed, so
+        // uninitialized reads return deterministic zeros.
+        let mut rx = RxPaddedHeap::new(1 << 20);
+        let a = rx.malloc(64, &[]).unwrap().unwrap();
+        let mut buf = [1u8; 64];
+        rx.memory().read(a, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 64]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Crash-as-value fault model.
+//!
+//! The paper's experiments observe real programs crashing (segfaults from
+//! corrupted boundary tags, hangs from cycled free lists). The simulated
+//! substrate surfaces those same events as values so an experiment can run
+//! thousands of randomized executions without dying itself.
+
+/// A hardware/runtime fault raised by the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Access to an unmapped or guard-protected address — the sim analogue
+    /// of SIGSEGV.
+    Segv {
+        /// The faulting simulated address.
+        addr: usize,
+    },
+    /// The allocator's internal metadata was found in an impossible state
+    /// (e.g. a corrupted chunk header failed a consistency check that
+    /// dlmalloc would have crashed on).
+    CorruptMetadata {
+        /// Address of the corrupt metadata word.
+        addr: usize,
+        /// Short description of the check that failed.
+        what: &'static str,
+    },
+    /// The allocator ran into unbounded work (e.g. walking a cycled free
+    /// list) — the sim analogue of an infinite loop, detected by a step
+    /// budget.
+    Livelock,
+}
+
+impl core::fmt::Display for Fault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Fault::Segv { addr } => write!(f, "segmentation fault at {addr:#x}"),
+            Fault::CorruptMetadata { addr, what } => {
+                write!(f, "heap metadata corruption at {addr:#x}: {what}")
+            }
+            Fault::Livelock => write!(f, "allocator livelock (cycled metadata)"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Fault::Segv { addr: 0x1000 }.to_string().contains("0x1000"));
+        let c = Fault::CorruptMetadata { addr: 8, what: "bad size" };
+        assert!(c.to_string().contains("bad size"));
+        assert!(Fault::Livelock.to_string().contains("livelock"));
+    }
+
+    #[test]
+    fn faults_are_comparable() {
+        assert_eq!(Fault::Livelock, Fault::Livelock);
+        assert_ne!(Fault::Segv { addr: 1 }, Fault::Segv { addr: 2 });
+    }
+}

@@ -1,0 +1,181 @@
+//! The infinite-heap oracle (§3).
+//!
+//! "In such a system, the heap area is infinitely large, so there is no risk
+//! of heap exhaustion. Objects are never deallocated, and all objects are
+//! allocated infinitely far apart from each other."
+//!
+//! [`InfiniteHeap`] realizes this over the sparse arena: every object is
+//! placed a megabyte away from its neighbours, frees are recorded but
+//! ignored, and nothing is ever reused. Because a program "cannot tell
+//! whether it is running with an ordinary heap implementation or an infinite
+//! heap", executing a workload here yields the **ground-truth output**: the
+//! experiments define a run as *correct* iff its output equals the
+//! infinite-heap run's output, which operationalizes the paper's definition
+//! of soundness under memory errors.
+
+use crate::arena::PagedArena;
+use crate::fault::Fault;
+use crate::traits::{Addr, SimAllocator};
+use std::collections::BTreeMap;
+
+/// Spacing between consecutive objects: "infinitely far apart", i.e. far
+/// beyond any overflow the experiments inject.
+pub const OBJECT_SPACING: usize = 1 << 20;
+
+/// Where the first object lands (a spacing's worth of slack below, so
+/// underflows are absorbed too).
+const FIRST_OBJECT: usize = OBJECT_SPACING;
+
+/// The idealized, unimplementable-in-real-life heap, simulated.
+#[derive(Debug)]
+pub struct InfiniteHeap {
+    arena: PagedArena,
+    next: usize,
+    sizes: BTreeMap<Addr, usize>,
+    freed: u64,
+    live_bytes: usize,
+}
+
+impl InfiniteHeap {
+    /// Creates the oracle heap.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut arena = PagedArena::new(0);
+        arena.set_limit(FIRST_OBJECT + OBJECT_SPACING);
+        Self {
+            arena,
+            next: FIRST_OBJECT,
+            sizes: BTreeMap::new(),
+            freed: 0,
+            live_bytes: 0,
+        }
+    }
+
+    /// Number of frees the heap has (deliberately) ignored.
+    #[must_use]
+    pub fn ignored_frees(&self) -> u64 {
+        self.freed
+    }
+
+    /// Number of objects ever allocated.
+    #[must_use]
+    pub fn objects(&self) -> usize {
+        self.sizes.len()
+    }
+}
+
+impl Default for InfiniteHeap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimAllocator for InfiniteHeap {
+    fn name(&self) -> &'static str {
+        "infinite-heap"
+    }
+
+    fn malloc(&mut self, size: usize, _roots: &[Addr]) -> Result<Option<Addr>, Fault> {
+        if size == 0 {
+            return Ok(None);
+        }
+        let addr = self.next;
+        // Advance by at least one spacing so overflows land in dead space.
+        let stride = size.div_ceil(OBJECT_SPACING).max(1) * OBJECT_SPACING;
+        self.next += stride + OBJECT_SPACING;
+        // Keep a spacing's worth of accessible slack past the newest object
+        // so overflow writes are *absorbed*, never faulting.
+        self.arena.set_limit(self.next + OBJECT_SPACING);
+        self.sizes.insert(addr, size);
+        self.live_bytes += size;
+        Ok(Some(addr))
+    }
+
+    fn free(&mut self, _addr: Addr) -> Result<(), Fault> {
+        // "Objects are never deallocated": frees are ignored.
+        self.freed += 1;
+        Ok(())
+    }
+
+    fn memory(&self) -> &PagedArena {
+        &self.arena
+    }
+
+    fn memory_mut(&mut self) -> &mut PagedArena {
+        &mut self.arena
+    }
+
+    fn usable_size(&self, addr: Addr) -> Option<usize> {
+        self.sizes.get(&addr).copied()
+    }
+
+    fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_are_far_apart() {
+        let mut h = InfiniteHeap::new();
+        let a = h.malloc(100, &[]).unwrap().unwrap();
+        let b = h.malloc(100, &[]).unwrap().unwrap();
+        assert!(b - a >= OBJECT_SPACING, "spacing {}", b - a);
+    }
+
+    #[test]
+    fn overflows_are_benign() {
+        let mut h = InfiniteHeap::new();
+        let a = h.malloc(8, &[]).unwrap().unwrap();
+        let b = h.malloc(8, &[]).unwrap().unwrap();
+        h.memory_mut().write(b, &[0x11; 8]).unwrap();
+        // Overflow object `a` by 64 KB: succeeds, hits only dead space.
+        h.memory_mut().write(a, &vec![0xFF; 65_536]).unwrap();
+        let mut buf = [0u8; 8];
+        h.memory().read(b, &mut buf).unwrap();
+        assert_eq!(buf, [0x11; 8], "live neighbour untouched");
+    }
+
+    #[test]
+    fn frees_are_ignored_and_data_survives() {
+        let mut h = InfiniteHeap::new();
+        let a = h.malloc(32, &[]).unwrap().unwrap();
+        h.memory_mut().write(a, &[0x77; 32]).unwrap();
+        h.free(a).unwrap();
+        h.free(a).unwrap(); // double free: harmless by construction
+        assert_eq!(h.ignored_frees(), 2);
+        for _ in 0..100 {
+            let _ = h.malloc(32, &[]).unwrap();
+        }
+        let mut buf = [0u8; 32];
+        h.memory().read(a, &mut buf).unwrap();
+        assert_eq!(buf, [0x77; 32], "dangling data is immortal");
+    }
+
+    #[test]
+    fn large_objects_supported() {
+        let mut h = InfiniteHeap::new();
+        let a = h.malloc(10 << 20, &[]).unwrap().unwrap();
+        h.memory_mut().write(a + (10 << 20) - 1, &[1]).unwrap();
+        let b = h.malloc(8, &[]).unwrap().unwrap();
+        assert!(b > a + (10 << 20), "next object beyond the big one");
+    }
+
+    #[test]
+    fn usable_size_tracks_requests() {
+        let mut h = InfiniteHeap::new();
+        let a = h.malloc(123, &[]).unwrap().unwrap();
+        assert_eq!(h.usable_size(a), Some(123));
+        assert_eq!(h.usable_size(a + 1), None);
+        assert_eq!(h.live_bytes(), 123);
+    }
+
+    #[test]
+    fn zero_alloc_refused() {
+        let mut h = InfiniteHeap::new();
+        assert_eq!(h.malloc(0, &[]).unwrap(), None);
+    }
+}

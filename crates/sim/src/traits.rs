@@ -1,0 +1,117 @@
+//! The allocator interface every simulated runtime implements.
+//!
+//! The executor in `diehard-runtime` drives workloads against anything that
+//! implements [`SimAllocator`]: DieHard itself, the Lea/dlmalloc-style
+//! baseline, the conservative collector, the Windows-style allocator, and
+//! the infinite-heap oracle.
+
+use crate::arena::PagedArena;
+use crate::fault::Fault;
+
+/// A simulated address (byte offset into the owning arena).
+pub type Addr = usize;
+
+/// A memory allocator operating inside a simulated address space.
+///
+/// Faults (`Err(Fault)`) model the allocator itself crashing — e.g.
+/// dlmalloc dereferencing a corrupted free-list pointer. Refusals
+/// (`Ok(None)` from `malloc`) model returning `NULL`.
+pub trait SimAllocator {
+    /// Short human-readable name, used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Allocates `size` bytes; `Ok(None)` models `malloc` returning `NULL`.
+    ///
+    /// `roots` are the application's live pointers, made visible for
+    /// collectors that trace (ignored by manual allocators).
+    ///
+    /// # Errors
+    ///
+    /// A [`Fault`] when the allocator crashes on corrupted metadata.
+    fn malloc(&mut self, size: usize, roots: &[Addr]) -> Result<Option<Addr>, Fault>;
+
+    /// Frees the object at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// A [`Fault`] when the free operation crashes (e.g. unlinking through
+    /// a corrupted boundary tag). Allocators that *validate* frees (DieHard)
+    /// or ignore them (GC) return `Ok(())` for bogus input instead.
+    fn free(&mut self, addr: Addr) -> Result<(), Fault>;
+
+    /// The simulated memory this allocator serves from.
+    fn memory(&self) -> &PagedArena;
+
+    /// Mutable access to the simulated memory.
+    fn memory_mut(&mut self) -> &mut PagedArena;
+
+    /// The *usable* size of the object at `addr`, when the allocator can
+    /// cheaply determine it (DieHard: the class size; Lea: the chunk size).
+    /// Used by the bounded string functions (§4.4); `None` means unknown.
+    fn usable_size(&self, addr: Addr) -> Option<usize> {
+        let _ = addr;
+        None
+    }
+
+    /// Bytes of memory the allocator currently holds live (diagnostics).
+    fn live_bytes(&self) -> usize {
+        0
+    }
+
+    /// A work counter incremented by the allocator's inner loops (probes,
+    /// free-list traversals, mark steps). The benchmark harness uses it as
+    /// a deterministic, platform-independent cost model alongside wall-clock
+    /// time.
+    fn work(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial bump allocator proving the trait is object-safe and the
+    /// defaults are usable.
+    #[derive(Debug)]
+    struct Bump {
+        arena: PagedArena,
+        top: usize,
+    }
+
+    impl SimAllocator for Bump {
+        fn name(&self) -> &'static str {
+            "bump"
+        }
+
+        fn malloc(&mut self, size: usize, _roots: &[Addr]) -> Result<Option<Addr>, Fault> {
+            let addr = self.top;
+            self.top += size;
+            Ok(Some(addr))
+        }
+
+        fn free(&mut self, _addr: Addr) -> Result<(), Fault> {
+            Ok(())
+        }
+
+        fn memory(&self) -> &PagedArena {
+            &self.arena
+        }
+
+        fn memory_mut(&mut self) -> &mut PagedArena {
+            &mut self.arena
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_with_defaults() {
+        let mut b = Bump { arena: PagedArena::new(1 << 16), top: 0 };
+        let dyn_ref: &mut dyn SimAllocator = &mut b;
+        let a = dyn_ref.malloc(16, &[]).unwrap().unwrap();
+        dyn_ref.memory_mut().write(a, b"hi").unwrap();
+        assert_eq!(dyn_ref.usable_size(a), None);
+        assert_eq!(dyn_ref.work(), 0);
+        assert_eq!(dyn_ref.name(), "bump");
+        dyn_ref.free(a).unwrap();
+    }
+}

@@ -1,0 +1,19 @@
+//! # diehard-workloads
+//!
+//! Deterministic workloads reproducing the paper's benchmark suite:
+//!
+//! * [`profile`] — allocation-profile-driven generators for the five
+//!   allocation-intensive benchmarks (cfrac, espresso, lindsay, p2c,
+//!   roboop) and twelve SPECint2000-like programs (§7.1–7.2), including
+//!   lindsay's genuine uninitialized-read bug and twolf's wide
+//!   size-class spread;
+//! * [`squid`] — the miniature Squid web cache with the real overflow-
+//!   via-unbounded-`strcpy` bug pattern (§7.3.2).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod profile;
+pub mod squid;
+
+pub use profile::{alloc_intensive_suite, profile_by_name, spec_suite, Profile, SizeDist};

@@ -1,0 +1,182 @@
+//! The Squid web-cache case study (§7.3.2 / §2).
+//!
+//! "Version 2.3s5 of the Squid web cache server has a buffer overflow error
+//! that can be triggered by an ill-formed input. When faced with this input
+//! and running with either the GNU libc allocator or the Boehm-Demers-
+//! Weiser collector, Squid crashes with a segmentation fault. Using DieHard
+//! in stand-alone mode, the overflow has no effect."
+//!
+//! The real bug (`ftpBuildTitleUrl`) undersizes a heap buffer and `strcpy`s
+//! a request-derived string into it. This module models a miniature cache
+//! server: each request allocates a 256-byte **payload**, a 64-byte
+//! **title** buffer, and a 64-byte **entry** holding a heap pointer to the
+//! payload. The request's URL is copied into the title with an unbounded
+//! `strcpy`. A well-formed URL fits; the ill-formed one runs 200 bytes past
+//! the title — and what sits there is the allocator's choice:
+//!
+//! * **Lea/libc**: the entry chunk is directly adjacent (boundary tags and
+//!   all); its payload pointer becomes `0x4141…` and the next dereference
+//!   segfaults — or the smashed boundary tag kills a later `free`.
+//! * **BDW GC**: titles and entries share a 64-byte block; the neighbouring
+//!   entry's pointer is smashed the same way.
+//! * **DieHard**: the overflow lands at a random spot in a half-empty
+//!   region — with high probability only free space dies.
+
+use diehard_runtime::ops::{Op, Program};
+
+/// The undersized title buffer, as in the Squid bug.
+pub const TITLE_BUF: usize = 64;
+
+/// A request the miniature cache serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The URL; the buggy code path copies this into the 64-byte title
+    /// buffer without a bound.
+    pub url: Vec<u8>,
+}
+
+impl Request {
+    /// A well-formed request (URL fits the buffer).
+    #[must_use]
+    pub fn well_formed(i: usize) -> Self {
+        Self {
+            url: format!("http://example{:02}.com/idx", i % 100).into_bytes(),
+        }
+    }
+
+    /// The ill-formed request that triggers the overflow: a URL far longer
+    /// than the title buffer.
+    #[must_use]
+    pub fn ill_formed() -> Self {
+        Self {
+            url: {
+                let mut u = b"ftp://".to_vec();
+                u.extend(std::iter::repeat_n(b'A', 256));
+                u
+            },
+        }
+    }
+}
+
+/// Builds the squid-sim program: process `requests` in order, echoing each
+/// title and serving each payload through its stored pointer, so clobbered
+/// pointers crash and clobbered data is observable in the output.
+#[must_use]
+pub fn build_program(requests: &[Request]) -> Program {
+    let mut ops: Vec<Op> = Vec::new();
+    ops.push(Op::Print { bytes: b"squid-sim v0\n".to_vec() });
+    let mut next_id: u32 = 0;
+    for (i, req) in requests.iter().enumerate() {
+        let payload = next_id;
+        let title = next_id + 1;
+        let entry = next_id + 2;
+        next_id += 3;
+        ops.push(Op::Alloc { id: payload, size: 256 });
+        ops.push(Op::Write { id: payload, offset: 0, len: 256, seed: (i % 250) as u8 });
+        ops.push(Op::Alloc { id: title, size: TITLE_BUF });
+        // The entry is title-sized so size-segregating allocators (the GC)
+        // also place it among titles; it stores the payload pointer.
+        ops.push(Op::Alloc { id: entry, size: TITLE_BUF });
+        ops.push(Op::WritePtr { dst: entry, offset: 0, src: payload });
+        // The buggy copy: strcpy(title, url) with no bound.
+        ops.push(Op::Strcpy { id: title, payload: req.url.clone() });
+        // Serve the request: echo the title, then the payload via the
+        // entry's pointer.
+        ops.push(Op::Read { id: title, offset: 0, len: 24 });
+        ops.push(Op::ReadThroughPtr { dst: entry, offset: 0, len: 64 });
+        // Entries churn: retire an older request's objects periodically.
+        if i >= 4 && i % 2 == 0 {
+            let base = (i as u32 - 4) * 3;
+            for id in [base, base + 1, base + 2] {
+                ops.push(Op::Free { id });
+                ops.push(Op::Forget { id });
+            }
+        }
+    }
+    ops.push(Op::Print { bytes: b"shutdown\n".to_vec() });
+    Program::new("squid-sim", ops)
+}
+
+/// The paper's scenario: a stream of normal traffic with one ill-formed
+/// request in the middle.
+#[must_use]
+pub fn attack_scenario(normal_requests: usize) -> Program {
+    let mut requests: Vec<Request> = (0..normal_requests).map(Request::well_formed).collect();
+    requests.insert(normal_requests / 2, Request::ill_formed());
+    build_program(&requests)
+}
+
+/// A clean scenario with no ill-formed input (control run).
+#[must_use]
+pub fn clean_scenario(normal_requests: usize) -> Program {
+    let requests: Vec<Request> = (0..normal_requests).map(Request::well_formed).collect();
+    build_program(&requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diehard_core::config::HeapConfig;
+    use diehard_runtime::{System, Verdict};
+
+    #[test]
+    fn clean_traffic_correct_everywhere() {
+        let prog = clean_scenario(20);
+        for system in [
+            System::Libc,
+            System::BdwGc,
+            System::DieHard { config: HeapConfig::default(), seed: 1 },
+        ] {
+            assert!(
+                system.evaluate(&prog).is_correct(),
+                "{} must serve clean traffic",
+                system.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ill_formed_request_kills_libc() {
+        let prog = attack_scenario(20);
+        let v = System::Libc.evaluate(&prog);
+        assert!(
+            matches!(v, Verdict::Crash | Verdict::Hang),
+            "libc squid must crash, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn ill_formed_request_kills_gc_too() {
+        // The paper: BDW also crashes — the overflow corrupts adjacent live
+        // *application* data (an entry's payload pointer), not GC metadata.
+        let prog = attack_scenario(20);
+        let v = System::BdwGc.evaluate(&prog);
+        assert!(
+            matches!(v, Verdict::Crash | Verdict::Hang),
+            "BDW squid must crash, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn diehard_survives_the_attack() {
+        // "Using DieHard in stand-alone mode, the overflow has no effect."
+        let prog = attack_scenario(20);
+        let mut correct = 0;
+        for seed in 0..10 {
+            let v = System::DieHard { config: HeapConfig::default(), seed }.evaluate(&prog);
+            if v.is_correct() {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 9, "DieHard correct only {correct}/10 runs");
+    }
+
+    #[test]
+    fn attack_program_shape() {
+        let prog = attack_scenario(10);
+        assert_eq!(prog.alloc_count(), 33, "11 requests x 3 objects");
+        assert!(prog.ops.iter().any(
+            |o| matches!(o, Op::Strcpy { payload, .. } if payload.len() > TITLE_BUF)
+        ));
+    }
+}

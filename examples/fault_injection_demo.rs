@@ -1,0 +1,75 @@
+//! The §7.3.1 methodology in miniature: trace a workload, inject memory
+//! errors at configurable rates, and watch each runtime system cope (or
+//! not).
+//!
+//! Run: `cargo run --example fault_injection_demo`
+
+use diehard::inject::{inject, AllocLog, Injection};
+use diehard::prelude::*;
+
+fn main() {
+    // 1. Trace: run the app under the tracing allocator, producing the
+    //    allocation log the injector consumes ("sorted by allocation time").
+    let espresso = diehard::workloads::profile_by_name("espresso").expect("espresso");
+    let prog = espresso.generate(0.01, 0xABC);
+    let log = AllocLog::trace(&prog);
+    println!(
+        "traced espresso: {} allocations, {} freed, first log lines:",
+        log.len(),
+        log.records.iter().filter(|r| r.free_time.is_some()).count()
+    );
+    for line in log.to_text().lines().take(5) {
+        println!("  {line}");
+    }
+
+    // 2. Inject each error family and evaluate across systems.
+    let campaigns: Vec<(&str, Injection)> = vec![
+        (
+            "dangling (50%, 10 allocs early)",
+            Injection::Dangling { frequency: 0.5, distance: 10 },
+        ),
+        (
+            "overflow (1% of allocs ≥32B short by a granule)",
+            Injection::Underflow { rate: 0.01, min_size: 32, shrink_by: 16 },
+        ),
+        ("double free (20%)", Injection::DoubleFree { rate: 0.2 }),
+        ("invalid free (10%)", Injection::InvalidFree { rate: 0.1, delta: 8 }),
+    ];
+
+    println!("\n{:<48} {:<12} {:<12}", "injection", "libc", "DieHard");
+    println!("{}", "-".repeat(74));
+    for (name, injection) in campaigns {
+        let bad = inject(&prog, &injection, 0xFA17);
+        let libc = System::Libc.evaluate(&bad);
+        let dh = System::DieHard { config: HeapConfig::paper_default(), seed: 5 }.evaluate(&bad);
+        println!("{name:<48} {libc:<12} {dh:<12}");
+    }
+
+    // 3. Heap differencing (§9): pinpoint an injected overflow by diffing
+    //    same-seed executions with and without the error.
+    println!("\nheap differencing: locating a single 16-byte overflow…");
+    let clean_ops = vec![
+        Op::Alloc { id: 0, size: 128 },
+        Op::Write { id: 0, offset: 0, len: 128, seed: 1 },
+        Op::Alloc { id: 1, size: 128 },
+        Op::Write { id: 1, offset: 0, len: 128, seed: 2 },
+    ];
+    let mut buggy_ops = clean_ops.clone();
+    buggy_ops.push(Op::Write { id: 0, offset: 128, len: 16, seed: 3 });
+
+    let mut good = DieHardSimHeap::new(HeapConfig::default(), 77).unwrap();
+    let mut bad = DieHardSimHeap::new(HeapConfig::default(), 77).unwrap();
+    run_program(&mut good, &Program::new("good", clean_ops), &ExecOptions::default());
+    run_program(&mut bad, &Program::new("bad", buggy_ops), &ExecOptions::default());
+    let report = diehard::runtime::heap_diff::diff_heaps(&good, &bad);
+    for region in &report.regions {
+        println!(
+            "  {} differing bytes at {:#x} ({:?})",
+            region.len, region.start, region.landed_on
+        );
+    }
+    println!(
+        "  → the error wrote {} bytes; the diff localizes it exactly.",
+        report.differing_bytes()
+    );
+}

@@ -1,0 +1,96 @@
+//! The §9 "future directions" debugging workflow: use DieHard's
+//! deterministic seeded layouts to *difference* heaps and report memory
+//! errors "as part of a crash dump without the crash".
+//!
+//! Scenario: a program intermittently corrupts data. Re-run it twice with
+//! the same DieHard seed — once with the suspect code path disabled — and
+//! diff the heaps; every differing byte is the suspect's footprint, and the
+//! attribution says whether it hit live data (a real bug biting) or free
+//! space (a masked error waiting to bite).
+//!
+//! Run: `cargo run --example heap_diff_debug`
+
+use diehard::prelude::*;
+use diehard::runtime::heap_diff::{diff_heaps, Attribution};
+
+fn workload(enable_suspect_path: bool) -> Program {
+    let mut ops = Vec::new();
+    // A little database: 20 records, updated in place.
+    for i in 0..20u32 {
+        ops.push(Op::Alloc { id: i, size: 96 });
+        ops.push(Op::Write { id: i, offset: 0, len: 96, seed: 10 });
+    }
+    // Updates…
+    for i in 0..20u32 {
+        ops.push(Op::Write { id: i, offset: 16, len: 32, seed: 11 });
+    }
+    if enable_suspect_path {
+        // …one of which has an off-by-N: record 7's update writes 64 bytes
+        // past the record.
+        ops.push(Op::Write { id: 7, offset: 96, len: 64, seed: 12 });
+    }
+    for i in 0..20u32 {
+        ops.push(Op::Read { id: i, offset: 0, len: 96 });
+    }
+    Program::new("records", ops)
+}
+
+fn main() {
+    println!("== Debugging memory corruption by heap differencing (§9) ==\n");
+    let seed = 0xDEB_06;
+
+    let mut reference = DieHardSimHeap::new(HeapConfig::default(), seed).unwrap();
+    let mut suspect = DieHardSimHeap::new(HeapConfig::default(), seed).unwrap();
+    run_program(&mut reference, &workload(false), &ExecOptions::default());
+    run_program(&mut suspect, &workload(true), &ExecOptions::default());
+
+    let report = diff_heaps(&reference, &suspect);
+    println!(
+        "diffed two same-seed executions: {} differing region(s), {} bytes total\n",
+        report.regions.len(),
+        report.differing_bytes()
+    );
+    for region in &report.regions {
+        match region.landed_on {
+            Attribution::LiveObject { base, size } => println!(
+                "  {:#x}..{:#x}: CORRUPTED a live {size}-byte object at {base:#x} — \
+                 this is where the bug bites",
+                region.start,
+                region.start + region.len
+            ),
+            Attribution::FreeSpace => println!(
+                "  {:#x}..{:#x}: landed on free space — masked this run, but a \
+                 latent bug (DieHard hid it; fix it anyway)",
+                region.start,
+                region.start + region.len
+            ),
+            Attribution::LargeArea => println!(
+                "  {:#x}..{:#x}: in the large-object area",
+                region.start,
+                region.start + region.len
+            ),
+        }
+    }
+
+    // The same diff across several seeds triangulates the owning object:
+    // the *logical* culprit (record 7) writes adjacent to its own object in
+    // every layout.
+    println!("\nrepeating across seeds to triangulate the culprit:");
+    for seed in [1u64, 2, 3] {
+        let mut clean = DieHardSimHeap::new(HeapConfig::default(), seed).unwrap();
+        let mut dirty = DieHardSimHeap::new(HeapConfig::default(), seed).unwrap();
+        run_program(&mut clean, &workload(false), &ExecOptions::default());
+        run_program(&mut dirty, &workload(true), &ExecOptions::default());
+        let report = diff_heaps(&clean, &dirty);
+        let hits = report.corrupted_objects().count();
+        println!(
+            "  seed {seed}: {} region(s), {} live-object hit(s)",
+            report.regions.len(),
+            hits
+        );
+    }
+    println!(
+        "\nEvery diff is exactly 64 bytes directly after record 7's slot —\n\
+         the overflow is pinpointed without any crash."
+    );
+}

@@ -1,0 +1,97 @@
+//! Replicated DieHard end to end (§5): in-process replicas with 4 KB
+//! output voting, then the real subprocess launcher driving shell replicas
+//! through pipes.
+//!
+//! Run: `cargo run --example replicated_vote`
+
+use diehard::prelude::*;
+use diehard::replicate::{run_replicated, LaunchConfig};
+
+fn main() {
+    println!("== Replicated DieHard: voting on program output ==\n");
+
+    // --- In-process replicas over simulated heaps -----------------------
+    // A correct program: all replicas agree despite different random heaps.
+    let clean = diehard::workloads::profile_by_name("espresso")
+        .expect("espresso")
+        .generate(0.01, 7);
+    let set = ReplicaSet::new(3, 0xB07E, HeapConfig::default());
+    let run = set.run(&clean);
+    println!("clean espresso across 3 replicas: {:?}", summarize(&run.outcome));
+
+    // A buggy program: a single-object overflow. Each replica is hit (or
+    // not) independently; the majority commits the correct output and the
+    // unlucky replica is killed.
+    let mut ops = vec![Op::Alloc { id: 0, size: 8 }];
+    for i in 1..50u32 {
+        ops.push(Op::Alloc { id: i, size: 8 });
+        ops.push(Op::Write { id: i, offset: 0, len: 8, seed: 2 });
+    }
+    ops.push(Op::Write { id: 0, offset: 0, len: 16, seed: 3 }); // overflow
+    for i in 1..50u32 {
+        ops.push(Op::Read { id: i, offset: 0, len: 8 });
+    }
+    let buggy = Program::new("overflow", ops);
+    let oracle = oracle_output(&buggy);
+    let run = set.run(&buggy);
+    println!(
+        "overflowing program:              {:?} (verdict vs oracle: {})",
+        summarize(&run.outcome),
+        run.verdict(&oracle)
+    );
+
+    // An uninitialized read: every replica's random fill differs, no two
+    // agree, the voter terminates — detection, not silent corruption.
+    let uninit = Program::new(
+        "uninit",
+        vec![
+            Op::Alloc { id: 0, size: 32 },
+            Op::Read { id: 0, offset: 0, len: 8 },
+        ],
+    );
+    let run = set.run(&uninit);
+    println!("uninitialized-read program:       {:?}\n", summarize(&run.outcome));
+
+    // --- Subprocess replication (the `diehard` launcher's machinery) ----
+    if cfg!(unix) {
+        println!("subprocess replication (3 shell replicas, stdin broadcast, 4 KB voting):");
+        let cfg = LaunchConfig::new(
+            3,
+            vec!["/bin/sh".into(), "-c".into(), "tr a-z A-Z".into()],
+            b"replicas of a deterministic filter agree\n".to_vec(),
+        );
+        match run_replicated(&cfg) {
+            Ok(exit) => println!(
+                "  output: {:?} (diverged: {}, killed: {:?})",
+                String::from_utf8_lossy(&exit.output),
+                exit.diverged,
+                exit.killed
+            ),
+            Err(e) => println!("  launch failed: {e}"),
+        }
+
+        // Seed-dependent output = simulated memory-error divergence.
+        let cfg = LaunchConfig::new(
+            3,
+            vec!["/bin/sh".into(), "-c".into(), "echo output-$DIEHARD_SEED".into()],
+            Vec::new(),
+        );
+        match run_replicated(&cfg) {
+            Ok(exit) => println!(
+                "  seed-dependent replicas: diverged = {} (voter terminated the run)",
+                exit.diverged
+            ),
+            Err(e) => println!("  launch failed: {e}"),
+        }
+    }
+}
+
+fn summarize(outcome: &ReplicatedOutcome) -> String {
+    match outcome {
+        ReplicatedOutcome::Agreed(out) => format!("agreed on {} output bytes", out.len()),
+        ReplicatedOutcome::Divergence { at_chunk } => {
+            format!("DIVERGENCE at chunk {at_chunk} — terminated")
+        }
+        ReplicatedOutcome::AllDied => "all replicas died".to_string(),
+    }
+}

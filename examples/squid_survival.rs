@@ -1,0 +1,62 @@
+//! The paper's headline anecdote (§2, §7.3.2), reenacted: a miniature
+//! Squid-like web cache crashes on an ill-formed request under the default
+//! allocator and the conservative GC, but keeps serving under DieHard.
+//!
+//! Run: `cargo run --example squid_survival`
+
+use diehard::prelude::*;
+use diehard::workloads::squid;
+
+fn main() {
+    println!("== squid-sim: surviving a real-world buffer overflow ==\n");
+    println!(
+        "The bug (Squid 2.3s5, ftpBuildTitleUrl): a request-derived URL is\n\
+         strcpy'd into an undersized 64-byte heap buffer. One ill-formed\n\
+         request overruns the buffer by ~200 bytes.\n"
+    );
+
+    let attack = squid::attack_scenario(30);
+
+    for (label, verdict) in [
+        ("GNU libc (dlmalloc-style)", System::Libc.evaluate(&attack)),
+        ("Boehm-Demers-Weiser GC", System::BdwGc.evaluate(&attack)),
+    ] {
+        println!("{label:<28} → {verdict}");
+    }
+
+    let mut survived = 0;
+    let runs = 10;
+    for seed in 0..runs {
+        let v = System::DieHard { config: HeapConfig::default(), seed }.evaluate(&attack);
+        if v.is_correct() {
+            survived += 1;
+        }
+    }
+    println!("DieHard (stand-alone)        → correct in {survived}/{runs} randomized runs\n");
+
+    println!(
+        "Why: under contiguous allocators the bytes after the title buffer\n\
+         are a boundary tag (libc) or the adjacent cache entry's payload\n\
+         pointer (GC) — both fatal when used. Under DieHard the buffer sits\n\
+         alone at a random slot in a half-empty region, so the overflow\n\
+         almost surely lands on free space. With the §4.4 replaced strcpy\n\
+         the overflow cannot happen at all:"
+    );
+
+    // Bonus: DieHard's library interposition stops the overflow cold.
+    let oracle = {
+        let mut inf = InfiniteHeap::new();
+        let opts = ExecOptions { bounded_strcpy: true, ..Default::default() };
+        match run_program(&mut inf, &attack, &opts) {
+            RunOutcome::Completed(o) => o,
+            other => panic!("oracle cannot fail: {other:?}"),
+        }
+    };
+    let mut heap = DieHardSimHeap::new(HeapConfig::default(), 99).unwrap();
+    let opts = ExecOptions { bounded_strcpy: true, ..Default::default() };
+    let out = run_program(&mut heap, &attack, &opts);
+    println!(
+        "DieHard + bounded strcpy     → {}",
+        verdict(&out, &oracle)
+    );
+}

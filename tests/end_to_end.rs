@@ -1,0 +1,155 @@
+//! End-to-end integration tests spanning every crate: workloads through the
+//! executor against all systems, fault campaigns, and oracle semantics.
+
+use diehard::inject::{inject, Injection};
+use diehard::prelude::*;
+use diehard::workloads::{alloc_intensive_suite, profile_by_name, spec_suite};
+
+/// Every profile in both suites runs correctly on every sound system.
+#[test]
+fn all_workloads_correct_on_all_systems_when_bug_free() {
+    for profile in alloc_intensive_suite().iter().chain(&spec_suite()) {
+        if profile.uninit_read_bug {
+            continue;
+        }
+        let prog = profile.generate(0.005, 42);
+        for system in [
+            System::Libc,
+            System::WindowsDefault,
+            System::BdwGc,
+            System::DieHard { config: HeapConfig::default(), seed: 1 },
+            System::CCured,
+            System::Rx,
+        ] {
+            let v = system.evaluate(&prog);
+            assert!(
+                v.is_correct(),
+                "{} should run {} correctly, got {v:?}",
+                system.name(),
+                profile.name
+            );
+        }
+    }
+}
+
+/// The §7.3.1 dangling campaign, shrunk: DieHard survives what kills libc.
+#[test]
+fn dangling_campaign_shape() {
+    let espresso = profile_by_name("espresso").unwrap();
+    let injection = Injection::Dangling { frequency: 0.5, distance: 10 };
+    let (mut libc_ok, mut dh_ok) = (0, 0);
+    for run in 0..5u64 {
+        let prog = espresso.generate(0.02, 100 + run);
+        let bad = inject(&prog, &injection, 200 + run);
+        if System::Libc.evaluate(&bad).is_correct() {
+            libc_ok += 1;
+        }
+        let dh = System::DieHard { config: HeapConfig::paper_default(), seed: run };
+        if dh.evaluate(&bad).is_correct() {
+            dh_ok += 1;
+        }
+    }
+    assert_eq!(libc_ok, 0, "libc must fail under 50% premature frees");
+    assert!(dh_ok >= 4, "DieHard survived only {dh_ok}/5");
+}
+
+/// The §7.3.1 overflow campaign, shrunk.
+#[test]
+fn overflow_campaign_shape() {
+    let espresso = profile_by_name("espresso").unwrap();
+    let injection = Injection::Underflow { rate: 0.01, min_size: 32, shrink_by: 16 };
+    let (mut libc_ok, mut dh_ok) = (0, 0);
+    for run in 0..5u64 {
+        let prog = espresso.generate(0.02, 300 + run);
+        let bad = inject(&prog, &injection, 400 + run);
+        if System::Libc.evaluate(&bad).is_correct() {
+            libc_ok += 1;
+        }
+        let dh = System::DieHard { config: HeapConfig::paper_default(), seed: run };
+        if dh.evaluate(&bad).is_correct() {
+            dh_ok += 1;
+        }
+    }
+    assert!(libc_ok <= 1, "libc survived {libc_ok}/5 overflow runs");
+    assert!(dh_ok >= 4, "DieHard survived only {dh_ok}/5");
+}
+
+/// The infinite-heap oracle absorbs *every* injected error kind — the §3
+/// property the whole evaluation is built on.
+#[test]
+fn oracle_is_error_transparent() {
+    let prog = profile_by_name("cfrac").unwrap().generate(0.01, 7);
+    let clean_out = oracle_output(&prog);
+    for injection in [
+        Injection::Dangling { frequency: 1.0, distance: 5 },
+        Injection::DoubleFree { rate: 1.0 },
+        Injection::InvalidFree { rate: 1.0, delta: 4 },
+    ] {
+        let bad = inject(&prog, &injection, 9);
+        let bad_out = oracle_output(&bad);
+        assert_eq!(
+            clean_out, bad_out,
+            "the infinite heap must mask {injection:?} completely"
+        );
+    }
+}
+
+/// DieHard's verdict distribution under increasing heap pressure follows
+/// Theorem 1: emptier heaps mask more overflows.
+#[test]
+fn masking_improves_with_bigger_heaps() {
+    let espresso = profile_by_name("espresso").unwrap();
+    let injection = Injection::Underflow { rate: 0.05, min_size: 32, shrink_by: 16 };
+    let survival = |region_bytes: usize| -> usize {
+        let mut ok = 0;
+        for run in 0..8u64 {
+            let prog = espresso.generate(0.02, 500 + run);
+            let bad = inject(&prog, &injection, 600 + run);
+            let config = HeapConfig::default().with_region_bytes(region_bytes);
+            if (System::DieHard { config, seed: run }).evaluate(&bad).is_correct() {
+                ok += 1;
+            }
+        }
+        ok
+    };
+    let small = survival(128 * 1024);
+    let large = survival(16 << 20);
+    assert!(
+        large >= small,
+        "bigger heap should mask at least as many errors ({small} -> {large})"
+    );
+    assert!(large >= 7, "16 MB regions should mask nearly everything, got {large}/8");
+}
+
+/// Replicated execution inherits stand-alone masking and adds detection:
+/// a full workload with an uninitialized read terminates via divergence.
+#[test]
+fn lindsay_detected_by_replicas_but_not_standalone() {
+    let lindsay = profile_by_name("lindsay").unwrap();
+    let prog = lindsay.generate(0.01, 3);
+    // Stand-alone: runs to completion (the uninit read silently yields
+    // whatever the heap held).
+    let standalone = System::DieHard { config: HeapConfig::default(), seed: 8 }.run(&prog);
+    assert!(standalone.output().is_some(), "stand-alone must complete");
+    // Replicated: detected.
+    let set = ReplicaSet::new(3, 0x11D, HeapConfig::default());
+    assert!(
+        matches!(set.run(&prog).outcome, ReplicatedOutcome::Divergence { .. }),
+        "three replicas must detect lindsay's uninitialized read"
+    );
+}
+
+/// Determinism across the whole pipeline: same seeds, same verdicts and
+/// outputs — the property that makes every experiment reproducible.
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let prog = profile_by_name("p2c").unwrap().generate(0.01, 11);
+    let bad = inject(&prog, &Injection::Dangling { frequency: 0.3, distance: 8 }, 13);
+    let run = |seed: u64| {
+        let mut heap = DieHardSimHeap::new(HeapConfig::default(), seed).unwrap();
+        run_program(&mut heap, &bad, &ExecOptions::default())
+    };
+    assert_eq!(run(21), run(21));
+    let set = ReplicaSet::new(3, 5, HeapConfig::default());
+    assert_eq!(set.run(&bad).outcome, set.run_parallel(&bad).outcome);
+}

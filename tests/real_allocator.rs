@@ -1,0 +1,159 @@
+//! Integration tests for the *real* mmap-backed DieHard allocator and the
+//! subprocess replication launcher — the production-facing artifacts.
+
+#![cfg(unix)]
+
+use diehard::core::global::DieHard;
+use std::alloc::{GlobalAlloc, Layout};
+
+fn test_heap(seed: u64) -> DieHard {
+    std::env::set_var("DIEHARD_REGION_MB", "1");
+    DieHard::with_seed(seed)
+}
+
+#[test]
+fn churn_through_all_size_classes() {
+    let heap = test_heap(1);
+    let mut ptrs = Vec::new();
+    for shift in 0..12u32 {
+        let size = 8usize << shift;
+        for _ in 0..4 {
+            let p = heap.malloc(size);
+            assert!(!p.is_null(), "size {size}");
+            // Touch first and last byte of the rounded object.
+            // SAFETY: p is a live object of at least `size` bytes.
+            unsafe {
+                *p = 0xAB;
+                *p.add(size - 1) = 0xCD;
+            }
+            ptrs.push(p);
+        }
+    }
+    assert_eq!(heap.live_objects(), ptrs.len());
+    for p in ptrs {
+        heap.free(p);
+    }
+    assert_eq!(heap.live_objects(), 0);
+}
+
+#[test]
+fn mixed_rust_collections_on_diehard() {
+    // Instance-level (not #[global_allocator]) exercise of the Layout API.
+    let heap = test_heap(2);
+    for align in [1usize, 2, 4, 8, 16, 64, 256, 4096] {
+        let layout = Layout::from_size_align(align.max(24), align).unwrap();
+        // SAFETY: valid non-zero layout; dealloc receives the same layout.
+        unsafe {
+            let p = heap.alloc(layout);
+            assert!(!p.is_null());
+            assert_eq!(p as usize % align, 0);
+            p.write_bytes(0x11, layout.size());
+            heap.dealloc(p, layout);
+        }
+    }
+}
+
+#[test]
+fn erroneous_frees_never_corrupt_live_data() {
+    let heap = test_heap(3);
+    let victim = heap.malloc(64);
+    // SAFETY: victim is live for 64 bytes.
+    unsafe { victim.write_bytes(0x77, 64) };
+    // A storm of bogus frees.
+    for delta in [1usize, 7, 9, 33, 63] {
+        // SAFETY: stays within the live object.
+        heap.free(unsafe { victim.add(delta) });
+    }
+    heap.free(0x1000 as *mut u8);
+    heap.free(usize::MAX as *mut u8);
+    let freed_then_double = heap.malloc(64);
+    heap.free(freed_then_double);
+    heap.free(freed_then_double);
+    // The victim is untouched.
+    // SAFETY: victim is still live.
+    unsafe {
+        for i in 0..64 {
+            assert_eq!(*victim.add(i), 0x77, "byte {i}");
+        }
+    }
+    heap.free(victim);
+}
+
+#[test]
+fn large_object_lifecycle() {
+    let heap = test_heap(4);
+    let sizes = [17_000usize, 65_536, 300_000];
+    let mut ptrs = Vec::new();
+    for &size in &sizes {
+        let p = heap.malloc(size);
+        assert!(!p.is_null());
+        // SAFETY: live for `size` bytes.
+        unsafe {
+            *p = 1;
+            *p.add(size - 1) = 2;
+        }
+        ptrs.push(p);
+    }
+    for p in ptrs {
+        heap.free(p);
+        heap.free(p); // double free of an unmapped large object: ignored
+    }
+}
+
+#[test]
+fn seeded_heaps_reproduce_layouts() {
+    std::env::set_var("DIEHARD_REGION_MB", "1");
+    let a = DieHard::with_seed(99);
+    let b = DieHard::with_seed(99);
+    let base_a = a.malloc(64) as isize;
+    let base_b = b.malloc(64) as isize;
+    for _ in 0..100 {
+        assert_eq!(a.malloc(64) as isize - base_a, b.malloc(64) as isize - base_b);
+    }
+}
+
+mod launcher {
+    use diehard::replicate::{run_replicated, LaunchConfig};
+
+    fn sh(script: &str) -> Vec<String> {
+        vec!["/bin/sh".into(), "-c".into(), script.into()]
+    }
+
+    #[test]
+    fn pipeline_filters_agree() {
+        let cfg = LaunchConfig::new(
+            3,
+            sh("wc -c"),
+            vec![b'x'; 10_000],
+        );
+        let exit = run_replicated(&cfg).unwrap();
+        assert!(!exit.diverged);
+        assert_eq!(String::from_utf8_lossy(&exit.output).trim(), "10000");
+    }
+
+    #[test]
+    fn multi_chunk_agreement_with_one_corrupt_replica() {
+        // ~20 KB of output; the seed-7 replica corrupts its middle chunk.
+        let mut cfg = LaunchConfig::new(
+            3,
+            sh(r#"
+                i=0
+                while [ $i -lt 600 ]; do
+                    if [ $i -eq 300 ] && [ "$DIEHARD_SEED" = "7" ]; then
+                        echo "CORRUPTED-LINE-FROM-A-BAD-REPLICA"
+                    else
+                        echo "deterministic output line $i"
+                    fi
+                    i=$((i+1))
+                done
+            "#),
+            Vec::new(),
+        );
+        cfg.seeds = vec![1, 7, 2];
+        let exit = run_replicated(&cfg).unwrap();
+        assert!(!exit.diverged);
+        assert!(exit.killed.contains(&1), "the corrupt replica must be killed");
+        assert!(!String::from_utf8_lossy(&exit.output).contains("CORRUPTED"));
+    }
+
+}
