@@ -136,7 +136,12 @@ impl BdwGcSim {
         let count = block_len / class;
         self.blocks.insert(
             base,
-            Block { base, class, count, marks: vec![false; count] },
+            Block {
+                base,
+                class,
+                count,
+                marks: vec![false; count],
+            },
         );
         self.heap_bytes += block_len;
         // GC_build_fl: thread every object onto the class free list.
@@ -168,7 +173,12 @@ impl BdwGcSim {
         self.arena.set_limit(self.brk);
         self.blocks.insert(
             base,
-            Block { base, class: len, count: 1, marks: vec![false] },
+            Block {
+                base,
+                class: len,
+                count: 1,
+                marks: vec![false],
+            },
         );
         self.heap_bytes += len;
         self.bytes_since_gc += len;
@@ -231,7 +241,10 @@ impl BdwGcSim {
         let mut live = 0usize;
         let mut writes: Vec<(usize, usize)> = Vec::new(); // (obj, class-index)
         for block in self.blocks.values() {
-            if block.count == 1 && block.class >= PAGE_SIZE && Self::class_index(block.class).is_none() {
+            if block.count == 1
+                && block.class >= PAGE_SIZE
+                && Self::class_index(block.class).is_none()
+            {
                 // Large block: stays resident while marked; unmarked large
                 // blocks are simply forgotten (address space is sparse).
                 if block.marks[0] {
@@ -508,12 +521,9 @@ mod tests {
         // the list head and the following pop faults.
         let mut faulted = false;
         for _ in 0..200 {
-            match g.malloc(64, &[keep]) {
-                Err(_) => {
-                    faulted = true;
-                    break;
-                }
-                Ok(_) => {}
+            if g.malloc(64, &[keep]).is_err() {
+                faulted = true;
+                break;
             }
         }
         assert!(faulted, "corrupted in-heap free link must eventually fault");

@@ -288,7 +288,10 @@ mod tests {
         let mut w = win();
         let mut l = crate::lea::LeaSimAllocator::new(64 << 20);
         let mut rng = Mwc::seeded(42);
-        for alloc in [&mut w as &mut dyn SimAllocator, &mut l as &mut dyn SimAllocator] {
+        for alloc in [
+            &mut w as &mut dyn SimAllocator,
+            &mut l as &mut dyn SimAllocator,
+        ] {
             let mut live = Vec::new();
             for _ in 0..2000 {
                 let sz = 16 + rng.below(800);

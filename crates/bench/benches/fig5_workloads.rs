@@ -16,11 +16,13 @@ fn bench_workloads(c: &mut Criterion) {
     // One representative from each family: allocation-intensive (cfrac),
     // mid (espresso), wide-size-range pathological (300.twolf).
     for name in ["cfrac", "espresso", "300.twolf"] {
-        let prog = profile_by_name(name).expect("known profile").generate(SCALE, 0xBE);
+        let prog = profile_by_name(name)
+            .expect("known profile")
+            .generate(SCALE, 0xBE);
         let mut group = c.benchmark_group(format!("fig5/{name}"));
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+        group.sample_size(10);
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(500));
         group.bench_with_input(BenchmarkId::new("lea", name), &prog, |b, prog| {
             b.iter(|| {
                 let mut a = LeaSimAllocator::new(SPAN);

@@ -34,27 +34,40 @@ fn region_for(m: f64) -> usize {
         .max(HeapConfig::min_region_bytes(m))
 }
 
-fn survival(config: &HeapConfig, injection: &Injection) -> f64 {
+fn survival(config: &HeapConfig, injection: &Injection, runs: u64) -> f64 {
     let espresso = profile_by_name("espresso").expect("espresso");
+    let scale = diehard_bench::smoke_scaled(SCALE, 0.02);
     let mut ok = 0;
-    for run in 0..RUNS {
-        let prog = espresso.generate(SCALE, 0xAB1A + run);
+    for run in 0..runs {
+        let prog = espresso.generate(scale, 0xAB1A + run);
         let bad = inject(&prog, injection, 0x1D3A + run);
-        let v = System::DieHard { config: config.clone(), seed: run }.evaluate(&bad);
+        let v = System::DieHard {
+            config: config.clone(),
+            seed: run,
+        }
+        .evaluate(&bad);
         if v == Verdict::Correct {
             ok += 1;
         }
     }
-    ok as f64 / RUNS as f64
+    ok as f64 / runs as f64
 }
 
 fn main() {
     println!("Ablation — the M dial: space vs probabilistic protection");
-    println!("(espresso, {RUNS} runs/cell; overflow = 5% of allocs ≥32 B short a granule;");
+    let runs = diehard_bench::smoke_scaled(RUNS, 3);
+    println!("(espresso, {runs} runs/cell; overflow = 5% of allocs ≥32 B short a granule;");
     println!(" dangling = 50% of frees 30 allocations early; heap = M x required)\n");
 
-    let overflow = Injection::Underflow { rate: 0.05, min_size: 32, shrink_by: 16 };
-    let dangling = Injection::Dangling { frequency: 0.5, distance: 30 };
+    let overflow = Injection::Underflow {
+        rate: 0.05,
+        min_size: 32,
+        shrink_by: 16,
+    };
+    let dangling = Injection::Dangling {
+        frequency: 0.5,
+        distance: 30,
+    };
 
     let mut table = TextTable::new(vec![
         "M",
@@ -68,8 +81,8 @@ fn main() {
         let config = HeapConfig::default()
             .with_region_bytes(region)
             .with_multiplier(m);
-        let o = survival(&config, &overflow);
-        let d = survival(&config, &dangling);
+        let o = survival(&config, &overflow, runs);
+        let d = survival(&config, &dangling, runs);
         table.row(vec![
             format!("{m:.2}"),
             pct(o),
@@ -108,7 +121,11 @@ fn main() {
         "1.00x".to_string(),
     ]);
     t2.row(vec![
-        format!("adaptive ({} allocs, {} growths)", served, adaptive.growth_events()),
+        format!(
+            "adaptive ({} allocs, {} growths)",
+            served,
+            adaptive.growth_events()
+        ),
         format!("{} KB", adaptive.committed_bytes() / 1024),
         format!(
             "{:.3}x",

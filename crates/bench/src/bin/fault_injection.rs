@@ -33,11 +33,14 @@ fn campaign(name: &str, injection: &Injection, runs: u64) -> TextTable {
     let mut table = TextTable::new(vec!["run", "default allocator", "DieHard"]);
     let (mut libc_ok, mut dh_ok) = (0u64, 0u64);
     for run in 0..runs {
-        let prog = espresso.generate(SCALE, 0xE59 + run);
+        let prog = espresso.generate(diehard_bench::smoke_scaled(SCALE, 0.01), 0xE59 + run);
         let bad = inject(&prog, injection, 0x1A2B + run);
         let libc_v = System::Libc.evaluate(&bad);
-        let dh_v = System::DieHard { config: dh_config.clone(), seed: 0xD1E + run }
-            .evaluate(&bad);
+        let dh_v = System::DieHard {
+            config: dh_config.clone(),
+            seed: 0xD1E + run,
+        }
+        .evaluate(&bad);
         if libc_v.is_correct() {
             libc_ok += 1;
         }
@@ -60,14 +63,21 @@ fn campaign(name: &str, injection: &Injection, runs: u64) -> TextTable {
 }
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    let runs: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let positional = diehard_bench::positional_args();
+    let which = positional.first().cloned().unwrap_or_else(|| "all".into());
+    let runs: u64 = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| diehard_bench::smoke_scaled(10, 3));
     println!("§7.3.1 — Fault injection on espresso ({runs} runs each)\n");
 
     if which == "dangling" || which == "all" {
         let t = campaign(
             "Dangling pointers: 50% of frees, 10 allocations early",
-            &Injection::Dangling { frequency: 0.5, distance: 10 },
+            &Injection::Dangling {
+                frequency: 0.5,
+                distance: 10,
+            },
             runs,
         );
         println!("{}", t.render());
@@ -76,7 +86,11 @@ fn main() {
     if which == "overflow" || which == "all" {
         let t = campaign(
             "Buffer overflows: 1% of allocations ≥ 32 B under-allocated by one granule",
-            &Injection::Underflow { rate: 0.01, min_size: 32, shrink_by: 16 },
+            &Injection::Underflow {
+                rate: 0.01,
+                min_size: 32,
+                shrink_by: 16,
+            },
             runs,
         );
         println!("{}", t.render());

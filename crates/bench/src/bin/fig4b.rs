@@ -53,7 +53,7 @@ fn main() {
         "scaled monte carlo",
         "abs err",
     ]);
-    let mut rng = Mwc::seeded(0xF16_4B);
+    let mut rng = Mwc::seeded(0xF164B);
     for &size in &[8usize, 16, 32, 64, 128, 256] {
         let class = SizeClass::for_size(size).expect("small class");
         let capacity = SCALED_REGION >> class.shift();
@@ -62,7 +62,8 @@ fn main() {
             let paper = p_dangling_mask_default_config(size, a, 1);
             let scaled = p_dangling_mask(a, free_slots, 1);
             // Keep runtime bounded: fewer trials for the expensive cells.
-            let trials: usize = if a >= 10_000 { 300 } else { 2000 };
+            let trials: usize =
+                diehard_bench::smoke_scaled(if a >= 10_000 { 300 } else { 2000 }, 25);
             let ok = (0..trials).filter(|_| trial(class, a, &mut rng)).count();
             let empirical = ok as f64 / trials as f64;
             table.row(vec![

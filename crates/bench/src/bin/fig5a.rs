@@ -10,11 +10,11 @@
 //!
 //! Run: `cargo run --release -p diehard-bench --bin fig5a [scale]`
 
+use diehard_baselines::{BdwGcSim, LeaSimAllocator};
 use diehard_bench::{geomean, measured_seconds, norm, TextTable};
 use diehard_core::config::HeapConfig;
 use diehard_runtime::{run_program, ExecOptions, RunOutcome};
 use diehard_sim::{DieHardSimHeap, SimAllocator};
-use diehard_baselines::{BdwGcSim, LeaSimAllocator};
 use diehard_workloads::{alloc_intensive_suite, spec_suite};
 
 const BASELINE_SPAN: usize = 256 << 20;
@@ -26,10 +26,10 @@ fn run_once<A: SimAllocator>(mut alloc: A, prog: &diehard_runtime::Program) -> (
 }
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
+    let scale: f64 = diehard_bench::positional_args()
+        .first()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(0.25);
+        .unwrap_or_else(|| diehard_bench::smoke_scaled(0.25, 0.02));
     println!("Figure 5(a) — Runtime on Linux (normalized to malloc)");
     println!("(workload scale {scale}; mean of 5 runs after 1 warm-up)\n");
 
@@ -49,7 +49,7 @@ fn main() {
         let mut gc_norms = Vec::new();
         let mut dh_norms = Vec::new();
         for profile in profiles.iter() {
-            let prog = profile.generate(scale, 0x516_5A);
+            let prog = profile.generate(scale, 0x5165A);
             let lea_secs = measured_seconds(1, 5, || {
                 let _ = run_once(LeaSimAllocator::new(BASELINE_SPAN), &prog);
             });

@@ -9,27 +9,27 @@
 //!
 //! Run: `cargo run --release -p diehard-bench --bin fig5b [scale]`
 
+use diehard_baselines::WindowsSimAllocator;
 use diehard_bench::{geomean, measured_seconds, norm, TextTable};
 use diehard_core::config::HeapConfig;
 use diehard_runtime::{run_program, ExecOptions};
 use diehard_sim::{DieHardSimHeap, SimAllocator};
-use diehard_baselines::WindowsSimAllocator;
 use diehard_workloads::alloc_intensive_suite;
 
 const BASELINE_SPAN: usize = 256 << 20;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
+    let scale: f64 = diehard_bench::positional_args()
+        .first()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(0.25);
+        .unwrap_or_else(|| diehard_bench::smoke_scaled(0.25, 0.02));
     println!("Figure 5(b) — Runtime on Windows (normalized to the default malloc)");
     println!("(workload scale {scale}; mean of 5 runs after 1 warm-up)\n");
 
     let mut table = TextTable::new(vec!["benchmark", "malloc", "DieHard", "DH speedup"]);
     let mut norms = Vec::new();
     for profile in alloc_intensive_suite() {
-        let prog = profile.generate(scale, 0x516_5B);
+        let prog = profile.generate(scale, 0x5165B);
         let win_secs = measured_seconds(1, 5, || {
             let mut a = WindowsSimAllocator::new(BASELINE_SPAN);
             let _ = run_program(&mut a, &prog, &ExecOptions::default());

@@ -29,7 +29,7 @@ fn measure(m: f64, rng: &mut Mwc) -> (f64, f64) {
     }
     // Steady state at the cap: free one, allocate one.
     let (a0, p0) = part.probe_stats();
-    for _ in 0..STEADY_OPS {
+    for _ in 0..diehard_bench::smoke_scaled(STEADY_OPS, 20_000) {
         let victim = live.swap_remove(heap_rng.below(live.len()));
         part.free(victim);
         live.push(part.alloc(&mut heap_rng).expect("slot just freed"));

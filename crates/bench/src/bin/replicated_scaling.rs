@@ -15,10 +15,10 @@ use diehard_runtime::{ReplicaSet, ReplicatedOutcome};
 use diehard_workloads::alloc_intensive_suite;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
+    let scale: f64 = diehard_bench::positional_args()
+        .first()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(0.1);
+        .unwrap_or_else(|| diehard_bench::smoke_scaled(0.1, 0.02));
     let replicas = 16usize;
     println!("§7.2.3 — Replicated DieHard scaling ({replicas} replicas on OS threads)");
     println!("(workload scale {scale}; mean of 3 runs after 1 warm-up)\n");

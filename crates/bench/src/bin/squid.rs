@@ -14,7 +14,10 @@ use diehard_runtime::System;
 use diehard_workloads::squid;
 
 fn main() {
-    let runs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let runs: u64 = diehard_bench::positional_args()
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| diehard_bench::smoke_scaled(10, 3));
     println!("§7.3.2 — squid-sim: one ill-formed request amid normal traffic\n");
 
     // Control: clean traffic works everywhere.
@@ -35,12 +38,20 @@ fn main() {
     // in DieHard's favour.
     let mut correct = 0;
     for seed in 0..runs {
-        let v = System::DieHard { config: HeapConfig::default(), seed }.evaluate(&attack);
+        let v = System::DieHard {
+            config: HeapConfig::default(),
+            seed,
+        }
+        .evaluate(&attack);
         if v.is_correct() {
             correct += 1;
         }
     }
-    let clean_dh = System::DieHard { config: HeapConfig::default(), seed: 0 }.evaluate(&clean);
+    let clean_dh = System::DieHard {
+        config: HeapConfig::default(),
+        seed: 0,
+    }
+    .evaluate(&clean);
     table.row(vec![
         "DieHard".to_string(),
         clean_dh.to_string(),

@@ -25,7 +25,12 @@ fn metadata_overwrite() -> Program {
     // gaps hold metadata (lea bins / GC free-links after collection).
     for i in 0..40u32 {
         ops.push(Op::Alloc { id: i, size: 56 });
-        ops.push(Op::Write { id: i, offset: 0, len: 56, seed: 1 });
+        ops.push(Op::Write {
+            id: i,
+            offset: 0,
+            len: 56,
+            seed: 1,
+        });
     }
     for i in (0..40u32).step_by(2) {
         ops.push(Op::Free { id: i });
@@ -40,7 +45,12 @@ fn metadata_overwrite() -> Program {
     // The error: object 1 overflows 24 bytes past its end — onto the freed
     // neighbour where dlmalloc keeps its boundary tag + links and the GC
     // its reclaimed free-list link.
-    ops.push(Op::Write { id: 1, offset: 56, len: 24, seed: 0xBD });
+    ops.push(Op::Write {
+        id: 1,
+        offset: 56,
+        len: 24,
+        seed: 0xBD,
+    });
     // Continued operation: the corrupted metadata gets *used* — object 1's
     // own free walks the smashed adjacent header, and allocation traffic
     // pops through the smashed links.
@@ -48,13 +58,26 @@ fn metadata_overwrite() -> Program {
     ops.push(Op::Forget { id: 1 });
     for i in 500..600u32 {
         ops.push(Op::Alloc { id: i, size: 56 });
-        ops.push(Op::Write { id: i, offset: 0, len: 56, seed: 2 });
-        ops.push(Op::Read { id: i, offset: 0, len: 56 });
+        ops.push(Op::Write {
+            id: i,
+            offset: 0,
+            len: 56,
+            seed: 2,
+        });
+        ops.push(Op::Read {
+            id: i,
+            offset: 0,
+            len: 56,
+        });
         ops.push(Op::Free { id: i });
         ops.push(Op::Forget { id: i });
     }
     for i in (3..40u32).step_by(2) {
-        ops.push(Op::Read { id: i, offset: 0, len: 56 });
+        ops.push(Op::Read {
+            id: i,
+            offset: 0,
+            len: 56,
+        });
     }
     Program::new("metadata-overwrite", ops)
 }
@@ -64,20 +87,38 @@ fn invalid_frees() -> Program {
     let mut ops = Vec::new();
     for i in 0..20u32 {
         ops.push(Op::Alloc { id: i, size: 64 });
-        ops.push(Op::Write { id: i, offset: 0, len: 64, seed: 3 });
+        ops.push(Op::Write {
+            id: i,
+            offset: 0,
+            len: 64,
+            seed: 3,
+        });
     }
     ops.push(Op::FreeRaw { id: 3, delta: 8 }); // interior pointer
     ops.push(Op::FreeRaw { id: 4, delta: -40 }); // before the object
     for i in 0..20u32 {
-        ops.push(Op::Read { id: i, offset: 0, len: 64 });
+        ops.push(Op::Read {
+            id: i,
+            offset: 0,
+            len: 64,
+        });
         ops.push(Op::Free { id: i });
         ops.push(Op::Forget { id: i });
     }
     // Post-error allocation traffic must still work.
     for i in 50..70u32 {
         ops.push(Op::Alloc { id: i, size: 64 });
-        ops.push(Op::Write { id: i, offset: 0, len: 64, seed: 4 });
-        ops.push(Op::Read { id: i, offset: 0, len: 64 });
+        ops.push(Op::Write {
+            id: i,
+            offset: 0,
+            len: 64,
+            seed: 4,
+        });
+        ops.push(Op::Read {
+            id: i,
+            offset: 0,
+            len: 64,
+        });
     }
     Program::new("invalid-frees", ops)
 }
@@ -87,15 +128,29 @@ fn double_frees() -> Program {
     let mut ops = Vec::new();
     for i in 0..20u32 {
         ops.push(Op::Alloc { id: i, size: 48 });
-        ops.push(Op::Write { id: i, offset: 0, len: 48, seed: 5 });
+        ops.push(Op::Write {
+            id: i,
+            offset: 0,
+            len: 48,
+            seed: 5,
+        });
     }
     ops.push(Op::Free { id: 7 });
     ops.push(Op::Free { id: 7 }); // the error
     ops.push(Op::Forget { id: 7 });
     for i in 30..60u32 {
         ops.push(Op::Alloc { id: i, size: 48 });
-        ops.push(Op::Write { id: i, offset: 0, len: 48, seed: 6 });
-        ops.push(Op::Read { id: i, offset: 0, len: 48 });
+        ops.push(Op::Write {
+            id: i,
+            offset: 0,
+            len: 48,
+            seed: 6,
+        });
+        ops.push(Op::Read {
+            id: i,
+            offset: 0,
+            len: 48,
+        });
     }
     Program::new("double-frees", ops)
 }
@@ -104,16 +159,34 @@ fn double_frees() -> Program {
 fn dangling_pointer() -> Program {
     let mut ops = Vec::new();
     ops.push(Op::Alloc { id: 0, size: 48 });
-    ops.push(Op::Write { id: 0, offset: 0, len: 48, seed: 7 });
+    ops.push(Op::Write {
+        id: 0,
+        offset: 0,
+        len: 48,
+        seed: 7,
+    });
     ops.push(Op::Free { id: 0 }); // premature: still used below
     for i in 1..30u32 {
         ops.push(Op::Alloc { id: i, size: 48 });
-        ops.push(Op::Write { id: i, offset: 0, len: 48, seed: 8 });
+        ops.push(Op::Write {
+            id: i,
+            offset: 0,
+            len: 48,
+            seed: 8,
+        });
     }
-    ops.push(Op::Read { id: 0, offset: 0, len: 48 }); // dangling read
+    ops.push(Op::Read {
+        id: 0,
+        offset: 0,
+        len: 48,
+    }); // dangling read
     ops.push(Op::Forget { id: 0 });
     for i in 1..30u32 {
-        ops.push(Op::Read { id: i, offset: 0, len: 48 });
+        ops.push(Op::Read {
+            id: i,
+            offset: 0,
+            len: 48,
+        });
     }
     Program::new("dangling", ops)
 }
@@ -124,16 +197,34 @@ fn buffer_overflow() -> Program {
     let mut ops = Vec::new();
     for i in 0..16u32 {
         ops.push(Op::Alloc { id: i, size: 64 });
-        ops.push(Op::Write { id: i, offset: 0, len: 64, seed: 9 });
+        ops.push(Op::Write {
+            id: i,
+            offset: 0,
+            len: 64,
+            seed: 9,
+        });
     }
     // The error: object 5 writes one object's worth past its end…
-    ops.push(Op::Write { id: 5, offset: 64, len: 64, seed: 0xEE });
+    ops.push(Op::Write {
+        id: 5,
+        offset: 64,
+        len: 64,
+        seed: 0xEE,
+    });
     // …and the program later reads the overflowed range back (so systems
     // that silently dropped or redirected the write diverge from the
     // infinite-heap semantics).
-    ops.push(Op::Read { id: 5, offset: 0, len: 128 });
+    ops.push(Op::Read {
+        id: 5,
+        offset: 0,
+        len: 128,
+    });
     for i in 0..16u32 {
-        ops.push(Op::Read { id: i, offset: 0, len: 64 });
+        ops.push(Op::Read {
+            id: i,
+            offset: 0,
+            len: 64,
+        });
     }
     Program::new("overflow", ops)
 }
@@ -146,7 +237,12 @@ fn uninit_read() -> Program {
     // stale data (and, under libc, non-null free-list links).
     for i in 0..10u32 {
         ops.push(Op::Alloc { id: i, size: 56 });
-        ops.push(Op::Write { id: i, offset: 0, len: 56, seed: 10 });
+        ops.push(Op::Write {
+            id: i,
+            offset: 0,
+            len: 56,
+            seed: 10,
+        });
     }
     for i in 0..10u32 {
         ops.push(Op::Free { id: i });
@@ -162,7 +258,11 @@ fn uninit_read() -> Program {
     // The error: a fresh object is read before initialization; recycled
     // bytes (stale data, free-list links) propagate to output.
     ops.push(Op::Alloc { id: 50, size: 56 });
-    ops.push(Op::Read { id: 50, offset: 0, len: 16 }); // never written!
+    ops.push(Op::Read {
+        id: 50,
+        offset: 0,
+        len: 16,
+    }); // never written!
     Program::new("uninit-read", ops)
 }
 
@@ -172,18 +272,22 @@ fn classify(system: &System, prog: &Program) -> &'static str {
 
 /// DieHard's probabilistic cells: run many seeds, report the dominant cell
 /// with the observed correct rate.
-fn diehard_cell(prog: &Program) -> String {
+fn diehard_cell(prog: &Program, seeds: u64) -> String {
     let mut correct = 0;
-    for seed in 0..DIEHARD_SEEDS {
-        let v = System::DieHard { config: HeapConfig::default(), seed }.evaluate(prog);
+    for seed in 0..seeds {
+        let v = System::DieHard {
+            config: HeapConfig::default(),
+            seed,
+        }
+        .evaluate(prog);
         if v == Verdict::Correct {
             correct += 1;
         }
     }
-    if correct == DIEHARD_SEEDS {
+    if correct == seeds {
         "✓".to_string()
     } else {
-        format!("✓* ({correct}/{DIEHARD_SEEDS})")
+        format!("✓* ({correct}/{seeds})")
     }
 }
 
@@ -198,7 +302,8 @@ fn diehard_uninit_cell(prog: &Program) -> String {
 fn main() {
     println!("Table 1 — How runtime systems handle memory-safety errors");
     println!("(✓ = correct execution, undefined = crash/hang/silent corruption, abort = deliberate stop)");
-    println!("(* = probabilistic; DieHard cells over {DIEHARD_SEEDS} seeds; uninit via 3 replicas)\n");
+    let seeds = diehard_bench::smoke_scaled(DIEHARD_SEEDS, 5);
+    println!("(* = probabilistic; DieHard cells over {seeds} seeds; uninit via 3 replicas)\n");
 
     let errors: Vec<(&str, Program, &str)> = vec![
         ("heap metadata overwrites", metadata_overwrite(), "✓"),
@@ -234,7 +339,7 @@ fn main() {
         let dh = if *error_name == "uninitialized reads" {
             diehard_uninit_cell(prog)
         } else {
-            diehard_cell(prog)
+            diehard_cell(prog, seeds)
         };
         row.push(dh);
         row.push((*paper_dh).to_string());

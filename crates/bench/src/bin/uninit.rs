@@ -20,7 +20,11 @@ const E2E_TRIALS: usize = 400;
 /// uniformly at random; the read is detected iff all values are pairwise
 /// distinct.
 fn bit_trial(bits: u32, k: usize, rng: &mut Mwc) -> bool {
-    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     let mut seen = Vec::with_capacity(k);
     for _ in 0..k {
         let v = rng.next_u64() & mask;
@@ -39,7 +43,11 @@ fn e2e_trial(bytes: usize, k: usize, master_seed: u64) -> bool {
         "uninit-probe",
         vec![
             Op::Alloc { id: 0, size: 64 },
-            Op::Read { id: 0, offset: 0, len: bytes },
+            Op::Read {
+                id: 0,
+                offset: 0,
+                len: bytes,
+            },
         ],
     );
     let set = ReplicaSet::new(k, master_seed, HeapConfig::default());
@@ -54,37 +62,42 @@ fn main() {
     for &bits in &[4u32, 8, 16] {
         for &k in &[3usize, 4, 5, 6] {
             let analytic = p_uninit_detect(bits, k as u32);
-            let hits = (0..BIT_TRIALS).filter(|_| bit_trial(bits, k, &mut rng)).count();
+            let trials = diehard_bench::smoke_scaled(BIT_TRIALS, 2000);
+            let hits = (0..trials).filter(|_| bit_trial(bits, k, &mut rng)).count();
             table.row(vec![
                 bits.to_string(),
                 k.to_string(),
                 pct(analytic),
-                pct(hits as f64 / BIT_TRIALS as f64),
+                pct(hits as f64 / trials as f64),
             ]);
         }
     }
     println!("{}", table.render());
-    println!(
-        "Paper anchors: B=4, k=3 → 82%; B=4, k=4 → 66.7%; B=16, k=3 → 99.995%.\n"
-    );
+    println!("Paper anchors: B=4, k=3 → 82%; B=4, k=4 → 66.7%; B=16, k=3 → 99.995%.\n");
 
     println!(
         "End-to-end: replicated DieHard (random fill + 4 KB voting) on a program\n\
          that reads B uninitialized bits; detection = voter divergence.\n"
     );
-    let mut e2e = TextTable::new(vec!["bits (B)", "replicas (k)", "analytic", "replicated-voter MC"]);
+    let mut e2e = TextTable::new(vec![
+        "bits (B)",
+        "replicas (k)",
+        "analytic",
+        "replicated-voter MC",
+    ]);
     for &bytes in &[1usize, 2] {
         let bits = (bytes * 8) as u32;
         for &k in &[3usize, 4] {
             let analytic = p_uninit_detect(bits, k as u32);
-            let hits = (0..E2E_TRIALS as u64)
+            let trials = diehard_bench::smoke_scaled(E2E_TRIALS, 20);
+            let hits = (0..trials as u64)
                 .filter(|&t| e2e_trial(bytes, k, 0xE2E0 + t))
                 .count();
             e2e.row(vec![
                 bits.to_string(),
                 k.to_string(),
                 pct(analytic),
-                pct(hits as f64 / E2E_TRIALS as f64),
+                pct(hits as f64 / trials as f64),
             ]);
         }
     }

@@ -101,6 +101,35 @@ pub fn measured_seconds(warmup: usize, runs: usize, mut f: impl FnMut()) -> f64 
     total.as_secs_f64() / runs as f64
 }
 
+/// True when the process was started with `--smoke`: every evaluation
+/// binary shrinks its trial counts and workload scales so CI can exercise
+/// all of them in seconds rather than minutes. Results under smoke are for
+/// wiring verification only, not for reading numbers off.
+#[must_use]
+pub fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// `full` normally, `quick` under [`smoke`].
+#[must_use]
+pub fn smoke_scaled<T>(full: T, quick: T) -> T {
+    if smoke() {
+        quick
+    } else {
+        full
+    }
+}
+
+/// Positional command-line arguments (program name and `--flags` removed),
+/// so binaries taking `[scale]`/`[runs]` positionals coexist with `--smoke`.
+#[must_use]
+pub fn positional_args() -> Vec<String> {
+    std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect()
+}
+
 /// Formats a probability as a percentage with two decimals.
 #[must_use]
 pub fn pct(p: f64) -> String {

@@ -1,0 +1,43 @@
+//! Runs a representative subset of the evaluation binaries with `--smoke`,
+//! proving every registered bin target actually launches, computes, and
+//! prints a table — the CI guard for the `cargo run --bin fig4a -- --smoke`
+//! fast path.
+
+use std::process::Command;
+
+fn run_smoke(bin_path: &str, expect: &str) {
+    let out = Command::new(bin_path)
+        .arg("--smoke")
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bin_path}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin_path} --smoke failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(expect),
+        "{bin_path} output missing {expect:?}:\n{stdout}"
+    );
+}
+
+#[test]
+fn fig4a_smoke() {
+    run_smoke(env!("CARGO_BIN_EXE_fig4a"), "Figure 4(a)");
+}
+
+#[test]
+fn squid_smoke() {
+    run_smoke(env!("CARGO_BIN_EXE_squid"), "squid-sim");
+}
+
+#[test]
+fn table1_smoke() {
+    run_smoke(env!("CARGO_BIN_EXE_table1"), "Table 1");
+}
+
+#[test]
+fn uninit_smoke() {
+    run_smoke(env!("CARGO_BIN_EXE_uninit"), "Theorem 3");
+}

@@ -238,13 +238,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "k = 2")]
     fn overflow_rejects_two_replicas() {
-        p_overflow_mask(0.5, 1, 2);
+        let _ = p_overflow_mask(0.5, 1, 2);
     }
 
     #[test]
     #[should_panic(expected = "outside [0, 1]")]
     fn overflow_rejects_bad_fraction() {
-        p_overflow_mask(1.5, 1, 1);
+        let _ = p_overflow_mask(1.5, 1, 1);
     }
 
     // ---- Theorem 2 -------------------------------------------------------
@@ -283,7 +283,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "not an exact class size")]
     fn dangling_default_config_rejects_non_class_size() {
-        p_dangling_mask_default_config(24, 100, 1);
+        let _ = p_dangling_mask_default_config(24, 100, 1);
     }
 
     // ---- Theorem 3 -------------------------------------------------------
@@ -318,7 +318,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "k >= 3")]
     fn uninit_rejects_one_replica() {
-        p_uninit_detect(4, 1);
+        let _ = p_uninit_detect(4, 1);
     }
 
     // ---- Expectations ----------------------------------------------------

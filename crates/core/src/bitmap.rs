@@ -55,9 +55,7 @@ impl Storage {
             // SAFETY: `ptr` is valid for `words` u64s per `from_storage`'s
             // contract and no aliasing mutable access exists while `&self`
             // is held.
-            Storage::Raw { ptr, words } => unsafe {
-                core::slice::from_raw_parts(*ptr, *words)
-            },
+            Storage::Raw { ptr, words } => unsafe { core::slice::from_raw_parts(*ptr, *words) },
         }
     }
 
@@ -66,9 +64,7 @@ impl Storage {
         match self {
             Storage::Owned(v) => v,
             // SAFETY: as above, with exclusive access guaranteed by `&mut`.
-            Storage::Raw { ptr, words } => unsafe {
-                core::slice::from_raw_parts_mut(*ptr, *words)
-            },
+            Storage::Raw { ptr, words } => unsafe { core::slice::from_raw_parts_mut(*ptr, *words) },
         }
     }
 }
@@ -292,7 +288,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn get_out_of_range_panics() {
-        Bitmap::new(10).get(10);
+        let _ = Bitmap::new(10).get(10);
     }
 
     #[test]

@@ -245,10 +245,7 @@ mod tests {
     #[test]
     fn rejects_multiplier_below_one() {
         let cfg = HeapConfig::new().with_multiplier(0.5);
-        assert!(matches!(
-            cfg.validate(),
-            Err(ConfigError::BadMultiplier(_))
-        ));
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadMultiplier(_))));
     }
 
     #[test]

@@ -314,7 +314,13 @@ mod tests {
     #[test]
     fn alloc_routes_to_correct_class() {
         let mut h = heap(1);
-        for (req, expect) in [(1usize, 8usize), (8, 8), (24, 32), (4096, 4096), (9000, 16384)] {
+        for (req, expect) in [
+            (1usize, 8usize),
+            (8, 8),
+            (24, 32),
+            (4096, 4096),
+            (9000, 16384),
+        ] {
             let slot = h.alloc(req).unwrap();
             assert_eq!(slot.size(), expect, "request {req}");
         }
@@ -418,7 +424,10 @@ mod tests {
                 same += 1;
             }
         }
-        assert!(same < 8, "layouts should diverge across seeds ({same}/32 agree)");
+        assert!(
+            same < 8,
+            "layouts should diverge across seeds ({same}/32 agree)"
+        );
     }
 
     #[test]

@@ -22,6 +22,33 @@
 //! * `DIEHARD_REGION_MB` — per-class region megabytes (default 32, i.e. the
 //!   paper's 384 MB heap).
 //! * `DIEHARD_M` — integer expansion factor `M` (default 2).
+//!
+//! ## Unsafe-surface audit (2026-07, stable toolchain)
+//!
+//! This module and [`sys`]/[`lock`] are the crate's entire `unsafe` and
+//! syscall surface, which is why the whole subtree sits behind the
+//! off-by-default `global` cargo feature. Findings, kept current as the
+//! module changes:
+//!
+//! * **No `static mut` anywhere.** Allocator state is interior-mutable
+//!   through [`SpinLock`] — an `AtomicBool` acquire/release flag guarding an
+//!   `UnsafeCell<T>` — the pattern stable Rust recommends over `static mut`
+//!   (which trips `static_mut_refs` on current toolchains). No
+//!   `SyncUnsafeCell` is needed: `SpinLock` provides the `Sync` impl with an
+//!   explicit exclusivity argument, and stays dependency-free so it can run
+//!   inside `malloc` (a parking mutex may allocate on contention and
+//!   re-enter the allocator).
+//! * **Raw-pointer state.** `GlobalHeap` owns raw `mmap` regions; its
+//!   `unsafe impl Send` is sound because every access happens under the
+//!   `SpinLock` (there is no lock-free fast path, matching the paper's
+//!   single-lock allocator).
+//! * **Every `unsafe` block carries a `SAFETY:` comment** naming its
+//!   invariant; `cargo clippy --all-targets --features global` is
+//!   warning-clean with no `#[allow]` escapes in this subtree.
+//! * **Lazily-initialized, never self-allocating.** Metadata (bitmaps and
+//!   the large-object validity tables) lives in a dedicated mapping created
+//!   in [`DieHard::init`], so initialization cannot recurse into the
+//!   allocator being initialized.
 
 mod lock;
 mod sys;
@@ -188,7 +215,9 @@ impl DieHard {
     #[must_use]
     pub fn stats(&self) -> crate::engine::HeapStats {
         let mut guard = self.state.lock();
-        guard.as_mut().map_or_else(Default::default, |h| h.core.stats())
+        guard
+            .as_mut()
+            .map_or_else(Default::default, |h| h.core.stats())
     }
 
     // ---- internals -------------------------------------------------------
@@ -235,9 +264,8 @@ impl DieHard {
         };
         let tables = unsafe { meta.add(words * 8).cast::<usize>() };
         // SAFETY: as above; disjoint quarters of the table area.
-        let large_base = unsafe {
-            LargeTable::from_storage(tables, tables.add(table_cap), table_cap)
-        };
+        let large_base =
+            unsafe { LargeTable::from_storage(tables, tables.add(table_cap), table_cap) };
         let large_len = unsafe {
             LargeTable::from_storage(
                 tables.add(2 * table_cap),
@@ -276,7 +304,9 @@ impl DieHard {
         }
         // Possibly a large object: consult the validity tables; unknown
         // addresses are ignored ("otherwise, it ignores the request").
-        let Some(total) = heap.large_len.remove(addr) else { return };
+        let Some(total) = heap.large_len.remove(addr) else {
+            return;
+        };
         let map_base = heap
             .large_base
             .remove(addr)

@@ -95,7 +95,10 @@ impl LargeTable {
     /// Panics if `capacity` is not a power of two.
     #[must_use]
     pub unsafe fn from_storage(keys: *mut usize, sizes: *mut usize, capacity: usize) -> Self {
-        assert!(capacity.is_power_of_two(), "capacity must be a power of two");
+        assert!(
+            capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
         Self {
             keys: Storage::Raw(keys, capacity),
             sizes: Storage::Raw(sizes, capacity),

@@ -231,12 +231,8 @@ mod tests {
         let mut rng = Mwc::default();
         let z = DEFAULT_Z;
         let w = DEFAULT_W;
-        let z1 = 36_969u32
-            .wrapping_mul(z & 0xFFFF)
-            .wrapping_add(z >> 16);
-        let w1 = 18_000u32
-            .wrapping_mul(w & 0xFFFF)
-            .wrapping_add(w >> 16);
+        let z1 = 36_969u32.wrapping_mul(z & 0xFFFF).wrapping_add(z >> 16);
+        let w1 = 18_000u32.wrapping_mul(w & 0xFFFF).wrapping_add(w >> 16);
         let expect = (z1 << 16).wrapping_add(w1);
         assert_eq!(rng.next_u32(), expect);
     }

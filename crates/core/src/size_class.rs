@@ -154,7 +154,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn from_index_rejects_13th_class() {
-        SizeClass::from_index(12);
+        let _ = SizeClass::from_index(12);
     }
 
     #[test]

@@ -74,16 +74,17 @@ pub enum Injection {
 #[must_use]
 pub fn inject(program: &Program, injection: &Injection, seed: u64) -> Program {
     match injection {
-        Injection::Underflow { rate, min_size, shrink_by } => {
-            inject_underflow(program, *rate, *min_size, *shrink_by, seed)
-        }
-        Injection::Dangling { frequency, distance } => {
-            inject_dangling(program, *frequency, *distance, seed)
-        }
+        Injection::Underflow {
+            rate,
+            min_size,
+            shrink_by,
+        } => inject_underflow(program, *rate, *min_size, *shrink_by, seed),
+        Injection::Dangling {
+            frequency,
+            distance,
+        } => inject_dangling(program, *frequency, *distance, seed),
         Injection::DoubleFree { rate } => inject_double_free(program, *rate, seed),
-        Injection::InvalidFree { rate, delta } => {
-            inject_invalid_free(program, *rate, *delta, seed)
-        }
+        Injection::InvalidFree { rate, delta } => inject_invalid_free(program, *rate, *delta, seed),
         Injection::UninitRead { rate, len } => inject_uninit_read(program, *rate, *len, seed),
     }
 }
@@ -116,7 +117,9 @@ fn inject_dangling(program: &Program, frequency: f64, distance: u64, seed: u64) 
     // Choose victims: freed, small (< 16 K), coin flip at `frequency`.
     let mut victims: Vec<(u32, u64, usize)> = Vec::new(); // (id, early_time, orig_free_op)
     for rec in &log.records {
-        let (Some(free_time), Some(free_op)) = (rec.free_time, rec.free_op) else { continue };
+        let (Some(free_time), Some(free_op)) = (rec.free_time, rec.free_op) else {
+            continue;
+        };
         if rec.size >= MAX_OBJECT_SIZE {
             continue; // "only ... for small object requests (< 16K)"
         }
@@ -128,8 +131,7 @@ fn inject_dangling(program: &Program, frequency: f64, distance: u64, seed: u64) 
         let early = free_time.saturating_sub(distance).max(rec.alloc_time + 1);
         victims.push((rec.id, early, free_op));
     }
-    let dropped: std::collections::HashSet<usize> =
-        victims.iter().map(|&(_, _, op)| op).collect();
+    let dropped: std::collections::HashSet<usize> = victims.iter().map(|&(_, _, op)| op).collect();
     let mut early_by_time: std::collections::HashMap<u64, Vec<u32>> = Default::default();
     for &(id, t, _) in &victims {
         early_by_time.entry(t).or_default().push(id);
@@ -139,8 +141,7 @@ fn inject_dangling(program: &Program, frequency: f64, distance: u64, seed: u64) 
     let mut alloc_clock: u64 = 0;
     // Emit premature frees scheduled for time 0 (cannot happen: early >=
     // alloc_time + 1 >= 1, but keep the general pattern).
-    for op in program.ops.iter().enumerate().map(|(i, op)| (i, op)) {
-        let (op_idx, op) = op;
+    for (op_idx, op) in program.ops.iter().enumerate() {
         match op {
             Op::Alloc { .. } => {
                 ops.push(op.clone());
@@ -198,7 +199,11 @@ fn inject_uninit_read(program: &Program, rate: f64, len: usize, seed: u64) -> Pr
         ops.push(op.clone());
         if let Op::Alloc { id, size } = op {
             if rng.chance(rate) {
-                ops.push(Op::Read { id: *id, offset: 0, len: len.min(*size) });
+                ops.push(Op::Read {
+                    id: *id,
+                    offset: 0,
+                    len: len.min(*size),
+                });
             }
         }
     }
@@ -213,9 +218,21 @@ mod tests {
     fn base_program() -> Program {
         let mut ops = Vec::new();
         for i in 0..40u32 {
-            ops.push(Op::Alloc { id: i, size: 16 + (i as usize * 13) % 100 });
-            ops.push(Op::Write { id: i, offset: 0, len: 16, seed: 1 });
-            ops.push(Op::Read { id: i, offset: 0, len: 16 });
+            ops.push(Op::Alloc {
+                id: i,
+                size: 16 + (i as usize * 13) % 100,
+            });
+            ops.push(Op::Write {
+                id: i,
+                offset: 0,
+                len: 16,
+                seed: 1,
+            });
+            ops.push(Op::Read {
+                id: i,
+                offset: 0,
+                len: 16,
+            });
             if i >= 5 {
                 ops.push(Op::Free { id: i - 5 });
                 ops.push(Op::Forget { id: i - 5 });
@@ -229,7 +246,11 @@ mod tests {
         let prog = base_program();
         let injected = inject(
             &prog,
-            &Injection::Underflow { rate: 1.0, min_size: 32, shrink_by: 4 },
+            &Injection::Underflow {
+                rate: 1.0,
+                min_size: 32,
+                shrink_by: 4,
+            },
             1,
         );
         for (orig, new) in prog.ops.iter().zip(&injected.ops) {
@@ -248,12 +269,18 @@ mod tests {
         let prog = base_program();
         let injected = inject(
             &prog,
-            &Injection::Dangling { frequency: 1.0, distance: 3 },
+            &Injection::Dangling {
+                frequency: 1.0,
+                distance: 3,
+            },
             2,
         );
         // Same number of frees (each moved, none duplicated).
         let count_frees = |p: &Program| {
-            p.ops.iter().filter(|o| matches!(o, Op::Free { .. })).count()
+            p.ops
+                .iter()
+                .filter(|o| matches!(o, Op::Free { .. }))
+                .count()
         };
         assert_eq!(count_frees(&prog), count_frees(&injected));
         // Every free now happens at least one allocation earlier (in op
@@ -278,7 +305,10 @@ mod tests {
         let prog = base_program();
         let injected = inject(
             &prog,
-            &Injection::Dangling { frequency: 1.0, distance: 3 },
+            &Injection::Dangling {
+                frequency: 1.0,
+                distance: 3,
+            },
             3,
         );
         let log_orig = AllocLog::trace(&prog);
@@ -298,31 +328,56 @@ mod tests {
         let prog = Program::new(
             "large",
             vec![
-                Op::Alloc { id: 0, size: 32 * 1024 },
+                Op::Alloc {
+                    id: 0,
+                    size: 32 * 1024,
+                },
                 Op::Alloc { id: 1, size: 8 },
                 Op::Alloc { id: 2, size: 8 },
                 Op::Free { id: 0 },
                 Op::Forget { id: 0 },
             ],
         );
-        let injected = inject(&prog, &Injection::Dangling { frequency: 1.0, distance: 2 }, 4);
+        let injected = inject(
+            &prog,
+            &Injection::Dangling {
+                frequency: 1.0,
+                distance: 2,
+            },
+            4,
+        );
         let log = AllocLog::trace(&injected);
-        assert_eq!(log.records[0].free_time, AllocLog::trace(&prog).records[0].free_time,
-            "large object's free must not move");
+        assert_eq!(
+            log.records[0].free_time,
+            AllocLog::trace(&prog).records[0].free_time,
+            "large object's free must not move"
+        );
     }
 
     #[test]
     fn double_free_duplicates() {
         let prog = base_program();
         let injected = inject(&prog, &Injection::DoubleFree { rate: 1.0 }, 5);
-        let frees = |p: &Program| p.ops.iter().filter(|o| matches!(o, Op::Free { .. })).count();
+        let frees = |p: &Program| {
+            p.ops
+                .iter()
+                .filter(|o| matches!(o, Op::Free { .. }))
+                .count()
+        };
         assert_eq!(frees(&injected), frees(&prog) * 2);
     }
 
     #[test]
     fn invalid_free_inserts_raw_frees() {
         let prog = base_program();
-        let injected = inject(&prog, &Injection::InvalidFree { rate: 1.0, delta: 6 }, 6);
+        let injected = inject(
+            &prog,
+            &Injection::InvalidFree {
+                rate: 1.0,
+                delta: 6,
+            },
+            6,
+        );
         let raws = injected
             .ops
             .iter()
@@ -350,7 +405,11 @@ mod tests {
     #[test]
     fn injection_is_deterministic() {
         let prog = base_program();
-        let inj = Injection::Underflow { rate: 0.5, min_size: 16, shrink_by: 4 };
+        let inj = Injection::Underflow {
+            rate: 0.5,
+            min_size: 16,
+            shrink_by: 4,
+        };
         assert_eq!(inject(&prog, &inj, 42), inject(&prog, &inj, 42));
         assert_ne!(inject(&prog, &inj, 42), inject(&prog, &inj, 43));
     }

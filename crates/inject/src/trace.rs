@@ -157,14 +157,14 @@ mod tests {
         Program::new(
             "t",
             vec![
-                Op::Alloc { id: 0, size: 64 },   // t=0
-                Op::Alloc { id: 1, size: 128 },  // t=1
-                Op::Free { id: 0 },              // freed at t=2
+                Op::Alloc { id: 0, size: 64 },  // t=0
+                Op::Alloc { id: 1, size: 128 }, // t=1
+                Op::Free { id: 0 },             // freed at t=2
                 Op::Forget { id: 0 },
-                Op::Alloc { id: 2, size: 8 },    // t=2
-                Op::Free { id: 2 },              // freed at t=3
+                Op::Alloc { id: 2, size: 8 }, // t=2
+                Op::Free { id: 2 },           // freed at t=3
                 Op::Forget { id: 2 },
-                Op::Alloc { id: 3, size: 16 },   // t=3, never freed
+                Op::Alloc { id: 3, size: 16 }, // t=3, never freed
             ],
         )
     }
@@ -210,8 +210,10 @@ mod tests {
         let parsed = AllocLog::from_text(&text).unwrap();
         assert_eq!(parsed.len(), log.len());
         for (a, b) in log.records.iter().zip(&parsed.records) {
-            assert_eq!((a.id, a.size, a.alloc_time, a.free_time),
-                       (b.id, b.size, b.alloc_time, b.free_time));
+            assert_eq!(
+                (a.id, a.size, a.alloc_time, a.free_time),
+                (b.id, b.size, b.alloc_time, b.free_time)
+            );
         }
     }
 

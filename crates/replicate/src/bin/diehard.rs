@@ -41,7 +41,10 @@ fn main() {
         match args[i].as_str() {
             "-n" | "--replicas" => {
                 i += 1;
-                replicas = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                replicas = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--preload" => {
                 i += 1;
@@ -91,13 +94,14 @@ fn main() {
             let _ = stdout.write_all(&exit.output);
             let _ = stdout.flush();
             if exit.diverged {
-                eprintln!(
-                    "diehard: replicas diverged (possible uninitialized read); terminated"
-                );
+                eprintln!("diehard: replicas diverged (possible uninitialized read); terminated");
                 std::process::exit(2);
             }
             if !exit.killed.is_empty() {
-                eprintln!("diehard: killed {} disagreeing replica(s)", exit.killed.len());
+                eprintln!(
+                    "diehard: killed {} disagreeing replica(s)",
+                    exit.killed.len()
+                );
             }
         }
         Err(e) => {

@@ -60,7 +60,13 @@ impl LaunchConfig {
         assert!(replicas != 0, "at least one replica");
         assert!(replicas != 2, "two replicas cannot vote (§6)");
         assert!(!command.is_empty(), "command required");
-        Self { replicas, command, input, seeds: Vec::new(), preload: None }
+        Self {
+            replicas,
+            command,
+            input,
+            seeds: Vec::new(),
+            preload: None,
+        }
     }
 }
 
@@ -203,7 +209,11 @@ pub fn run_replicated(config: &LaunchConfig) -> std::io::Result<ReplicatedExit> 
         let _ = child.kill();
         let _ = child.wait();
     }
-    Ok(ReplicatedExit { output, diverged, killed: voter.killed() })
+    Ok(ReplicatedExit {
+        output,
+        diverged,
+        killed: voter.killed(),
+    })
 }
 
 #[cfg(test)]

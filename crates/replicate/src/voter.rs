@@ -29,7 +29,10 @@ impl Voter {
     /// A voter over `n` replicas, all initially live.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self { alive: vec![true; n], killed: Vec::new() }
+        Self {
+            alive: vec![true; n],
+            killed: Vec::new(),
+        }
     }
 
     /// Marks a replica dead (crashed before voting).

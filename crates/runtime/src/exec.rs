@@ -152,7 +152,12 @@ pub fn run_program<A: SimAllocator + ?Sized>(
         ($fault:expr, $at:expr) => {
             match $fault {
                 Fault::Livelock => return RunOutcome::Hung { at_op: $at },
-                f => return RunOutcome::Crashed { fault: f, at_op: $at },
+                f => {
+                    return RunOutcome::Crashed {
+                        fault: f,
+                        at_op: $at,
+                    }
+                }
             }
         };
     }
@@ -164,27 +169,27 @@ pub fn run_program<A: SimAllocator + ?Sized>(
 
     for (at_op, op) in program.ops.iter().enumerate() {
         match op {
-            Op::Alloc { id, size } => {
-                match alloc.malloc(*size, &roots) {
-                    Ok(opt) => {
-                        objects.insert(
-                            *id,
-                            ObjState {
-                                addr: opt,
-                                granted: *size,
-                                freed: false,
-                                init: track_init.then(|| vec![false; *size]),
-                            },
-                        );
-                        if let Some(a) = opt {
-                            roots.push(a);
-                        }
+            Op::Alloc { id, size } => match alloc.malloc(*size, &roots) {
+                Ok(opt) => {
+                    objects.insert(
+                        *id,
+                        ObjState {
+                            addr: opt,
+                            granted: *size,
+                            freed: false,
+                            init: track_init.then(|| vec![false; *size]),
+                        },
+                    );
+                    if let Some(a) = opt {
+                        roots.push(a);
                     }
-                    Err(f) => fault_to_outcome!(f, at_op),
                 }
-            }
+                Err(f) => fault_to_outcome!(f, at_op),
+            },
             Op::Free { id } => {
-                let Some(state) = objects.get_mut(id) else { continue };
+                let Some(state) = objects.get_mut(id) else {
+                    continue;
+                };
                 let Some(addr) = state.addr else { continue };
                 state.freed = true;
                 if let Err(f) = alloc.free(addr) {
@@ -192,7 +197,9 @@ pub fn run_program<A: SimAllocator + ?Sized>(
                 }
             }
             Op::FreeRaw { id, delta } => {
-                let Some(state) = objects.get(id) else { continue };
+                let Some(state) = objects.get(id) else {
+                    continue;
+                };
                 let Some(addr) = state.addr else { continue };
                 let target = addr.wrapping_add_signed(*delta);
                 if let Err(f) = alloc.free(target) {
@@ -203,8 +210,15 @@ pub fn run_program<A: SimAllocator + ?Sized>(
                 objects.remove(id);
                 rebuild_roots(&objects, &mut roots);
             }
-            Op::Write { id, offset, len, seed } => {
-                let Some(state) = objects.get_mut(id) else { continue };
+            Op::Write {
+                id,
+                offset,
+                len,
+                seed,
+            } => {
+                let Some(state) = objects.get_mut(id) else {
+                    continue;
+                };
                 let Some(addr) = state.addr else { continue };
                 let mut data: Vec<u8> = (0..*len)
                     .map(|i| Program::pattern_byte(*id, *seed, offset + i))
@@ -217,7 +231,10 @@ pub fn run_program<A: SimAllocator + ?Sized>(
                         // GC-backed (CCured links the BDW collector), so a
                         // dangling access hits intact memory (Table 1: ✓).
                         if offset + len > state.granted {
-                            return RunOutcome::Aborted { at_op, reason: "out-of-bounds write" };
+                            return RunOutcome::Aborted {
+                                at_op,
+                                reason: "out-of-bounds write",
+                            };
                         }
                     }
                     CheckPolicy::Oblivious => {
@@ -240,12 +257,19 @@ pub fn run_program<A: SimAllocator + ?Sized>(
                 }
             }
             Op::WritePtr { dst, offset, src } => {
-                let Some(src_addr) = objects.get(src).and_then(|s| s.addr) else { continue };
-                let Some(state) = objects.get_mut(dst) else { continue };
+                let Some(src_addr) = objects.get(src).and_then(|s| s.addr) else {
+                    continue;
+                };
+                let Some(state) = objects.get_mut(dst) else {
+                    continue;
+                };
                 let Some(addr) = state.addr else { continue };
                 match policy {
                     CheckPolicy::FailStop if offset + 8 > state.granted => {
-                        return RunOutcome::Aborted { at_op, reason: "out-of-bounds pointer store" };
+                        return RunOutcome::Aborted {
+                            at_op,
+                            reason: "out-of-bounds pointer store",
+                        };
                     }
                     CheckPolicy::Oblivious if state.freed || offset + 8 > state.granted => {
                         continue;
@@ -262,7 +286,9 @@ pub fn run_program<A: SimAllocator + ?Sized>(
                 }
             }
             Op::Read { id, offset, len } => {
-                let Some(state) = objects.get(id) else { continue };
+                let Some(state) = objects.get(id) else {
+                    continue;
+                };
                 let Some(addr) = state.addr else { continue };
                 let mut buf = vec![0u8; *len];
                 match policy {
@@ -273,11 +299,17 @@ pub fn run_program<A: SimAllocator + ?Sized>(
                     }
                     CheckPolicy::FailStop => {
                         if offset + len > state.granted {
-                            return RunOutcome::Aborted { at_op, reason: "out-of-bounds read" };
+                            return RunOutcome::Aborted {
+                                at_op,
+                                reason: "out-of-bounds read",
+                            };
                         }
                         let init = state.init.as_ref().expect("tracked under FailStop");
                         if init[*offset..offset + len].iter().any(|&b| !b) {
-                            return RunOutcome::Aborted { at_op, reason: "uninitialized read" };
+                            return RunOutcome::Aborted {
+                                at_op,
+                                reason: "uninitialized read",
+                            };
                         }
                         if let Err(f) = alloc.memory().read(addr + offset, &mut buf) {
                             fault_to_outcome!(f, at_op);
@@ -288,7 +320,10 @@ pub fn run_program<A: SimAllocator + ?Sized>(
                         if !state.freed {
                             let legal = (*len).min(state.granted.saturating_sub(*offset));
                             if legal > 0
-                                && alloc.memory().read(addr + offset, &mut buf[..legal]).is_err()
+                                && alloc
+                                    .memory()
+                                    .read(addr + offset, &mut buf[..legal])
+                                    .is_err()
                             {
                                 buf[..legal].fill(0);
                             }
@@ -298,7 +333,9 @@ pub fn run_program<A: SimAllocator + ?Sized>(
                 output.push_read(&buf);
             }
             Op::ReadThroughPtr { dst, offset, len } => {
-                let Some(state) = objects.get(dst) else { continue };
+                let Some(state) = objects.get(dst) else {
+                    continue;
+                };
                 let Some(addr) = state.addr else { continue };
                 let ptr = match alloc.memory().read_u64(addr + offset) {
                     Ok(v) => v as usize,
@@ -307,10 +344,14 @@ pub fn run_program<A: SimAllocator + ?Sized>(
                 match policy {
                     CheckPolicy::FailStop => {
                         let valid = objects.values().any(|s| {
-                            s.addr.is_some_and(|a| ptr >= a && ptr + len <= a + s.granted)
+                            s.addr
+                                .is_some_and(|a| ptr >= a && ptr + len <= a + s.granted)
                         });
                         if !valid {
-                            return RunOutcome::Aborted { at_op, reason: "invalid pointer dereference" };
+                            return RunOutcome::Aborted {
+                                at_op,
+                                reason: "invalid pointer dereference",
+                            };
                         }
                     }
                     CheckPolicy::Oblivious => {
@@ -333,7 +374,9 @@ pub fn run_program<A: SimAllocator + ?Sized>(
                 output.push_read(&buf);
             }
             Op::Strcpy { id, payload } => {
-                let Some(state) = objects.get_mut(id) else { continue };
+                let Some(state) = objects.get_mut(id) else {
+                    continue;
+                };
                 let Some(addr) = state.addr else { continue };
                 let mut data = payload.clone();
                 data.push(0);
@@ -347,7 +390,10 @@ pub fn run_program<A: SimAllocator + ?Sized>(
                 } else {
                     match policy {
                         CheckPolicy::FailStop if data.len() > state.granted => {
-                            return RunOutcome::Aborted { at_op, reason: "strcpy overflow" };
+                            return RunOutcome::Aborted {
+                                at_op,
+                                reason: "strcpy overflow",
+                            };
                         }
                         CheckPolicy::Oblivious => data.len().min(state.granted),
                         _ => data.len(),
@@ -420,17 +466,41 @@ mod tests {
         Program::new(
             "simple",
             vec![
-                Op::Print { bytes: b"start".to_vec() },
+                Op::Print {
+                    bytes: b"start".to_vec(),
+                },
                 Op::Alloc { id: 0, size: 64 },
-                Op::Write { id: 0, offset: 0, len: 64, seed: 1 },
-                Op::Read { id: 0, offset: 0, len: 64 },
+                Op::Write {
+                    id: 0,
+                    offset: 0,
+                    len: 64,
+                    seed: 1,
+                },
+                Op::Read {
+                    id: 0,
+                    offset: 0,
+                    len: 64,
+                },
                 Op::Alloc { id: 1, size: 200 },
-                Op::Write { id: 1, offset: 10, len: 100, seed: 2 },
-                Op::Read { id: 1, offset: 10, len: 100 },
+                Op::Write {
+                    id: 1,
+                    offset: 10,
+                    len: 100,
+                    seed: 2,
+                },
+                Op::Read {
+                    id: 1,
+                    offset: 10,
+                    len: 100,
+                },
                 Op::Free { id: 0 },
                 Op::Forget { id: 0 },
                 Op::Compute { units: 10 },
-                Op::Read { id: 1, offset: 10, len: 100 },
+                Op::Read {
+                    id: 1,
+                    offset: 10,
+                    len: 100,
+                },
             ],
         )
     }
@@ -449,10 +519,17 @@ mod tests {
         let out = run_program(&mut lea, &prog, &ExecOptions::default());
         assert_eq!(verdict(&out, &oracle), Verdict::Correct);
 
-        let fail_stop = ExecOptions { policy: CheckPolicy::FailStop, ..Default::default() };
+        let fail_stop = ExecOptions {
+            policy: CheckPolicy::FailStop,
+            ..Default::default()
+        };
         let mut lea = LeaSimAllocator::new(64 << 20);
         let out = run_program(&mut lea, &prog, &fail_stop);
-        assert_eq!(verdict(&out, &oracle), Verdict::Correct, "clean run must not abort");
+        assert_eq!(
+            verdict(&out, &oracle),
+            Verdict::Correct,
+            "clean run must not abort"
+        );
     }
 
     #[test]
@@ -472,14 +549,32 @@ mod tests {
             "overflow",
             vec![
                 Op::Alloc { id: 0, size: 8 },
-                Op::Write { id: 0, offset: 0, len: 16, seed: 1 },
-                Op::Read { id: 0, offset: 0, len: 8 },
+                Op::Write {
+                    id: 0,
+                    offset: 0,
+                    len: 16,
+                    seed: 1,
+                },
+                Op::Read {
+                    id: 0,
+                    offset: 0,
+                    len: 8,
+                },
             ],
         );
-        let opts = ExecOptions { policy: CheckPolicy::FailStop, ..Default::default() };
+        let opts = ExecOptions {
+            policy: CheckPolicy::FailStop,
+            ..Default::default()
+        };
         let mut lea = LeaSimAllocator::new(64 << 20);
         let out = run_program(&mut lea, &prog, &opts);
-        assert!(matches!(out, RunOutcome::Aborted { reason: "out-of-bounds write", .. }));
+        assert!(matches!(
+            out,
+            RunOutcome::Aborted {
+                reason: "out-of-bounds write",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -488,11 +583,23 @@ mod tests {
             "overflow",
             vec![
                 Op::Alloc { id: 0, size: 8 },
-                Op::Write { id: 0, offset: 0, len: 16, seed: 1 },
-                Op::Read { id: 0, offset: 0, len: 8 },
+                Op::Write {
+                    id: 0,
+                    offset: 0,
+                    len: 16,
+                    seed: 1,
+                },
+                Op::Read {
+                    id: 0,
+                    offset: 0,
+                    len: 8,
+                },
             ],
         );
-        let opts = ExecOptions { policy: CheckPolicy::Oblivious, ..Default::default() };
+        let opts = ExecOptions {
+            policy: CheckPolicy::Oblivious,
+            ..Default::default()
+        };
         let mut lea = LeaSimAllocator::new(64 << 20);
         let out = run_program(&mut lea, &prog, &opts);
         assert!(matches!(out, RunOutcome::Completed(_)));
@@ -504,14 +611,32 @@ mod tests {
             "uninit",
             vec![
                 Op::Alloc { id: 0, size: 32 },
-                Op::Write { id: 0, offset: 0, len: 16, seed: 1 },
-                Op::Read { id: 0, offset: 8, len: 16 }, // bytes 16..24 uninit
+                Op::Write {
+                    id: 0,
+                    offset: 0,
+                    len: 16,
+                    seed: 1,
+                },
+                Op::Read {
+                    id: 0,
+                    offset: 8,
+                    len: 16,
+                }, // bytes 16..24 uninit
             ],
         );
-        let opts = ExecOptions { policy: CheckPolicy::FailStop, ..Default::default() };
+        let opts = ExecOptions {
+            policy: CheckPolicy::FailStop,
+            ..Default::default()
+        };
         let mut lea = LeaSimAllocator::new(64 << 20);
         let out = run_program(&mut lea, &prog, &opts);
-        assert!(matches!(out, RunOutcome::Aborted { reason: "uninitialized read", .. }));
+        assert!(matches!(
+            out,
+            RunOutcome::Aborted {
+                reason: "uninitialized read",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -525,9 +650,23 @@ mod tests {
                 Op::Alloc { id: 9, size: 64 }, // guard against coalescing
                 Op::Free { id: 0 },
                 Op::Alloc { id: 1, size: 64 },
-                Op::Write { id: 1, offset: 0, len: 64, seed: 3 },
-                Op::Write { id: 0, offset: 0, len: 64, seed: 4 }, // stale!
-                Op::Read { id: 1, offset: 0, len: 64 },
+                Op::Write {
+                    id: 1,
+                    offset: 0,
+                    len: 64,
+                    seed: 3,
+                },
+                Op::Write {
+                    id: 0,
+                    offset: 0,
+                    len: 64,
+                    seed: 4,
+                }, // stale!
+                Op::Read {
+                    id: 1,
+                    offset: 0,
+                    len: 64,
+                },
                 Op::Forget { id: 0 },
             ],
         );
@@ -546,9 +685,23 @@ mod tests {
                 Op::Alloc { id: 0, size: 64 },
                 Op::Free { id: 0 },
                 Op::Alloc { id: 1, size: 64 },
-                Op::Write { id: 1, offset: 0, len: 64, seed: 3 },
-                Op::Write { id: 0, offset: 0, len: 64, seed: 4 },
-                Op::Read { id: 1, offset: 0, len: 64 },
+                Op::Write {
+                    id: 1,
+                    offset: 0,
+                    len: 64,
+                    seed: 3,
+                },
+                Op::Write {
+                    id: 0,
+                    offset: 0,
+                    len: 64,
+                    seed: 4,
+                },
+                Op::Read {
+                    id: 1,
+                    offset: 0,
+                    len: 64,
+                },
                 Op::Forget { id: 0 },
             ],
         );
@@ -575,11 +728,28 @@ mod tests {
         let prog = Program::new(
             "oom",
             vec![
-                Op::Alloc { id: 0, size: 16_000 }, // cap = 1: serves
-                Op::Alloc { id: 1, size: 16_000 }, // NULL
-                Op::Write { id: 1, offset: 0, len: 8, seed: 1 },
-                Op::Read { id: 1, offset: 0, len: 8 },
-                Op::Print { bytes: b"done".to_vec() },
+                Op::Alloc {
+                    id: 0,
+                    size: 16_000,
+                }, // cap = 1: serves
+                Op::Alloc {
+                    id: 1,
+                    size: 16_000,
+                }, // NULL
+                Op::Write {
+                    id: 1,
+                    offset: 0,
+                    len: 8,
+                    seed: 1,
+                },
+                Op::Read {
+                    id: 1,
+                    offset: 0,
+                    len: 8,
+                },
+                Op::Print {
+                    bytes: b"done".to_vec(),
+                },
             ],
         );
         let out = run_program(&mut dh, &prog, &ExecOptions::default());
@@ -596,14 +766,29 @@ mod tests {
             vec![
                 Op::Alloc { id: 0, size: 64 },
                 Op::Alloc { id: 1, size: 64 },
-                Op::Write { id: 1, offset: 0, len: 64, seed: 9 },
-                Op::WritePtr { dst: 0, offset: 0, src: 1 },
-                Op::ReadThroughPtr { dst: 0, offset: 0, len: 64 },
+                Op::Write {
+                    id: 1,
+                    offset: 0,
+                    len: 64,
+                    seed: 9,
+                },
+                Op::WritePtr {
+                    dst: 0,
+                    offset: 0,
+                    src: 1,
+                },
+                Op::ReadThroughPtr {
+                    dst: 0,
+                    offset: 0,
+                    len: 64,
+                },
             ],
         );
         let mut dh = DieHardSimHeap::new(HeapConfig::default(), 5).unwrap();
         let out = run_program(&mut dh, &prog, &ExecOptions::default());
-        let RunOutcome::Completed(o) = out else { panic!("{out:?}") };
+        let RunOutcome::Completed(o) = out else {
+            panic!("{out:?}")
+        };
         // The bytes read through the pointer are id 1's pattern.
         let expect: Vec<u8> = (0..64).map(|i| Program::pattern_byte(1, 9, i)).collect();
         assert_eq!(&o.as_bytes()[..32], &expect[..32]);
@@ -618,11 +803,24 @@ mod tests {
             vec![
                 Op::Alloc { id: 0, size: 64 },
                 Op::Alloc { id: 1, size: 64 },
-                Op::WritePtr { dst: 0, offset: 0, src: 1 },
+                Op::WritePtr {
+                    dst: 0,
+                    offset: 0,
+                    src: 1,
+                },
                 // Overwrite id 0's pointer slot with pattern bytes — these
                 // almost never form a mapped address.
-                Op::Write { id: 0, offset: 0, len: 8, seed: 0xEE },
-                Op::ReadThroughPtr { dst: 0, offset: 0, len: 64 },
+                Op::Write {
+                    id: 0,
+                    offset: 0,
+                    len: 8,
+                    seed: 0xEE,
+                },
+                Op::ReadThroughPtr {
+                    dst: 0,
+                    offset: 0,
+                    len: 64,
+                },
             ],
         );
         let mut lea = LeaSimAllocator::new(1 << 20);
@@ -640,16 +838,31 @@ mod tests {
             vec![
                 Op::Alloc { id: 0, size: 8 },
                 Op::Alloc { id: 1, size: 8 },
-                Op::Write { id: 1, offset: 0, len: 8, seed: 5 },
-                Op::Strcpy { id: 0, payload: vec![b'A'; 100] },
-                Op::Read { id: 1, offset: 0, len: 8 },
+                Op::Write {
+                    id: 1,
+                    offset: 0,
+                    len: 8,
+                    seed: 5,
+                },
+                Op::Strcpy {
+                    id: 0,
+                    payload: vec![b'A'; 100],
+                },
+                Op::Read {
+                    id: 1,
+                    offset: 0,
+                    len: 8,
+                },
             ],
         );
         let oracle = {
             // Oracle with bounded copy as well, for a fair comparison of
             // the *neighbour's* bytes.
             let mut inf = InfiniteHeap::new();
-            let opts = ExecOptions { bounded_strcpy: true, ..Default::default() };
+            let opts = ExecOptions {
+                bounded_strcpy: true,
+                ..Default::default()
+            };
             match run_program(&mut inf, &prog, &opts) {
                 RunOutcome::Completed(o) => o,
                 other => panic!("{other:?}"),
@@ -658,10 +871,17 @@ mod tests {
         let mut lea_unbounded = LeaSimAllocator::new(1 << 20);
         let out = run_program(&mut lea_unbounded, &prog, &ExecOptions::default());
         let v = verdict(&out, &oracle);
-        assert_ne!(v, Verdict::Correct, "unbounded strcpy must clobber the neighbour");
+        assert_ne!(
+            v,
+            Verdict::Correct,
+            "unbounded strcpy must clobber the neighbour"
+        );
 
         let mut dh = DieHardSimHeap::new(HeapConfig::default(), 8).unwrap();
-        let opts = ExecOptions { bounded_strcpy: true, ..Default::default() };
+        let opts = ExecOptions {
+            bounded_strcpy: true,
+            ..Default::default()
+        };
         let out = run_program(&mut dh, &prog, &opts);
         // Note: the read-back of id 1 must match the oracle (untouched).
         assert_eq!(verdict(&out, &oracle), Verdict::Correct);

@@ -94,8 +94,7 @@ pub fn diff_heaps(a: &DieHardSimHeap, b: &DieHardSimHeap) -> DiffReport {
     for page in pages {
         // Guarded (freed large-object) pages can only be compared when
         // readable on both sides; skip faults.
-        if a.memory().read(page, &mut buf_a).is_err()
-            || b.memory().read(page, &mut buf_b).is_err()
+        if a.memory().read(page, &mut buf_a).is_err() || b.memory().read(page, &mut buf_b).is_err()
         {
             continue;
         }
@@ -121,7 +120,11 @@ pub fn diff_heaps(a: &DieHardSimHeap, b: &DieHardSimHeap) -> DiffReport {
                     continue;
                 }
             }
-            regions.push(DiffRegion { start, len, landed_on });
+            regions.push(DiffRegion {
+                start,
+                len,
+                landed_on,
+            });
         }
     }
     DiffReport { regions }
@@ -162,7 +165,12 @@ mod tests {
             "p",
             vec![
                 Op::Alloc { id: 0, size: 128 },
-                Op::Write { id: 0, offset: 0, len: 128, seed: 1 },
+                Op::Write {
+                    id: 0,
+                    offset: 0,
+                    len: 128,
+                    seed: 1,
+                },
             ],
         );
         let (mut a, mut b) = heap_pair();
@@ -175,19 +183,41 @@ mod tests {
     fn single_extra_write_is_pinpointed() {
         let base_ops = vec![
             Op::Alloc { id: 0, size: 128 },
-            Op::Write { id: 0, offset: 0, len: 128, seed: 1 },
+            Op::Write {
+                id: 0,
+                offset: 0,
+                len: 128,
+                seed: 1,
+            },
         ];
         let mut buggy_ops = base_ops.clone();
         // The "bug": a 16-byte overflow past the object.
-        buggy_ops.push(Op::Write { id: 0, offset: 128, len: 16, seed: 2 });
+        buggy_ops.push(Op::Write {
+            id: 0,
+            offset: 128,
+            len: 16,
+            seed: 2,
+        });
 
         let (mut good, mut bad) = heap_pair();
-        run_program(&mut good, &Program::new("good", base_ops), &ExecOptions::default());
-        run_program(&mut bad, &Program::new("bad", buggy_ops), &ExecOptions::default());
+        run_program(
+            &mut good,
+            &Program::new("good", base_ops),
+            &ExecOptions::default(),
+        );
+        run_program(
+            &mut bad,
+            &Program::new("bad", buggy_ops),
+            &ExecOptions::default(),
+        );
 
         let report = diff_heaps(&good, &bad);
         assert!(!report.is_clean());
-        assert_eq!(report.differing_bytes(), 16, "exactly the overflow footprint");
+        assert_eq!(
+            report.differing_bytes(),
+            16,
+            "exactly the overflow footprint"
+        );
         let r = &report.regions[0];
         assert_eq!(r.len, 16);
     }
@@ -201,7 +231,12 @@ mod tests {
             "p",
             vec![
                 Op::Alloc { id: 0, size: 64 },
-                Op::Write { id: 0, offset: 0, len: 64, seed: 1 },
+                Op::Write {
+                    id: 0,
+                    offset: 0,
+                    len: 64,
+                    seed: 1,
+                },
             ],
         );
         run_program(&mut a, &prog, &ExecOptions::default());
@@ -228,7 +263,12 @@ mod tests {
             .flat_map(|i| {
                 vec![
                     Op::Alloc { id: i, size: 128 },
-                    Op::Write { id: i, offset: 0, len: 128, seed: 1 },
+                    Op::Write {
+                        id: i,
+                        offset: 0,
+                        len: 128,
+                        seed: 1,
+                    },
                 ]
             })
             .collect();

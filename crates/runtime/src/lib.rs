@@ -21,7 +21,9 @@ pub mod output;
 pub mod replicas;
 pub mod systems;
 
-pub use exec::{oracle_output, run_program, verdict, CheckPolicy, ExecOptions, RunOutcome, Verdict};
+pub use exec::{
+    oracle_output, run_program, verdict, CheckPolicy, ExecOptions, RunOutcome, Verdict,
+};
 pub use ops::{Op, Program};
 pub use output::Output;
 pub use replicas::{ReplicaSet, ReplicatedOutcome, ReplicatedRun};

@@ -120,13 +120,19 @@ impl Program {
     /// Creates a program from parts.
     #[must_use]
     pub fn new(name: impl Into<String>, ops: Vec<Op>) -> Self {
-        Self { name: name.into(), ops }
+        Self {
+            name: name.into(),
+            ops,
+        }
     }
 
     /// Number of allocation ops (the paper reports memory ops/sec).
     #[must_use]
     pub fn alloc_count(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, Op::Alloc { .. })).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Alloc { .. }))
+            .count()
     }
 
     /// Number of memory-management ops (allocs + frees).
@@ -162,7 +168,12 @@ mod tests {
             "t",
             vec![
                 Op::Alloc { id: 0, size: 8 },
-                Op::Write { id: 0, offset: 0, len: 8, seed: 1 },
+                Op::Write {
+                    id: 0,
+                    offset: 0,
+                    len: 8,
+                    seed: 1,
+                },
                 Op::Free { id: 0 },
                 Op::Forget { id: 0 },
                 Op::Alloc { id: 1, size: 16 },
@@ -179,10 +190,18 @@ mod tests {
         assert_eq!(a, Program::pattern_byte(1, 7, 0));
         let distinct: std::collections::HashSet<u8> =
             (0..256).map(|i| Program::pattern_byte(1, 7, i)).collect();
-        assert!(distinct.len() > 64, "pattern too repetitive: {}", distinct.len());
+        assert!(
+            distinct.len() > 64,
+            "pattern too repetitive: {}",
+            distinct.len()
+        );
         assert_ne!(
-            (0..32).map(|i| Program::pattern_byte(1, 7, i)).collect::<Vec<_>>(),
-            (0..32).map(|i| Program::pattern_byte(2, 7, i)).collect::<Vec<_>>(),
+            (0..32)
+                .map(|i| Program::pattern_byte(1, 7, i))
+                .collect::<Vec<_>>(),
+            (0..32)
+                .map(|i| Program::pattern_byte(2, 7, i))
+                .collect::<Vec<_>>(),
         );
     }
 }

@@ -120,8 +120,8 @@ impl ReplicaSet {
             .seeds
             .iter()
             .map(|&seed| {
-                let mut heap = DieHardSimHeap::new(self.config.clone(), seed)
-                    .expect("valid replica config");
+                let mut heap =
+                    DieHardSimHeap::new(self.config.clone(), seed).expect("valid replica config");
                 run_program(&mut heap, program, &ExecOptions::default())
             })
             .collect();
@@ -141,8 +141,8 @@ impl ReplicaSet {
                 .map(|&seed| {
                     let config = self.config.clone();
                     scope.spawn(move || {
-                        let mut heap = DieHardSimHeap::new(config, seed)
-                            .expect("valid replica config");
+                        let mut heap =
+                            DieHardSimHeap::new(config, seed).expect("valid replica config");
                         run_program(&mut heap, program, &ExecOptions::default())
                     })
                 })
@@ -156,7 +156,6 @@ impl ReplicaSet {
     }
 
     fn vote(&self, results: Vec<RunOutcome>) -> ReplicatedRun {
-
         let mut fates: Vec<ReplicaFate> = results
             .iter()
             .map(|r| match r {
@@ -177,7 +176,10 @@ impl ReplicaSet {
             .filter(|&i| outputs[i].is_some())
             .collect();
         if live.is_empty() {
-            return ReplicatedRun { outcome: ReplicatedOutcome::AllDied, fates };
+            return ReplicatedRun {
+                outcome: ReplicatedOutcome::AllDied,
+                fates,
+            };
         }
 
         let mut committed = Output::new();
@@ -213,7 +215,9 @@ impl ReplicaSet {
                 // All live replicas disagree: the voter cannot commit —
                 // terminate (this is the §6.3 uninit-read detection path).
                 return ReplicatedRun {
-                    outcome: ReplicatedOutcome::Divergence { at_chunk: chunk_idx },
+                    outcome: ReplicatedOutcome::Divergence {
+                        at_chunk: chunk_idx,
+                    },
                     fates,
                 };
             }
@@ -225,11 +229,16 @@ impl ReplicaSet {
                 .filter(|i| !winners.contains(i))
                 .collect();
             for i in losers {
-                fates[i] = ReplicaFate::Outvoted { at_chunk: chunk_idx };
+                fates[i] = ReplicaFate::Outvoted {
+                    at_chunk: chunk_idx,
+                };
             }
             live.retain(|i| winners.contains(i));
         }
-        ReplicatedRun { outcome: ReplicatedOutcome::Agreed(committed), fates }
+        ReplicatedRun {
+            outcome: ReplicatedOutcome::Agreed(committed),
+            fates,
+        }
     }
 }
 
@@ -242,9 +251,21 @@ mod tests {
     fn clean_program() -> Program {
         let mut ops = Vec::new();
         for i in 0..30u32 {
-            ops.push(Op::Alloc { id: i, size: 32 + (i as usize % 100) });
-            ops.push(Op::Write { id: i, offset: 0, len: 32, seed: 7 });
-            ops.push(Op::Read { id: i, offset: 0, len: 32 });
+            ops.push(Op::Alloc {
+                id: i,
+                size: 32 + (i as usize % 100),
+            });
+            ops.push(Op::Write {
+                id: i,
+                offset: 0,
+                len: 32,
+                seed: 7,
+            });
+            ops.push(Op::Read {
+                id: i,
+                offset: 0,
+                len: 32,
+            });
         }
         Program::new("clean", ops)
     }
@@ -268,7 +289,11 @@ mod tests {
             "uninit",
             vec![
                 Op::Alloc { id: 0, size: 64 },
-                Op::Read { id: 0, offset: 0, len: 16 }, // never written!
+                Op::Read {
+                    id: 0,
+                    offset: 0,
+                    len: 16,
+                }, // never written!
             ],
         );
         let set = ReplicaSet::new(3, 99, HeapConfig::default());
@@ -290,7 +315,11 @@ mod tests {
             "uninit",
             vec![
                 Op::Alloc { id: 0, size: 64 },
-                Op::Read { id: 0, offset: 0, len: 16 },
+                Op::Read {
+                    id: 0,
+                    offset: 0,
+                    len: 16,
+                },
             ],
         );
         let set = ReplicaSet::new(1, 5, HeapConfig::default());
@@ -306,8 +335,17 @@ mod tests {
             "init",
             vec![
                 Op::Alloc { id: 0, size: 1000 },
-                Op::Write { id: 0, offset: 0, len: 1000, seed: 3 },
-                Op::Read { id: 0, offset: 0, len: 1000 },
+                Op::Write {
+                    id: 0,
+                    offset: 0,
+                    len: 1000,
+                    seed: 3,
+                },
+                Op::Read {
+                    id: 0,
+                    offset: 0,
+                    len: 1000,
+                },
             ],
         );
         let set = ReplicaSet::new(5, 123, HeapConfig::default());
@@ -348,12 +386,26 @@ mod tests {
         let mut ops = vec![Op::Alloc { id: 0, size: 8 }];
         for i in 1..20u32 {
             ops.push(Op::Alloc { id: i, size: 8 });
-            ops.push(Op::Write { id: i, offset: 0, len: 8, seed: 9 });
+            ops.push(Op::Write {
+                id: i,
+                offset: 0,
+                len: 8,
+                seed: 9,
+            });
         }
         // Overflow object 0 by one object's worth.
-        ops.push(Op::Write { id: 0, offset: 0, len: 16, seed: 4 });
+        ops.push(Op::Write {
+            id: 0,
+            offset: 0,
+            len: 16,
+            seed: 4,
+        });
         for i in 1..20u32 {
-            ops.push(Op::Read { id: i, offset: 0, len: 8 });
+            ops.push(Op::Read {
+                id: i,
+                offset: 0,
+                len: 8,
+            });
         }
         let prog = Program::new("overflow", ops);
         let oracle = oracle_output(&prog);

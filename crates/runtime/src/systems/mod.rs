@@ -81,18 +81,24 @@ impl System {
                 run_program(&mut a, program, &ExecOptions::default())
             }
             System::DieHard { config, seed } => {
-                let mut a = DieHardSimHeap::new(config.clone(), *seed)
-                    .expect("valid DieHard config");
+                let mut a =
+                    DieHardSimHeap::new(config.clone(), *seed).expect("valid DieHard config");
                 run_program(&mut a, program, &ExecOptions::default())
             }
             System::CCured => {
                 let mut a = BdwGcSim::new(BASELINE_SPAN);
-                let opts = ExecOptions { policy: CheckPolicy::FailStop, ..Default::default() };
+                let opts = ExecOptions {
+                    policy: CheckPolicy::FailStop,
+                    ..Default::default()
+                };
                 run_program(&mut a, program, &opts)
             }
             System::FailureOblivious => {
                 let mut a = LeaSimAllocator::new(BASELINE_SPAN);
-                let opts = ExecOptions { policy: CheckPolicy::Oblivious, ..Default::default() };
+                let opts = ExecOptions {
+                    policy: CheckPolicy::Oblivious,
+                    ..Default::default()
+                };
                 run_program(&mut a, program, &opts)
             }
             System::Rx => {
@@ -145,8 +151,8 @@ impl System {
                 (o, a.work())
             }
             System::DieHard { config, seed } => {
-                let mut a = DieHardSimHeap::new(config.clone(), *seed)
-                    .expect("valid DieHard config");
+                let mut a =
+                    DieHardSimHeap::new(config.clone(), *seed).expect("valid DieHard config");
                 let o = run_program(&mut a, program, &ExecOptions::default());
                 let w = a.work();
                 (o, w)
@@ -165,9 +171,21 @@ mod tests {
     fn clean_program() -> Program {
         let mut ops = Vec::new();
         for i in 0..50u32 {
-            ops.push(Op::Alloc { id: i, size: 16 + (i as usize * 7) % 400 });
-            ops.push(Op::Write { id: i, offset: 0, len: 16, seed: 1 });
-            ops.push(Op::Read { id: i, offset: 0, len: 16 });
+            ops.push(Op::Alloc {
+                id: i,
+                size: 16 + (i as usize * 7) % 400,
+            });
+            ops.push(Op::Write {
+                id: i,
+                offset: 0,
+                len: 16,
+                seed: 1,
+            });
+            ops.push(Op::Read {
+                id: i,
+                offset: 0,
+                len: 16,
+            });
             if i >= 10 {
                 ops.push(Op::Free { id: i - 10 });
                 ops.push(Op::Forget { id: i - 10 });
@@ -183,7 +201,10 @@ mod tests {
             System::Libc,
             System::WindowsDefault,
             System::BdwGc,
-            System::DieHard { config: HeapConfig::default(), seed: 42 },
+            System::DieHard {
+                config: HeapConfig::default(),
+                seed: 42,
+            },
             System::CCured,
             System::FailureOblivious,
             System::Rx,
@@ -203,13 +224,31 @@ mod tests {
             vec![
                 Op::Alloc { id: 0, size: 24 },
                 Op::Alloc { id: 1, size: 24 },
-                Op::Write { id: 0, offset: 0, len: 32, seed: 1 }, // +8 overflow
+                Op::Write {
+                    id: 0,
+                    offset: 0,
+                    len: 32,
+                    seed: 1,
+                }, // +8 overflow
                 Op::Free { id: 1 },
                 Op::Forget { id: 1 },
                 Op::Alloc { id: 2, size: 24 },
-                Op::Write { id: 2, offset: 0, len: 24, seed: 2 },
-                Op::Read { id: 2, offset: 0, len: 24 },
-                Op::Read { id: 0, offset: 0, len: 24 },
+                Op::Write {
+                    id: 2,
+                    offset: 0,
+                    len: 24,
+                    seed: 2,
+                },
+                Op::Read {
+                    id: 2,
+                    offset: 0,
+                    len: 24,
+                },
+                Op::Read {
+                    id: 0,
+                    offset: 0,
+                    len: 24,
+                },
             ],
         );
         let libc = System::Libc.evaluate(&prog);
@@ -224,7 +263,12 @@ mod tests {
             "of",
             vec![
                 Op::Alloc { id: 0, size: 8 },
-                Op::Write { id: 0, offset: 0, len: 12, seed: 1 },
+                Op::Write {
+                    id: 0,
+                    offset: 0,
+                    len: 12,
+                    seed: 1,
+                },
             ],
         );
         assert_eq!(System::CCured.evaluate(&prog), Verdict::Abort);
@@ -238,8 +282,17 @@ mod tests {
             "of",
             vec![
                 Op::Alloc { id: 0, size: 8 },
-                Op::Write { id: 0, offset: 0, len: 12, seed: 1 },
-                Op::Read { id: 0, offset: 0, len: 8 },
+                Op::Write {
+                    id: 0,
+                    offset: 0,
+                    len: 12,
+                    seed: 1,
+                },
+                Op::Read {
+                    id: 0,
+                    offset: 0,
+                    len: 8,
+                },
             ],
         );
         assert!(System::FailureOblivious.evaluate(&prog).is_correct());
@@ -256,10 +309,28 @@ mod tests {
                 // One overflowing write that also covers in-bounds bytes
                 // 8..16; oblivious clips at 16, fine — so instead make the
                 // write *start* out of bounds: entirely dropped.
-                Op::Write { id: 0, offset: 12, len: 8, seed: 1 }, // 12..20: clipped to 12..16
-                Op::Read { id: 0, offset: 12, len: 4 },           // reads clipped-but-written bytes: ok
-                Op::Write { id: 0, offset: 16, len: 4, seed: 2 }, // fully OOB: dropped
-                Op::Read { id: 0, offset: 0, len: 16 },
+                Op::Write {
+                    id: 0,
+                    offset: 12,
+                    len: 8,
+                    seed: 1,
+                }, // 12..20: clipped to 12..16
+                Op::Read {
+                    id: 0,
+                    offset: 12,
+                    len: 4,
+                }, // reads clipped-but-written bytes: ok
+                Op::Write {
+                    id: 0,
+                    offset: 16,
+                    len: 4,
+                    seed: 2,
+                }, // fully OOB: dropped
+                Op::Read {
+                    id: 0,
+                    offset: 0,
+                    len: 16,
+                },
             ],
         );
         // Oracle (infinite heap) performs ALL writes (they're absorbed),
@@ -274,8 +345,17 @@ mod tests {
             "of3",
             vec![
                 Op::Alloc { id: 0, size: 16 },
-                Op::Write { id: 0, offset: 8, len: 16, seed: 3 }, // 8..24 overflow
-                Op::Read { id: 0, offset: 8, len: 16 },            // reads 8..24
+                Op::Write {
+                    id: 0,
+                    offset: 8,
+                    len: 16,
+                    seed: 3,
+                }, // 8..24 overflow
+                Op::Read {
+                    id: 0,
+                    offset: 8,
+                    len: 16,
+                }, // reads 8..24
             ],
         );
         assert_eq!(
@@ -291,23 +371,38 @@ mod tests {
             vec![
                 Op::Alloc { id: 0, size: 24 },
                 Op::Alloc { id: 1, size: 24 },
-                Op::Write { id: 0, offset: 0, len: 32, seed: 1 },
+                Op::Write {
+                    id: 0,
+                    offset: 0,
+                    len: 32,
+                    seed: 1,
+                },
                 Op::Free { id: 1 },
                 Op::Forget { id: 1 },
                 Op::Alloc { id: 2, size: 24 },
-                Op::Read { id: 0, offset: 0, len: 24 },
+                Op::Read {
+                    id: 0,
+                    offset: 0,
+                    len: 24,
+                },
             ],
         );
         assert!(!System::Libc.evaluate(&prog).is_correct());
-        let dh = System::DieHard { config: HeapConfig::default(), seed: 9 };
+        let dh = System::DieHard {
+            config: HeapConfig::default(),
+            seed: 9,
+        };
         assert!(dh.evaluate(&prog).is_correct());
     }
 
     #[test]
     fn work_model_exposes_allocator_costs() {
         let prog = clean_program();
-        let (_, dh_work) = System::DieHard { config: HeapConfig::default(), seed: 1 }
-            .evaluate_with_work(&prog);
+        let (_, dh_work) = System::DieHard {
+            config: HeapConfig::default(),
+            seed: 1,
+        }
+        .evaluate_with_work(&prog);
         let (_, lea_work) = System::Libc.evaluate_with_work(&prog);
         assert!(dh_work > 0);
         assert!(lea_work > 0);

@@ -124,7 +124,9 @@ impl PagedArena {
     fn check(&self, addr: usize, len: usize) -> Result<(), Fault> {
         let end = addr.checked_add(len).ok_or(Fault::Segv { addr })?;
         if end > self.limit {
-            return Err(Fault::Segv { addr: self.limit.max(addr) });
+            return Err(Fault::Segv {
+                addr: self.limit.max(addr),
+            });
         }
         for &(gs, ge) in &self.guards {
             if addr < ge && gs < end {

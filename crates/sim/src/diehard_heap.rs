@@ -85,8 +85,8 @@ impl DieHardSimHeap {
     ///
     /// Propagates arena faults (e.g. destination in a guard page).
     pub fn strcpy(&mut self, dest: Addr, src: &[u8]) -> Result<CopyOutcome, Fault> {
-        let space = safe_str::space_to_object_end(&self.core, dest)
-            .unwrap_or_else(|| src.len() + 1);
+        let space =
+            safe_str::space_to_object_end(&self.core, dest).unwrap_or_else(|| src.len() + 1);
         let mut buf = vec![0u8; space];
         self.arena.read(dest, &mut buf)?;
         let outcome = safe_str::bounded_strcpy(&mut buf, space, src);
@@ -205,7 +205,6 @@ impl SimAllocator for DieHardSimHeap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use diehard_core::engine::FreeOutcome;
 
     fn heap(seed: u64) -> DieHardSimHeap {
         DieHardSimHeap::new(HeapConfig::default(), seed).unwrap()
@@ -297,7 +296,9 @@ mod tests {
     fn strcpy_clamped_to_object() {
         let mut h = heap(7);
         let a = h.malloc(8, &[]).unwrap().unwrap();
-        let out = h.strcpy(a, b"a very long string that would overflow").unwrap();
+        let out = h
+            .strcpy(a, b"a very long string that would overflow")
+            .unwrap();
         assert!(out.truncated);
         assert_eq!(out.copied, 7);
         let mut buf = [0u8; 8];

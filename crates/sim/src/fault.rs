@@ -50,7 +50,10 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(Fault::Segv { addr: 0x1000 }.to_string().contains("0x1000"));
-        let c = Fault::CorruptMetadata { addr: 8, what: "bad size" };
+        let c = Fault::CorruptMetadata {
+            addr: 8,
+            what: "bad size",
+        };
         assert!(c.to_string().contains("bad size"));
         assert!(Fault::Livelock.to_string().contains("livelock"));
     }

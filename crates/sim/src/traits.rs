@@ -105,7 +105,10 @@ mod tests {
 
     #[test]
     fn trait_is_object_safe_with_defaults() {
-        let mut b = Bump { arena: PagedArena::new(1 << 16), top: 0 };
+        let mut b = Bump {
+            arena: PagedArena::new(1 << 16),
+            top: 0,
+        };
         let dyn_ref: &mut dyn SimAllocator = &mut b;
         let a = dyn_ref.malloc(16, &[]).unwrap().unwrap();
         dyn_ref.memory_mut().write(a, b"hi").unwrap();

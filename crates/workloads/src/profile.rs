@@ -102,7 +102,12 @@ impl Profile {
         for g in 0..4u32 {
             let id = u32::MAX - g;
             ops.push(Op::Alloc { id, size: 1024 });
-            ops.push(Op::Write { id, offset: 0, len: 1024, seed: 0xEE });
+            ops.push(Op::Write {
+                id,
+                offset: 0,
+                len: 1024,
+                seed: 0xEE,
+            });
             live.push((id, 1024));
         }
 
@@ -113,24 +118,39 @@ impl Profile {
             ops.push(Op::Alloc { id, size });
             // Initialize most of the object (capped write cost).
             let init_len = size.min(256);
-            ops.push(Op::Write { id, offset: 0, len: init_len, seed: (i % 251) as u8 });
+            ops.push(Op::Write {
+                id,
+                offset: 0,
+                len: init_len,
+                seed: (i % 251) as u8,
+            });
             live.push((id, init_len));
 
             // lindsay's bug: one read of memory that was never written,
             // planted mid-run.
             if !uninit_done && i >= n / 2 && size >= 264 {
-                ops.push(Op::Read { id, offset: 256, len: 8 });
+                ops.push(Op::Read {
+                    id,
+                    offset: 256,
+                    len: 8,
+                });
                 uninit_done = true;
             }
 
             if self.compute_per_op > 0 {
-                ops.push(Op::Compute { units: self.compute_per_op });
+                ops.push(Op::Compute {
+                    units: self.compute_per_op,
+                });
             }
             if rng.chance(self.read_fraction) && !live.is_empty() {
                 // Read back initialized bytes only: clean workloads contain
                 // no out-of-bounds or uninitialized reads by construction.
                 let (target, written) = live[rng.below(live.len())];
-                ops.push(Op::Read { id: target, offset: 0, len: written.min(16) });
+                ops.push(Op::Read {
+                    id: target,
+                    offset: 0,
+                    len: written.min(16),
+                });
             }
 
             // Schedule this object's death: geometric around mean_lifetime.
@@ -243,20 +263,90 @@ pub fn spec_suite() -> Vec<Profile> {
         uninit_read_bug: false,
     };
     vec![
-        mk("164.gzip", 600, SizeDist::Choice(vec![(4096, 0.5), (16_384, 0.3), (65_536, 0.2)]), 400, 2000, 0.2),
+        mk(
+            "164.gzip",
+            600,
+            SizeDist::Choice(vec![(4096, 0.5), (16_384, 0.3), (65_536, 0.2)]),
+            400,
+            2000,
+            0.2,
+        ),
         mk("175.vpr", 3_000, SizeDist::Uniform(16, 512), 800, 400, 0.25),
-        mk("176.gcc", 9_000, SizeDist::PowersOfTwo(16, 4096), 300, 150, 0.25),
-        mk("181.mcf", 400, SizeDist::Choice(vec![(40, 0.5), (16_384, 0.25), (131_072, 0.25)]), 350, 3000, 0.2),
-        mk("186.crafty", 300, SizeDist::Uniform(64, 2048), 280, 4000, 0.2),
-        mk("197.parser", 12_000, SizeDist::Choice(vec![(16, 0.5), (40, 0.3), (120, 0.2)]), 60, 120, 0.3),
+        mk(
+            "176.gcc",
+            9_000,
+            SizeDist::PowersOfTwo(16, 4096),
+            300,
+            150,
+            0.25,
+        ),
+        mk(
+            "181.mcf",
+            400,
+            SizeDist::Choice(vec![(40, 0.5), (16_384, 0.25), (131_072, 0.25)]),
+            350,
+            3000,
+            0.2,
+        ),
+        mk(
+            "186.crafty",
+            300,
+            SizeDist::Uniform(64, 2048),
+            280,
+            4000,
+            0.2,
+        ),
+        mk(
+            "197.parser",
+            12_000,
+            SizeDist::Choice(vec![(16, 0.5), (40, 0.3), (120, 0.2)]),
+            60,
+            120,
+            0.3,
+        ),
         mk("252.eon", 8_000, SizeDist::Uniform(24, 320), 100, 180, 0.3),
-        mk("253.perlbmk", 20_000, SizeDist::Choice(vec![(16, 0.3), (32, 0.3), (64, 0.2), (520, 0.2)]), 90, 25, 0.3),
-        mk("254.gap", 700, SizeDist::Choice(vec![(32, 0.4), (8192, 0.3), (65_536, 0.3)]), 500, 2500, 0.2),
-        mk("255.vortex", 7_000, SizeDist::Uniform(40, 800), 250, 200, 0.3),
-        mk("256.bzip2", 350, SizeDist::Choice(vec![(16_384, 0.4), (65_536, 0.4), (262_144, 0.2)]), 300, 3500, 0.2),
+        mk(
+            "253.perlbmk",
+            20_000,
+            SizeDist::Choice(vec![(16, 0.3), (32, 0.3), (64, 0.2), (520, 0.2)]),
+            90,
+            25,
+            0.3,
+        ),
+        mk(
+            "254.gap",
+            700,
+            SizeDist::Choice(vec![(32, 0.4), (8192, 0.3), (65_536, 0.3)]),
+            500,
+            2500,
+            0.2,
+        ),
+        mk(
+            "255.vortex",
+            7_000,
+            SizeDist::Uniform(40, 800),
+            250,
+            200,
+            0.3,
+        ),
+        mk(
+            "256.bzip2",
+            350,
+            SizeDist::Choice(vec![(16_384, 0.4), (65_536, 0.4), (262_144, 0.2)]),
+            300,
+            3500,
+            0.2,
+        ),
         // twolf: "uses a wide range of object sizes", spreading accesses
         // across many size-class partitions.
-        mk("300.twolf", 10_000, SizeDist::PowersOfTwo(8, 16_384), 200, 80, 0.3),
+        mk(
+            "300.twolf",
+            10_000,
+            SizeDist::PowersOfTwo(8, 16_384),
+            200,
+            80,
+            0.3,
+        ),
     ]
 }
 
@@ -301,8 +391,18 @@ mod tests {
             let oracle = oracle_output(&prog);
             let mut dh = DieHardSimHeap::new(HeapConfig::default(), 3).unwrap();
             let out = run_program(&mut dh, &prog, &ExecOptions::default());
-            assert_eq!(verdict(&out, &oracle), Verdict::Correct, "{} on diehard", p.name);
-            assert_eq!(System::Libc.evaluate(&prog), Verdict::Correct, "{} on libc", p.name);
+            assert_eq!(
+                verdict(&out, &oracle),
+                Verdict::Correct,
+                "{} on diehard",
+                p.name
+            );
+            assert_eq!(
+                System::Libc.evaluate(&prog),
+                Verdict::Correct,
+                "{} on libc",
+                p.name
+            );
         }
     }
 
@@ -371,7 +471,10 @@ mod tests {
         let set = diehard_runtime::ReplicaSet::new(3, 5, HeapConfig::default());
         let run = set.run(&prog);
         assert!(
-            matches!(run.outcome, diehard_runtime::ReplicatedOutcome::Divergence { .. }),
+            matches!(
+                run.outcome,
+                diehard_runtime::ReplicatedOutcome::Divergence { .. }
+            ),
             "lindsay's uninit read must be detected, got {:?}",
             run.outcome
         );

@@ -64,26 +64,57 @@ impl Request {
 #[must_use]
 pub fn build_program(requests: &[Request]) -> Program {
     let mut ops: Vec<Op> = Vec::new();
-    ops.push(Op::Print { bytes: b"squid-sim v0\n".to_vec() });
+    ops.push(Op::Print {
+        bytes: b"squid-sim v0\n".to_vec(),
+    });
     let mut next_id: u32 = 0;
     for (i, req) in requests.iter().enumerate() {
         let payload = next_id;
         let title = next_id + 1;
         let entry = next_id + 2;
         next_id += 3;
-        ops.push(Op::Alloc { id: payload, size: 256 });
-        ops.push(Op::Write { id: payload, offset: 0, len: 256, seed: (i % 250) as u8 });
-        ops.push(Op::Alloc { id: title, size: TITLE_BUF });
+        ops.push(Op::Alloc {
+            id: payload,
+            size: 256,
+        });
+        ops.push(Op::Write {
+            id: payload,
+            offset: 0,
+            len: 256,
+            seed: (i % 250) as u8,
+        });
+        ops.push(Op::Alloc {
+            id: title,
+            size: TITLE_BUF,
+        });
         // The entry is title-sized so size-segregating allocators (the GC)
         // also place it among titles; it stores the payload pointer.
-        ops.push(Op::Alloc { id: entry, size: TITLE_BUF });
-        ops.push(Op::WritePtr { dst: entry, offset: 0, src: payload });
+        ops.push(Op::Alloc {
+            id: entry,
+            size: TITLE_BUF,
+        });
+        ops.push(Op::WritePtr {
+            dst: entry,
+            offset: 0,
+            src: payload,
+        });
         // The buggy copy: strcpy(title, url) with no bound.
-        ops.push(Op::Strcpy { id: title, payload: req.url.clone() });
+        ops.push(Op::Strcpy {
+            id: title,
+            payload: req.url.clone(),
+        });
         // Serve the request: echo the title, then the payload via the
         // entry's pointer.
-        ops.push(Op::Read { id: title, offset: 0, len: 24 });
-        ops.push(Op::ReadThroughPtr { dst: entry, offset: 0, len: 64 });
+        ops.push(Op::Read {
+            id: title,
+            offset: 0,
+            len: 24,
+        });
+        ops.push(Op::ReadThroughPtr {
+            dst: entry,
+            offset: 0,
+            len: 64,
+        });
         // Entries churn: retire an older request's objects periodically.
         if i >= 4 && i % 2 == 0 {
             let base = (i as u32 - 4) * 3;
@@ -93,7 +124,9 @@ pub fn build_program(requests: &[Request]) -> Program {
             }
         }
     }
-    ops.push(Op::Print { bytes: b"shutdown\n".to_vec() });
+    ops.push(Op::Print {
+        bytes: b"shutdown\n".to_vec(),
+    });
     Program::new("squid-sim", ops)
 }
 
@@ -125,7 +158,10 @@ mod tests {
         for system in [
             System::Libc,
             System::BdwGc,
-            System::DieHard { config: HeapConfig::default(), seed: 1 },
+            System::DieHard {
+                config: HeapConfig::default(),
+                seed: 1,
+            },
         ] {
             assert!(
                 system.evaluate(&prog).is_correct(),
@@ -163,7 +199,11 @@ mod tests {
         let prog = attack_scenario(20);
         let mut correct = 0;
         for seed in 0..10 {
-            let v = System::DieHard { config: HeapConfig::default(), seed }.evaluate(&prog);
+            let v = System::DieHard {
+                config: HeapConfig::default(),
+                seed,
+            }
+            .evaluate(&prog);
             if v.is_correct() {
                 correct += 1;
             }
@@ -175,8 +215,9 @@ mod tests {
     fn attack_program_shape() {
         let prog = attack_scenario(10);
         assert_eq!(prog.alloc_count(), 33, "11 requests x 3 objects");
-        assert!(prog.ops.iter().any(
-            |o| matches!(o, Op::Strcpy { payload, .. } if payload.len() > TITLE_BUF)
-        ));
+        assert!(prog
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::Strcpy { payload, .. } if payload.len() > TITLE_BUF)));
     }
 }

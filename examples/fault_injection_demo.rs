@@ -26,14 +26,27 @@ fn main() {
     let campaigns: Vec<(&str, Injection)> = vec![
         (
             "dangling (50%, 10 allocs early)",
-            Injection::Dangling { frequency: 0.5, distance: 10 },
+            Injection::Dangling {
+                frequency: 0.5,
+                distance: 10,
+            },
         ),
         (
             "overflow (1% of allocs ≥32B short by a granule)",
-            Injection::Underflow { rate: 0.01, min_size: 32, shrink_by: 16 },
+            Injection::Underflow {
+                rate: 0.01,
+                min_size: 32,
+                shrink_by: 16,
+            },
         ),
         ("double free (20%)", Injection::DoubleFree { rate: 0.2 }),
-        ("invalid free (10%)", Injection::InvalidFree { rate: 0.1, delta: 8 }),
+        (
+            "invalid free (10%)",
+            Injection::InvalidFree {
+                rate: 0.1,
+                delta: 8,
+            },
+        ),
     ];
 
     println!("\n{:<48} {:<12} {:<12}", "injection", "libc", "DieHard");
@@ -41,7 +54,11 @@ fn main() {
     for (name, injection) in campaigns {
         let bad = inject(&prog, &injection, 0xFA17);
         let libc = System::Libc.evaluate(&bad);
-        let dh = System::DieHard { config: HeapConfig::paper_default(), seed: 5 }.evaluate(&bad);
+        let dh = System::DieHard {
+            config: HeapConfig::paper_default(),
+            seed: 5,
+        }
+        .evaluate(&bad);
         println!("{name:<48} {libc:<12} {dh:<12}");
     }
 
@@ -50,17 +67,40 @@ fn main() {
     println!("\nheap differencing: locating a single 16-byte overflow…");
     let clean_ops = vec![
         Op::Alloc { id: 0, size: 128 },
-        Op::Write { id: 0, offset: 0, len: 128, seed: 1 },
+        Op::Write {
+            id: 0,
+            offset: 0,
+            len: 128,
+            seed: 1,
+        },
         Op::Alloc { id: 1, size: 128 },
-        Op::Write { id: 1, offset: 0, len: 128, seed: 2 },
+        Op::Write {
+            id: 1,
+            offset: 0,
+            len: 128,
+            seed: 2,
+        },
     ];
     let mut buggy_ops = clean_ops.clone();
-    buggy_ops.push(Op::Write { id: 0, offset: 128, len: 16, seed: 3 });
+    buggy_ops.push(Op::Write {
+        id: 0,
+        offset: 128,
+        len: 16,
+        seed: 3,
+    });
 
     let mut good = DieHardSimHeap::new(HeapConfig::default(), 77).unwrap();
     let mut bad = DieHardSimHeap::new(HeapConfig::default(), 77).unwrap();
-    run_program(&mut good, &Program::new("good", clean_ops), &ExecOptions::default());
-    run_program(&mut bad, &Program::new("bad", buggy_ops), &ExecOptions::default());
+    run_program(
+        &mut good,
+        &Program::new("good", clean_ops),
+        &ExecOptions::default(),
+    );
+    run_program(
+        &mut bad,
+        &Program::new("bad", buggy_ops),
+        &ExecOptions::default(),
+    );
     let report = diehard::runtime::heap_diff::diff_heaps(&good, &bad);
     for region in &report.regions {
         println!(

@@ -24,7 +24,14 @@ mod unix_demo {
         let mut v: Vec<u64> = (0..10_000).collect();
         v.retain(|x| x % 3 == 0);
         let mut map: HashMap<String, usize> = HashMap::new();
-        for word in ["probabilistic", "memory", "safety", "for", "unsafe", "languages"] {
+        for word in [
+            "probabilistic",
+            "memory",
+            "safety",
+            "for",
+            "unsafe",
+            "languages",
+        ] {
             map.insert(word.repeat(3), word.len());
         }
         let joined: String = map.keys().cloned().collect::<Vec<_>>().join("-");
@@ -34,7 +41,10 @@ mod unix_demo {
             map.len(),
             joined.len()
         );
-        println!("live small objects in the DieHard heap: {}", DIEHARD.live_objects());
+        println!(
+            "live small objects in the DieHard heap: {}",
+            DIEHARD.live_objects()
+        );
 
         // C-style API with full §4.3 validation.
         let p = DIEHARD.malloc(48);

@@ -18,26 +18,45 @@ fn workload(enable_suspect_path: bool) -> Program {
     // A little database: 20 records, updated in place.
     for i in 0..20u32 {
         ops.push(Op::Alloc { id: i, size: 96 });
-        ops.push(Op::Write { id: i, offset: 0, len: 96, seed: 10 });
+        ops.push(Op::Write {
+            id: i,
+            offset: 0,
+            len: 96,
+            seed: 10,
+        });
     }
     // Updates…
     for i in 0..20u32 {
-        ops.push(Op::Write { id: i, offset: 16, len: 32, seed: 11 });
+        ops.push(Op::Write {
+            id: i,
+            offset: 16,
+            len: 32,
+            seed: 11,
+        });
     }
     if enable_suspect_path {
         // …one of which has an off-by-N: record 7's update writes 64 bytes
         // past the record.
-        ops.push(Op::Write { id: 7, offset: 96, len: 64, seed: 12 });
+        ops.push(Op::Write {
+            id: 7,
+            offset: 96,
+            len: 64,
+            seed: 12,
+        });
     }
     for i in 0..20u32 {
-        ops.push(Op::Read { id: i, offset: 0, len: 96 });
+        ops.push(Op::Read {
+            id: i,
+            offset: 0,
+            len: 96,
+        });
     }
     Program::new("records", ops)
 }
 
 fn main() {
     println!("== Debugging memory corruption by heap differencing (§9) ==\n");
-    let seed = 0xDEB_06;
+    let seed = 0xDEB06;
 
     let mut reference = DieHardSimHeap::new(HeapConfig::default(), seed).unwrap();
     let mut suspect = DieHardSimHeap::new(HeapConfig::default(), seed).unwrap();

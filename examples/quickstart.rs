@@ -41,16 +41,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec![
             Op::Alloc { id: 0, size: 24 },
             Op::Alloc { id: 1, size: 24 },
-            Op::Write { id: 1, offset: 0, len: 24, seed: 7 },
-            Op::Write { id: 0, offset: 0, len: 48, seed: 9 }, // 24-byte overflow!
+            Op::Write {
+                id: 1,
+                offset: 0,
+                len: 24,
+                seed: 7,
+            },
+            Op::Write {
+                id: 0,
+                offset: 0,
+                len: 48,
+                seed: 9,
+            }, // 24-byte overflow!
             Op::Free { id: 1 },
             Op::Forget { id: 1 },
             Op::Alloc { id: 2, size: 24 },
-            Op::Read { id: 2, offset: 0, len: 8 },
+            Op::Read {
+                id: 2,
+                offset: 0,
+                len: 8,
+            },
         ],
     );
     let libc = System::Libc.evaluate(&overflow_prog);
-    let dh = System::DieHard { config: HeapConfig::default(), seed: 3 }.evaluate(&overflow_prog);
+    let dh = System::DieHard {
+        config: HeapConfig::default(),
+        seed: 3,
+    }
+    .evaluate(&overflow_prog);
     println!("\nbuggy program (24-byte heap overflow):");
     println!("  dlmalloc-style allocator: {libc}");
     println!("  DieHard:                  {dh}");
@@ -70,7 +88,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "uninit-demo",
         vec![
             Op::Alloc { id: 0, size: 64 },
-            Op::Read { id: 0, offset: 0, len: 8 }, // never written
+            Op::Read {
+                id: 0,
+                offset: 0,
+                len: 8,
+            }, // never written
         ],
     );
     let set = ReplicaSet::new(3, 0xCAFE, HeapConfig::default());

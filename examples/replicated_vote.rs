@@ -17,7 +17,10 @@ fn main() {
         .generate(0.01, 7);
     let set = ReplicaSet::new(3, 0xB07E, HeapConfig::default());
     let run = set.run(&clean);
-    println!("clean espresso across 3 replicas: {:?}", summarize(&run.outcome));
+    println!(
+        "clean espresso across 3 replicas: {:?}",
+        summarize(&run.outcome)
+    );
 
     // A buggy program: a single-object overflow. Each replica is hit (or
     // not) independently; the majority commits the correct output and the
@@ -25,11 +28,25 @@ fn main() {
     let mut ops = vec![Op::Alloc { id: 0, size: 8 }];
     for i in 1..50u32 {
         ops.push(Op::Alloc { id: i, size: 8 });
-        ops.push(Op::Write { id: i, offset: 0, len: 8, seed: 2 });
+        ops.push(Op::Write {
+            id: i,
+            offset: 0,
+            len: 8,
+            seed: 2,
+        });
     }
-    ops.push(Op::Write { id: 0, offset: 0, len: 16, seed: 3 }); // overflow
+    ops.push(Op::Write {
+        id: 0,
+        offset: 0,
+        len: 16,
+        seed: 3,
+    }); // overflow
     for i in 1..50u32 {
-        ops.push(Op::Read { id: i, offset: 0, len: 8 });
+        ops.push(Op::Read {
+            id: i,
+            offset: 0,
+            len: 8,
+        });
     }
     let buggy = Program::new("overflow", ops);
     let oracle = oracle_output(&buggy);
@@ -46,11 +63,18 @@ fn main() {
         "uninit",
         vec![
             Op::Alloc { id: 0, size: 32 },
-            Op::Read { id: 0, offset: 0, len: 8 },
+            Op::Read {
+                id: 0,
+                offset: 0,
+                len: 8,
+            },
         ],
     );
     let run = set.run(&uninit);
-    println!("uninitialized-read program:       {:?}\n", summarize(&run.outcome));
+    println!(
+        "uninitialized-read program:       {:?}\n",
+        summarize(&run.outcome)
+    );
 
     // --- Subprocess replication (the `diehard` launcher's machinery) ----
     if cfg!(unix) {
@@ -73,7 +97,11 @@ fn main() {
         // Seed-dependent output = simulated memory-error divergence.
         let cfg = LaunchConfig::new(
             3,
-            vec!["/bin/sh".into(), "-c".into(), "echo output-$DIEHARD_SEED".into()],
+            vec![
+                "/bin/sh".into(),
+                "-c".into(),
+                "echo output-$DIEHARD_SEED".into(),
+            ],
             Vec::new(),
         );
         match run_replicated(&cfg) {

@@ -27,7 +27,11 @@ fn main() {
     let mut survived = 0;
     let runs = 10;
     for seed in 0..runs {
-        let v = System::DieHard { config: HeapConfig::default(), seed }.evaluate(&attack);
+        let v = System::DieHard {
+            config: HeapConfig::default(),
+            seed,
+        }
+        .evaluate(&attack);
         if v.is_correct() {
             survived += 1;
         }
@@ -46,17 +50,20 @@ fn main() {
     // Bonus: DieHard's library interposition stops the overflow cold.
     let oracle = {
         let mut inf = InfiniteHeap::new();
-        let opts = ExecOptions { bounded_strcpy: true, ..Default::default() };
+        let opts = ExecOptions {
+            bounded_strcpy: true,
+            ..Default::default()
+        };
         match run_program(&mut inf, &attack, &opts) {
             RunOutcome::Completed(o) => o,
             other => panic!("oracle cannot fail: {other:?}"),
         }
     };
     let mut heap = DieHardSimHeap::new(HeapConfig::default(), 99).unwrap();
-    let opts = ExecOptions { bounded_strcpy: true, ..Default::default() };
+    let opts = ExecOptions {
+        bounded_strcpy: true,
+        ..Default::default()
+    };
     let out = run_program(&mut heap, &attack, &opts);
-    println!(
-        "DieHard + bounded strcpy     → {}",
-        verdict(&out, &oracle)
-    );
+    println!("DieHard + bounded strcpy     → {}", verdict(&out, &oracle));
 }

@@ -1,0 +1,283 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so this shim provides
+//! the API surface the workspace's five benches use — `criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`], [`BenchmarkId`],
+//! per-group `sample_size`/`measurement_time`/`warm_up_time`, and
+//! [`Bencher::iter`] — with honest but unsophisticated measurement: each
+//! benchmark warms up, then runs timed samples and reports min/mean/max
+//! nanoseconds per iteration to stdout.
+//!
+//! No statistical analysis, outlier detection, HTML reports, or baseline
+//! comparison. Swap this for the real `criterion` by editing one line in
+//! the workspace `Cargo.toml` when online; no bench source changes needed.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The top-level benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substr>` filters benchmarks, like criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        if self.matches(&name) {
+            run_benchmark(
+                &name,
+                10,
+                Duration::from_secs(1),
+                Duration::from_millis(300),
+                &mut f,
+            );
+        }
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter
+            .as_ref()
+            .is_none_or(|f| name.contains(f.as_str()))
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&name) {
+            run_benchmark(
+                &name,
+                self.sample_size,
+                self.measurement_time,
+                self.warm_up_time,
+                &mut f,
+            );
+        }
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report separation only; measurement is eager).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Identifies one benchmark: a function name plus an input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: Some(function.into()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            function: None,
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(func) => write!(f, "{}/{}", func, self.parameter),
+            None => write!(f, "{}", self.parameter),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, recording one sample per batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    f: &mut F,
+) {
+    // Warm-up: run single iterations until the budget is spent, measuring
+    // the routine's rough cost to pick a batch size.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    while warm_start.elapsed() < warm_up_time && warm_iters < 1000 {
+        f(&mut b);
+        warm_iters += 1;
+    }
+    let per_iter = if warm_iters > 0 {
+        warm_start.elapsed() / u32::try_from(warm_iters).unwrap_or(u32::MAX)
+    } else {
+        Duration::from_millis(1)
+    };
+
+    // Batch so one sample costs ~ measurement_time / sample_size.
+    let per_sample = measurement_time / u32::try_from(sample_size.max(1)).unwrap_or(1);
+    let batch = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+    let mut bench = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: batch,
+    };
+    let deadline = Instant::now() + measurement_time * 2;
+    for _ in 0..sample_size {
+        f(&mut bench);
+        if Instant::now() > deadline {
+            break;
+        }
+    }
+
+    let per_iter_ns: Vec<f64> = bench
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / batch as f64)
+        .collect();
+    if per_iter_ns.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let min = per_iter_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter_ns.iter().copied().fold(0.0, f64::max);
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,74 @@
+//! Minimal offline stand-in for the `libc` crate.
+//!
+//! The build container has no access to crates.io, so this shim declares
+//! exactly the libc surface the workspace uses — the virtual-memory and
+//! file-descriptor calls behind `diehard_core::global` — against the system
+//! C library that every Rust binary on Linux already links. Constants are
+//! the Linux (x86_64/aarch64) values. Swap this for the real `libc` crate
+//! by editing one line in the workspace `Cargo.toml` when online.
+
+#![no_std]
+#![allow(non_camel_case_types)]
+
+/// C `char` (platform-signedness is irrelevant for our byte-wise uses).
+pub type c_char = core::ffi::c_char;
+/// C `int`.
+pub type c_int = core::ffi::c_int;
+/// C `long`.
+pub type c_long = core::ffi::c_long;
+/// C `void` (only ever used behind a pointer).
+pub type c_void = core::ffi::c_void;
+/// C `size_t`.
+pub type size_t = usize;
+/// C `ssize_t`.
+pub type ssize_t = isize;
+/// C `off_t` (64-bit on the Linux targets we build for).
+pub type off_t = i64;
+
+/// `open(2)` flag: read-only.
+pub const O_RDONLY: c_int = 0;
+
+/// `sysconf(3)` selector for the VM page size (Linux value).
+pub const _SC_PAGESIZE: c_int = 30;
+
+/// `mmap(2)` protection: readable.
+pub const PROT_READ: c_int = 1;
+/// `mmap(2)` protection: writable.
+pub const PROT_WRITE: c_int = 2;
+/// `mprotect(2)` protection: no access (guard pages).
+pub const PROT_NONE: c_int = 0;
+
+/// `mmap(2)` flag: private copy-on-write mapping.
+pub const MAP_PRIVATE: c_int = 0x02;
+/// `mmap(2)` flag: anonymous (not file-backed) mapping (Linux value).
+pub const MAP_ANONYMOUS: c_int = 0x20;
+/// `mmap(2)` flag: don't reserve swap for the mapping (Linux value).
+pub const MAP_NORESERVE: c_int = 0x4000;
+/// `mmap(2)` error sentinel: `(void *) -1`.
+pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+
+extern "C" {
+    /// `open(2)`.
+    pub fn open(path: *const c_char, flags: c_int, ...) -> c_int;
+    /// `read(2)`.
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    /// `close(2)`.
+    pub fn close(fd: c_int) -> c_int;
+    /// `sysconf(3)`.
+    pub fn sysconf(name: c_int) -> c_long;
+    /// `getenv(3)`.
+    pub fn getenv(name: *const c_char) -> *mut c_char;
+    /// `mmap(2)`.
+    pub fn mmap(
+        addr: *mut c_void,
+        length: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    /// `munmap(2)`.
+    pub fn munmap(addr: *mut c_void, length: size_t) -> c_int;
+    /// `mprotect(2)`.
+    pub fn mprotect(addr: *mut c_void, length: size_t, prot: c_int) -> c_int;
+}

@@ -1,0 +1,103 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+/// A range of collection sizes (mirrors proptest's `SizeRange`).
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    // Inclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates vectors whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for `HashSet<S::Value>`; duplicates collapse, so the set may
+/// come out smaller than the drawn size (same contract as proptest).
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let n = self.size.pick(rng);
+        let mut out = HashSet::with_capacity(n);
+        for _ in 0..n {
+            out.insert(self.element.sample(rng));
+        }
+        out
+    }
+}
+
+/// Generates hash sets whose elements come from `element`.
+pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S> {
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}

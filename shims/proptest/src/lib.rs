@@ -1,0 +1,98 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so this shim implements
+//! the exact surface the workspace's ~12 property-test sites use: the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_oneof!`]
+//! macros, [`strategy::Strategy`] over integer/float ranges, tuples,
+//! [`Just`], [`any`], and [`collection::vec`] / [`collection::hash_set`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its inputs (via the normal
+//!   panic message) but is not minimized;
+//! * **Deterministic seeding** — cases derive from a hash of the test path
+//!   and the case index, so failures always reproduce; set
+//!   `PROPTEST_CASES` to raise or lower the per-test case count
+//!   (default 32).
+//!
+//! Swap this for the real `proptest` by editing one line in the workspace
+//! `Cargo.toml` when online; no test source changes are needed.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+/// The glob-importable surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+pub use strategy::{any, Just, Strategy};
+
+/// Number of cases each property runs (override with `PROPTEST_CASES`).
+#[must_use]
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// FNV-1a hash of a test path, mixed with the case index to seed each case.
+#[must_use]
+pub fn case_seed(path: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its arguments [`case_count`] times.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __path = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..$crate::case_count() {
+                    let mut __rng = $crate::test_runner::TestRng::new(
+                        $crate::case_seed(__path, __case),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (no shrinking: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Picks uniformly among the given strategies (all yielding one value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}

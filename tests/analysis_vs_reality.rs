@@ -78,7 +78,11 @@ fn theorem3_matches_replicated_voter() {
         "uninit",
         vec![
             Op::Alloc { id: 0, size: 64 },
-            Op::Read { id: 0, offset: 0, len: 1 },
+            Op::Read {
+                id: 0,
+                offset: 0,
+                len: 1,
+            },
         ],
     );
     let mut detected = 0;

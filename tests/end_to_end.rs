@@ -17,7 +17,10 @@ fn all_workloads_correct_on_all_systems_when_bug_free() {
             System::Libc,
             System::WindowsDefault,
             System::BdwGc,
-            System::DieHard { config: HeapConfig::default(), seed: 1 },
+            System::DieHard {
+                config: HeapConfig::default(),
+                seed: 1,
+            },
             System::CCured,
             System::Rx,
         ] {
@@ -36,7 +39,10 @@ fn all_workloads_correct_on_all_systems_when_bug_free() {
 #[test]
 fn dangling_campaign_shape() {
     let espresso = profile_by_name("espresso").unwrap();
-    let injection = Injection::Dangling { frequency: 0.5, distance: 10 };
+    let injection = Injection::Dangling {
+        frequency: 0.5,
+        distance: 10,
+    };
     let (mut libc_ok, mut dh_ok) = (0, 0);
     for run in 0..5u64 {
         let prog = espresso.generate(0.02, 100 + run);
@@ -44,7 +50,10 @@ fn dangling_campaign_shape() {
         if System::Libc.evaluate(&bad).is_correct() {
             libc_ok += 1;
         }
-        let dh = System::DieHard { config: HeapConfig::paper_default(), seed: run };
+        let dh = System::DieHard {
+            config: HeapConfig::paper_default(),
+            seed: run,
+        };
         if dh.evaluate(&bad).is_correct() {
             dh_ok += 1;
         }
@@ -57,7 +66,11 @@ fn dangling_campaign_shape() {
 #[test]
 fn overflow_campaign_shape() {
     let espresso = profile_by_name("espresso").unwrap();
-    let injection = Injection::Underflow { rate: 0.01, min_size: 32, shrink_by: 16 };
+    let injection = Injection::Underflow {
+        rate: 0.01,
+        min_size: 32,
+        shrink_by: 16,
+    };
     let (mut libc_ok, mut dh_ok) = (0, 0);
     for run in 0..5u64 {
         let prog = espresso.generate(0.02, 300 + run);
@@ -65,7 +78,10 @@ fn overflow_campaign_shape() {
         if System::Libc.evaluate(&bad).is_correct() {
             libc_ok += 1;
         }
-        let dh = System::DieHard { config: HeapConfig::paper_default(), seed: run };
+        let dh = System::DieHard {
+            config: HeapConfig::paper_default(),
+            seed: run,
+        };
         if dh.evaluate(&bad).is_correct() {
             dh_ok += 1;
         }
@@ -81,9 +97,15 @@ fn oracle_is_error_transparent() {
     let prog = profile_by_name("cfrac").unwrap().generate(0.01, 7);
     let clean_out = oracle_output(&prog);
     for injection in [
-        Injection::Dangling { frequency: 1.0, distance: 5 },
+        Injection::Dangling {
+            frequency: 1.0,
+            distance: 5,
+        },
         Injection::DoubleFree { rate: 1.0 },
-        Injection::InvalidFree { rate: 1.0, delta: 4 },
+        Injection::InvalidFree {
+            rate: 1.0,
+            delta: 4,
+        },
     ] {
         let bad = inject(&prog, &injection, 9);
         let bad_out = oracle_output(&bad);
@@ -99,14 +121,21 @@ fn oracle_is_error_transparent() {
 #[test]
 fn masking_improves_with_bigger_heaps() {
     let espresso = profile_by_name("espresso").unwrap();
-    let injection = Injection::Underflow { rate: 0.05, min_size: 32, shrink_by: 16 };
+    let injection = Injection::Underflow {
+        rate: 0.05,
+        min_size: 32,
+        shrink_by: 16,
+    };
     let survival = |region_bytes: usize| -> usize {
         let mut ok = 0;
         for run in 0..8u64 {
             let prog = espresso.generate(0.02, 500 + run);
             let bad = inject(&prog, &injection, 600 + run);
             let config = HeapConfig::default().with_region_bytes(region_bytes);
-            if (System::DieHard { config, seed: run }).evaluate(&bad).is_correct() {
+            if (System::DieHard { config, seed: run })
+                .evaluate(&bad)
+                .is_correct()
+            {
                 ok += 1;
             }
         }
@@ -118,7 +147,10 @@ fn masking_improves_with_bigger_heaps() {
         large >= small,
         "bigger heap should mask at least as many errors ({small} -> {large})"
     );
-    assert!(large >= 7, "16 MB regions should mask nearly everything, got {large}/8");
+    assert!(
+        large >= 7,
+        "16 MB regions should mask nearly everything, got {large}/8"
+    );
 }
 
 /// Replicated execution inherits stand-alone masking and adds detection:
@@ -129,7 +161,11 @@ fn lindsay_detected_by_replicas_but_not_standalone() {
     let prog = lindsay.generate(0.01, 3);
     // Stand-alone: runs to completion (the uninit read silently yields
     // whatever the heap held).
-    let standalone = System::DieHard { config: HeapConfig::default(), seed: 8 }.run(&prog);
+    let standalone = System::DieHard {
+        config: HeapConfig::default(),
+        seed: 8,
+    }
+    .run(&prog);
     assert!(standalone.output().is_some(), "stand-alone must complete");
     // Replicated: detected.
     let set = ReplicaSet::new(3, 0x11D, HeapConfig::default());
@@ -144,7 +180,14 @@ fn lindsay_detected_by_replicas_but_not_standalone() {
 #[test]
 fn whole_pipeline_is_deterministic() {
     let prog = profile_by_name("p2c").unwrap().generate(0.01, 11);
-    let bad = inject(&prog, &Injection::Dangling { frequency: 0.3, distance: 8 }, 13);
+    let bad = inject(
+        &prog,
+        &Injection::Dangling {
+            frequency: 0.3,
+            distance: 8,
+        },
+        13,
+    );
     let run = |seed: u64| {
         let mut heap = DieHardSimHeap::new(HeapConfig::default(), seed).unwrap();
         run_program(&mut heap, &bad, &ExecOptions::default())

@@ -46,7 +46,11 @@ fn adaptive_heap_serves_real_workloads_with_smaller_footprint() {
 #[test]
 fn m_dial_monotone_protection() {
     let espresso = profile_by_name("espresso").unwrap();
-    let injection = Injection::Underflow { rate: 0.05, min_size: 32, shrink_by: 16 };
+    let injection = Injection::Underflow {
+        rate: 0.05,
+        min_size: 32,
+        shrink_by: 16,
+    };
     let survival = |m: f64| -> usize {
         let mut ok = 0;
         for run in 0..10u64 {
@@ -55,7 +59,10 @@ fn m_dial_monotone_protection() {
             let config = HeapConfig::default()
                 .with_region_bytes(1 << 20)
                 .with_multiplier(m);
-            if (System::DieHard { config, seed: run }).evaluate(&bad).is_correct() {
+            if (System::DieHard { config, seed: run })
+                .evaluate(&bad)
+                .is_correct()
+            {
                 ok += 1;
             }
         }
@@ -67,7 +74,10 @@ fn m_dial_monotone_protection() {
         high + 2 >= low,
         "M=8 ({high}/10) must not mask materially fewer than M=1.1 ({low}/10)"
     );
-    assert!(high >= 8, "M=8 should survive nearly all runs, got {high}/10");
+    assert!(
+        high >= 8,
+        "M=8 should survive nearly all runs, got {high}/10"
+    );
 }
 
 /// §4.4 end-to-end: squid's attack is fully neutralized by the replaced
@@ -78,7 +88,10 @@ fn bounded_strcpy_neutralizes_squid_everywhere() {
     use diehard::workloads::squid;
 
     let attack = squid::attack_scenario(16);
-    let opts = ExecOptions { bounded_strcpy: true, ..Default::default() };
+    let opts = ExecOptions {
+        bounded_strcpy: true,
+        ..Default::default()
+    };
     let oracle = {
         let mut inf = InfiniteHeap::new();
         match run_program(&mut inf, &attack, &opts) {
@@ -90,11 +103,19 @@ fn bounded_strcpy_neutralizes_squid_everywhere() {
     // the clamp uses the allocator's own usable_size.
     let mut lea = LeaSimAllocator::new(64 << 20);
     let out = run_program(&mut lea, &attack, &opts);
-    assert_eq!(verdict(&out, &oracle), Verdict::Correct, "lea + bounded strcpy");
+    assert_eq!(
+        verdict(&out, &oracle),
+        Verdict::Correct,
+        "lea + bounded strcpy"
+    );
 
     let mut dh = DieHardSimHeap::new(HeapConfig::default(), 2).unwrap();
     let out = run_program(&mut dh, &attack, &opts);
-    assert_eq!(verdict(&out, &oracle), Verdict::Correct, "diehard + bounded strcpy");
+    assert_eq!(
+        verdict(&out, &oracle),
+        Verdict::Correct,
+        "diehard + bounded strcpy"
+    );
 }
 
 /// The replicated voter commits exactly the oracle's bytes for clean
@@ -105,8 +126,17 @@ fn voter_preserves_multi_chunk_output_exactly() {
     // ~24 KB of output: six chunks.
     for i in 0..600u32 {
         ops.push(Op::Alloc { id: i, size: 40 });
-        ops.push(Op::Write { id: i, offset: 0, len: 40, seed: (i % 200) as u8 });
-        ops.push(Op::Read { id: i, offset: 0, len: 40 });
+        ops.push(Op::Write {
+            id: i,
+            offset: 0,
+            len: 40,
+            seed: (i % 200) as u8,
+        });
+        ops.push(Op::Read {
+            id: i,
+            offset: 0,
+            len: 40,
+        });
     }
     let prog = Program::new("chunky", ops);
     let oracle = oracle_output(&prog);
@@ -148,6 +178,9 @@ fn erroneous_free_storm_leaves_heap_consistent() {
     assert_eq!(heap.stats().allocs, before);
     // The random storm may have legitimately freed a few objects by luck
     // (hitting a live slot start); overwhelmingly most survive.
-    assert!(freed >= 490, "only {freed}/500 survived the bogus-free storm");
+    assert!(
+        freed >= 490,
+        "only {freed}/500 survived the bogus-free storm"
+    );
     assert_eq!(heap.core().live_objects(), 0);
 }

@@ -108,7 +108,10 @@ fn seeded_heaps_reproduce_layouts() {
     let base_a = a.malloc(64) as isize;
     let base_b = b.malloc(64) as isize;
     for _ in 0..100 {
-        assert_eq!(a.malloc(64) as isize - base_a, b.malloc(64) as isize - base_b);
+        assert_eq!(
+            a.malloc(64) as isize - base_a,
+            b.malloc(64) as isize - base_b
+        );
     }
 }
 
@@ -121,11 +124,7 @@ mod launcher {
 
     #[test]
     fn pipeline_filters_agree() {
-        let cfg = LaunchConfig::new(
-            3,
-            sh("wc -c"),
-            vec![b'x'; 10_000],
-        );
+        let cfg = LaunchConfig::new(3, sh("wc -c"), vec![b'x'; 10_000]);
         let exit = run_replicated(&cfg).unwrap();
         assert!(!exit.diverged);
         assert_eq!(String::from_utf8_lossy(&exit.output).trim(), "10000");
@@ -152,8 +151,10 @@ mod launcher {
         cfg.seeds = vec![1, 7, 2];
         let exit = run_replicated(&cfg).unwrap();
         assert!(!exit.diverged);
-        assert!(exit.killed.contains(&1), "the corrupt replica must be killed");
+        assert!(
+            exit.killed.contains(&1),
+            "the corrupt replica must be killed"
+        );
         assert!(!String::from_utf8_lossy(&exit.output).contains("CORRUPTED"));
     }
-
 }
