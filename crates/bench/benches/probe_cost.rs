@@ -4,7 +4,6 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use diehard_core::partition::Partition;
-use diehard_core::rng::Mwc;
 use diehard_core::size_class::SizeClass;
 use std::hint::black_box;
 
@@ -20,14 +19,13 @@ fn bench_probe_by_fullness(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("1/{denom}_full")),
             &denom,
             |b, &denom| {
-                let mut part = Partition::new(SizeClass::from_index(0), CAPACITY, CAPACITY);
-                let mut rng = Mwc::seeded(7);
+                let mut part = Partition::new(SizeClass::from_index(0), CAPACITY, CAPACITY, 7);
                 for _ in 0..CAPACITY / denom {
-                    part.alloc(&mut rng);
+                    part.alloc();
                 }
                 // Steady-state alloc/free pair at this fullness.
                 b.iter(|| {
-                    let idx = part.alloc(&mut rng).expect("has space");
+                    let idx = part.alloc().expect("has space");
                     part.free(black_box(idx));
                 });
             },

@@ -8,7 +8,7 @@
 use diehard_bench::{pct, smoke_scaled, TextTable};
 use diehard_core::analysis::p_overflow_mask;
 use diehard_core::partition::Partition;
-use diehard_core::rng::Mwc;
+use diehard_core::rng::{splitmix, Mwc};
 use diehard_core::size_class::SizeClass;
 
 /// Slots per simulated region (the probability depends only on fullness,
@@ -24,11 +24,15 @@ const TRIALS: usize = 20_000;
 /// least one replica it touched no live slot.
 fn trial(fullness: f64, replicas: usize, rng: &mut Mwc) -> bool {
     (0..replicas).any(|_| {
-        let mut part = Partition::new(SizeClass::from_index(0), CAPACITY, CAPACITY);
+        let mut part = Partition::new(
+            SizeClass::from_index(0),
+            CAPACITY,
+            CAPACITY,
+            splitmix(rng.next_u64()),
+        );
         let live_target = (CAPACITY as f64 * fullness) as usize;
-        let mut heap_rng = rng.split();
         for _ in 0..live_target {
-            part.alloc(&mut heap_rng).expect("below capacity");
+            part.alloc().expect("below capacity");
         }
         let start = rng.below(CAPACITY - OVERFLOW_OBJECTS);
         (start..start + OVERFLOW_OBJECTS).all(|slot| !part.is_live(slot))

@@ -13,7 +13,7 @@
 use crate::config::{ConfigError, HeapConfig};
 use crate::engine::{FreeOutcome, Slot};
 use crate::partition::Partition;
-use crate::rng::Mwc;
+use crate::rng::stream_seed;
 use crate::size_class::SizeClass;
 
 /// Default fraction of the maximum capacity each region starts at.
@@ -38,7 +38,6 @@ pub const DEFAULT_INITIAL_FRACTION: usize = 64;
 #[derive(Debug)]
 pub struct AdaptiveHeap {
     config: HeapConfig,
-    rng: Mwc,
     partitions: Vec<Partition>,
     growths: u64,
 }
@@ -60,12 +59,11 @@ impl AdaptiveHeap {
                     .max(min_start)
                     .min(max_cap);
                 let threshold = ((start as f64 / config.multiplier) as usize).max(1);
-                Partition::new(c, start, threshold)
+                Partition::new(c, start, threshold, stream_seed(seed, c.index() as u64))
             })
             .collect();
         Ok(Self {
             config,
-            rng: Mwc::seeded(seed),
             partitions,
             growths: 0,
         })
@@ -118,7 +116,7 @@ impl AdaptiveHeap {
             p.grow(new_cap, new_threshold);
             self.growths += 1;
         }
-        let index = self.partitions[class.index()].alloc(&mut self.rng)?;
+        let index = self.partitions[class.index()].alloc()?;
         Some(Slot { class, index })
     }
 
@@ -229,7 +227,7 @@ mod tests {
         fn no_overlap_across_growth(seed in any::<u64>(), ops in proptest::collection::vec((any::<bool>(), 1usize..512), 1..300)) {
             let mut h = heap(seed);
             let mut live: Vec<(usize, usize)> = Vec::new(); // (offset, size)
-            let mut rng = Mwc::seeded(seed);
+            let mut rng = crate::rng::Mwc::seeded(seed);
             for (do_alloc, sz) in ops {
                 if do_alloc || live.is_empty() {
                     if let Some(slot) = h.alloc(sz) {

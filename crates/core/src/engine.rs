@@ -9,8 +9,9 @@
 
 use crate::config::{ConfigError, FillPolicy, HeapConfig};
 use crate::partition::Partition;
-use crate::rng::Mwc;
+use crate::rng::{stream_seed, Mwc};
 use crate::size_class::{SizeClass, NUM_CLASSES};
+use core::sync::atomic::{AtomicU64, Ordering};
 
 /// A small-object allocation: its size class and slot index.
 ///
@@ -60,6 +61,9 @@ impl FreeOutcome {
 }
 
 /// Running counters for one heap, used by the experiment harnesses.
+///
+/// This is the *snapshot* type; heaps accumulate into [`AtomicHeapStats`]
+/// so that counters can be bumped from any shard without taking a lock.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HeapStats {
     /// Successful small-object allocations.
@@ -70,6 +74,172 @@ pub struct HeapStats {
     pub ignored_frees: u64,
     /// Allocation requests denied because a region hit its `1/M` cap.
     pub exhausted: u64,
+}
+
+/// Lock-free heap counters.
+///
+/// The sharded heap updates these from whichever shard served an operation,
+/// concurrently with every other shard; relaxed atomics suffice because the
+/// counters carry no synchronization responsibility — they only have to end
+/// up numerically exact once the threads touching the heap are joined.
+#[derive(Debug, Default)]
+pub struct AtomicHeapStats {
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    ignored_frees: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+impl AtomicHeapStats {
+    /// Fresh zeroed counters; `const` so they can live in a `static`
+    /// allocator initialized before `main`.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            allocs: AtomicU64::new(0),
+            frees: AtomicU64::new(0),
+            ignored_frees: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+        }
+    }
+
+    /// A point-in-time copy of all four counters.
+    #[must_use]
+    pub fn snapshot(&self) -> HeapStats {
+        HeapStats {
+            allocs: self.allocs.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            ignored_frees: self.ignored_frees.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counts one successful allocation.
+    pub fn record_alloc(&self) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one successful free.
+    pub fn record_free(&self) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one ignored (double/invalid) free.
+    pub fn record_ignored_free(&self) {
+        self.ignored_frees.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one allocation denied at the `1/M` cap.
+    pub fn record_exhausted(&self) {
+        self.exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// ---- shared offset arithmetic ------------------------------------------
+//
+// The byte-offset ↔ (class, slot) conversions and the §4.3 free-validation
+// checks are pure functions of the heap geometry. They are factored out of
+// `HeapCore` so the single-threaded facade and the sharded concurrent heap
+// run the *same* logic — a shard lock is only needed for the bitmap bit
+// itself, never for the arithmetic.
+
+/// Byte offset of `slot` within a heap span laid out per `config`.
+#[must_use]
+#[inline]
+pub fn slot_offset(config: &HeapConfig, slot: Slot) -> usize {
+    config.region_base(slot.class) + (slot.index << slot.class.shift())
+}
+
+/// Resolves a byte offset (any interior pointer) to the slot containing it,
+/// or `None` outside the small-object span.
+#[must_use]
+#[inline]
+pub fn slot_at(config: &HeapConfig, offset: usize) -> Option<Slot> {
+    if offset >= config.heap_span() {
+        return None;
+    }
+    let class = SizeClass::from_index(offset / config.region_bytes);
+    let within = offset - config.region_base(class);
+    Some(Slot {
+        class,
+        index: within >> class.shift(),
+    })
+}
+
+/// Builds the twelve partition shards for `config`, each with its private
+/// RNG stream split from `seed` — the one definition of the partition
+/// layout, shared by [`HeapCore`] and
+/// [`ShardedHeap`](crate::sharded::ShardedHeap) so the two always produce
+/// identical placements for the same master seed.
+#[must_use]
+pub(crate) fn build_partitions(config: &HeapConfig, seed: u64) -> [Partition; NUM_CLASSES] {
+    core::array::from_fn(|i| {
+        let c = SizeClass::from_index(i);
+        Partition::new(
+            c,
+            config.capacity(c),
+            config.threshold(c),
+            stream_seed(seed, i as u64),
+        )
+    })
+}
+
+/// As [`build_partitions`], but carving the allocation bitmaps out of
+/// caller-provided storage (the global allocator's metadata arena).
+///
+/// # Safety
+///
+/// `bitmap_words` must point to at least
+/// [`HeapCore::bitmap_words_needed`]`(config)` zeroed `u64`s, valid and
+/// exclusively owned for the partitions' lifetime.
+pub(crate) unsafe fn build_partitions_from_storage(
+    config: &HeapConfig,
+    seed: u64,
+    bitmap_words: *mut u64,
+) -> [Partition; NUM_CLASSES] {
+    let mut cursor = bitmap_words;
+    core::array::from_fn(|i| {
+        let c = SizeClass::from_index(i);
+        let cap = config.capacity(c);
+        // SAFETY: the caller provides enough zeroed words for the sum of
+        // all class bitmaps; we carve them off sequentially.
+        let p = unsafe {
+            Partition::from_storage(
+                c,
+                cap,
+                config.threshold(c),
+                stream_seed(seed, i as u64),
+                cursor,
+            )
+        };
+        cursor = unsafe { cursor.add(cap.div_ceil(64)) };
+        p
+    })
+}
+
+/// The span/alignment half of `DieHardFree`'s validation (§4.3): `Ok` names
+/// the slot whose shard must be locked to complete the free; `Err` carries
+/// the outcome that needs no shard at all (outside the heap, or an interior
+/// pointer that is not a multiple of the object size).
+///
+/// # Errors
+///
+/// Returns `Err(FreeOutcome::NotInHeap)` or
+/// `Err(FreeOutcome::MisalignedOffset)`; never any other variant.
+#[inline]
+pub fn locate_free(config: &HeapConfig, offset: usize) -> Result<Slot, FreeOutcome> {
+    if offset >= config.heap_span() {
+        return Err(FreeOutcome::NotInHeap);
+    }
+    let class = SizeClass::from_index(offset / config.region_bytes);
+    let within = offset - config.region_base(class);
+    if within & (class.object_size() - 1) != 0 {
+        return Err(FreeOutcome::MisalignedOffset);
+    }
+    Ok(Slot {
+        class,
+        index: within >> class.shift(),
+    })
 }
 
 /// The randomized small-object heap core.
@@ -89,8 +259,13 @@ pub struct HeapStats {
 #[derive(Debug)]
 pub struct HeapCore {
     config: HeapConfig,
+    /// Auxiliary stream for wrappers (random fills in replicated mode);
+    /// placement randomness lives inside each partition shard.
     rng: Mwc,
     partitions: [Partition; NUM_CLASSES],
+    /// Plain counters: the facade's mutating API is exclusively `&mut
+    /// self`, so the single-threaded hot paths pay no atomic RMW cost
+    /// (the sharded heap uses [`AtomicHeapStats`] instead).
     stats: HeapStats,
 }
 
@@ -102,10 +277,7 @@ impl HeapCore {
     /// Returns [`ConfigError`] when the configuration is invalid.
     pub fn new(config: HeapConfig, seed: u64) -> Result<Self, ConfigError> {
         config.validate()?;
-        let partitions = core::array::from_fn(|i| {
-            let c = SizeClass::from_index(i);
-            Partition::new(c, config.capacity(c), config.threshold(c))
-        });
+        let partitions = build_partitions(&config, seed);
         Ok(Self {
             config,
             rng: Mwc::seeded(seed),
@@ -134,16 +306,8 @@ impl HeapCore {
         bitmap_words: *mut u64,
     ) -> Result<Self, ConfigError> {
         config.validate()?;
-        let mut cursor = bitmap_words;
-        let partitions = core::array::from_fn(|i| {
-            let c = SizeClass::from_index(i);
-            let cap = config.capacity(c);
-            // SAFETY: the caller provides enough zeroed words for the sum of
-            // all class bitmaps; we carve them off sequentially.
-            let p = unsafe { Partition::from_storage(c, cap, config.threshold(c), cursor) };
-            cursor = unsafe { cursor.add(cap.div_ceil(64)) };
-            p
-        });
+        // SAFETY: forwarded caller contract.
+        let partitions = unsafe { build_partitions_from_storage(&config, seed, bitmap_words) };
         Ok(Self {
             config,
             rng: Mwc::seeded(seed),
@@ -196,7 +360,7 @@ impl HeapCore {
     /// region is at its `1/M` cap (the paper returns `NULL`).
     pub fn alloc(&mut self, size: usize) -> Option<Slot> {
         let class = SizeClass::for_size(size)?;
-        match self.partitions[class.index()].alloc(&mut self.rng) {
+        match self.partitions[class.index()].alloc() {
             Some(index) => {
                 self.stats.allocs += 1;
                 Some(Slot { class, index })
@@ -212,7 +376,7 @@ impl HeapCore {
     #[must_use]
     #[inline]
     pub fn offset_of(&self, slot: Slot) -> usize {
-        self.config.region_base(slot.class) + (slot.index << slot.class.shift())
+        slot_offset(&self.config, slot)
     }
 
     /// Resolves a byte offset to the slot containing it, requiring the
@@ -221,15 +385,7 @@ impl HeapCore {
     /// bounded string functions of §4.4 to find an object's start).
     #[must_use]
     pub fn slot_containing(&self, offset: usize) -> Option<Slot> {
-        if offset >= self.config.heap_span() {
-            return None;
-        }
-        let class = SizeClass::from_index(offset / self.config.region_bytes);
-        let within = offset - self.config.region_base(class);
-        Some(Slot {
-            class,
-            index: within >> class.shift(),
-        })
+        slot_at(&self.config, offset)
     }
 
     /// `DieHardFree` (§4.3): validates and frees the object at `offset`.
@@ -239,20 +395,18 @@ impl HeapCore {
     /// must currently be allocated. Failing any check *ignores* the free —
     /// this is what makes DieHard immune to double and invalid frees.
     pub fn free_at(&mut self, offset: usize) -> FreeOutcome {
-        if offset >= self.config.heap_span() {
-            return FreeOutcome::NotInHeap;
-        }
-        let class = SizeClass::from_index(offset / self.config.region_bytes);
-        let within = offset - self.config.region_base(class);
-        let size_mask = class.object_size() - 1;
-        if within & size_mask != 0 {
-            self.stats.ignored_frees += 1;
-            return FreeOutcome::MisalignedOffset;
-        }
-        let index = within >> class.shift();
-        if self.partitions[class.index()].free(index) {
+        let slot = match locate_free(&self.config, offset) {
+            Ok(slot) => slot,
+            Err(outcome) => {
+                if outcome == FreeOutcome::MisalignedOffset {
+                    self.stats.ignored_frees += 1;
+                }
+                return outcome;
+            }
+        };
+        if self.partitions[slot.class.index()].free(slot.index) {
             self.stats.frees += 1;
-            FreeOutcome::Freed(Slot { class, index })
+            FreeOutcome::Freed(slot)
         } else {
             self.stats.ignored_frees += 1;
             FreeOutcome::NotAllocated

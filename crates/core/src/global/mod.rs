@@ -16,78 +16,113 @@
 //! guard pages on both ends, validated (and silently ignored) erroneous
 //! frees, and seeding from `/dev/urandom`.
 //!
-//! Environment knobs (read once, at first allocation):
+//! Locking is **per size class**: after a one-time initialization, the
+//! header (heap base, page size, configuration) is read lock-free, each of
+//! the twelve regions sits behind its own shard lock (inside
+//! [`ShardedHeap`]), and the large-object validity tables have a separate
+//! lock. Concurrent allocations in different size classes never contend,
+//! and a free locks only the shard its address resolves to.
+//!
+//! Environment knobs (read once, at first allocation; ignored when the
+//! allocator was built with [`DieHard::with_config`]):
 //!
 //! * `DIEHARD_SEED` — decimal RNG seed (default: true randomness).
 //! * `DIEHARD_REGION_MB` — per-class region megabytes (default 32, i.e. the
 //!   paper's 384 MB heap).
 //! * `DIEHARD_M` — integer expansion factor `M` (default 2).
 //!
-//! ## Unsafe-surface audit (2026-07, stable toolchain)
+//! ## Unsafe-surface audit (2026-07, stable toolchain, sharded design)
 //!
-//! This module and [`sys`]/[`lock`] are the crate's entire `unsafe` and
-//! syscall surface, which is why the whole subtree sits behind the
-//! off-by-default `global` cargo feature. Findings, kept current as the
-//! module changes:
+//! This module and [`sys`] are the crate's `unsafe` *syscall* surface, which
+//! is why the subtree sits behind the off-by-default `global` cargo feature;
+//! the allocation-free synchronization primitives it builds on live ungated
+//! in [`crate::sync`]. Findings, kept current as the module changes:
 //!
-//! * **No `static mut` anywhere.** Allocator state is interior-mutable
-//!   through [`SpinLock`] — an `AtomicBool` acquire/release flag guarding an
-//!   `UnsafeCell<T>` — the pattern stable Rust recommends over `static mut`
-//!   (which trips `static_mut_refs` on current toolchains). No
-//!   `SyncUnsafeCell` is needed: `SpinLock` provides the `Sync` impl with an
-//!   explicit exclusivity argument, and stays dependency-free so it can run
-//!   inside `malloc` (a parking mutex may allocate on contention and
-//!   re-enter the allocator).
-//! * **Raw-pointer state.** `GlobalHeap` owns raw `mmap` regions; its
-//!   `unsafe impl Send` is sound because every access happens under the
-//!   `SpinLock` (there is no lock-free fast path, matching the paper's
-//!   single-lock allocator).
+//! * **No `static mut` anywhere.** Allocator state is a once-initialized
+//!   [`OnceCell`]`<GlobalState>`: one `Acquire` load proves the header
+//!   (config, `heap_base`, page size) fully initialized, after which it is
+//!   immutable and read without any lock. All *mutable* state is interior-
+//!   mutable behind locks — the pattern stable Rust recommends over
+//!   `static mut` (which trips `static_mut_refs` on current toolchains).
+//! * **Per-shard exclusivity replaces the old single-lock argument.** Every
+//!   allocation bitmap, fullness counter, and RNG stream is owned by exactly
+//!   one [`Partition`](crate::partition::Partition) behind exactly one
+//!   [`SpinLock`] (the twelve shards of the embedded [`ShardedHeap`]); the
+//!   large-object tables sit behind their own `SpinLock`. Soundness needs no
+//!   cross-shard ordering discipline because no operation ever takes two of
+//!   these locks at once: `alloc` locks the one shard serving the request's
+//!   size class, and `free` resolves its address to at most one shard (or
+//!   the large tables) with pure arithmetic *before* locking. Heap-wide
+//!   statistics are relaxed atomics and take no lock at all.
+//! * **Raw-pointer state.** `GlobalState` owns raw `mmap` regions; its
+//!   `unsafe impl Send + Sync` is sound because `heap_base`/`page` are
+//!   written once before the `OnceCell` publishes (Release/Acquire) and
+//!   only ever *read* afterwards, while everything reachable for mutation
+//!   is behind the shard and large-table locks described above.
 //! * **Every `unsafe` block carries a `SAFETY:` comment** naming its
 //!   invariant; `cargo clippy --all-targets --features global` is
 //!   warning-clean with no `#[allow]` escapes in this subtree.
-//! * **Lazily-initialized, never self-allocating.** Metadata (bitmaps and
-//!   the large-object validity tables) lives in a dedicated mapping created
-//!   in [`DieHard::init`], so initialization cannot recurse into the
-//!   allocator being initialized.
+//! * **Lazily-initialized, never self-allocating.** Exactly one thread runs
+//!   initialization (losers of the `OnceCell` race spin without parking —
+//!   parking may allocate and re-enter the allocator being initialized);
+//!   metadata (bitmaps and the large-object validity tables) lives in a
+//!   dedicated mapping, so initialization cannot recurse. A failed
+//!   initialization (OOM, invalid config) is terminal: later calls return
+//!   null instead of retrying `mmap` storms.
 
-mod lock;
 mod sys;
 
-pub use lock::{SpinGuard, SpinLock};
+pub use crate::sync::{OnceCell, SpinGuard, SpinLock};
 
 use crate::config::HeapConfig;
-use crate::engine::HeapCore;
+use crate::engine::HeapStats;
 use crate::large::LargeTable;
 use crate::rng::entropy_seed;
 use crate::safe_str;
+use crate::sharded::ShardedHeap;
 use core::alloc::{GlobalAlloc, Layout};
 use core::ptr;
 
 /// Capacity of the large-object validity tables (live large objects).
 const LARGE_CAPACITY: usize = 4096;
 
-/// The state behind an initialized allocator.
-struct GlobalHeap {
-    core: HeapCore,
-    heap_base: *mut u8,
-    page: usize,
+/// The large-object validity tables (§4.1/§4.3), guarded by one lock that
+/// is disjoint from every small-object shard.
+struct LargeObjects {
     /// user pointer → mapping base (differs from the user pointer by the
     /// front guard page and any extra alignment padding).
-    large_base: LargeTable,
+    base: LargeTable,
     /// user pointer → total mapping length (guards included).
-    large_len: LargeTable,
+    len: LargeTable,
 }
 
-// SAFETY: the raw pointers reference mappings owned by this heap; all access
-// is serialized by the enclosing SpinLock.
-unsafe impl Send for GlobalHeap {}
+/// The state behind an initialized allocator: the lock-free header fields
+/// plus the two locked domains (small-object shards, large-object tables).
+struct GlobalState {
+    /// Twelve independently-locked partition shards + atomic stats.
+    heap: ShardedHeap,
+    /// Base address of the small-object span. Written once at init, then
+    /// read-only.
+    heap_base: *mut u8,
+    /// System page size. Written once at init, then read-only.
+    page: usize,
+    large: SpinLock<LargeObjects>,
+}
 
-impl core::fmt::Debug for GlobalHeap {
+// SAFETY: `heap_base` and `page` are written once before the enclosing
+// OnceCell publishes this value (Release/Acquire) and are only read
+// afterwards; `heap` is Sync by construction (per-shard SpinLocks + atomic
+// stats) and the large tables are guarded by their SpinLock. The mappings
+// referenced by the raw pointers are owned by this state for its lifetime.
+unsafe impl Send for GlobalState {}
+unsafe impl Sync for GlobalState {}
+
+impl core::fmt::Debug for GlobalState {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("GlobalHeap")
+        f.debug_struct("GlobalState")
             .field("heap_base", &self.heap_base)
-            .field("live_objects", &self.core.live_objects())
-            .field("large_objects", &self.large_len.len())
+            .field("live_objects", &self.heap.live_objects())
+            .field("large_objects", &self.large.lock().len.len())
             .finish()
     }
 }
@@ -99,8 +134,9 @@ impl core::fmt::Debug for GlobalHeap {
 /// dedicated `mmap` arena).
 #[derive(Debug)]
 pub struct DieHard {
-    state: SpinLock<Option<GlobalHeap>>,
+    state: OnceCell<GlobalState>,
     fixed_seed: Option<u64>,
+    fixed_config: Option<HeapConfig>,
 }
 
 impl DieHard {
@@ -108,8 +144,9 @@ impl DieHard {
     #[must_use]
     pub const fn new() -> Self {
         Self {
-            state: SpinLock::new(None),
+            state: OnceCell::new(),
             fixed_seed: None,
+            fixed_config: None,
         }
     }
 
@@ -118,22 +155,46 @@ impl DieHard {
     #[must_use]
     pub const fn with_seed(seed: u64) -> Self {
         Self {
-            state: SpinLock::new(None),
+            state: OnceCell::new(),
             fixed_seed: Some(seed),
+            fixed_config: None,
+        }
+    }
+
+    /// As [`with_seed`](Self::with_seed) but with an explicit heap
+    /// configuration, bypassing the `DIEHARD_*` environment knobs entirely.
+    ///
+    /// This is the constructor tests should use: configuring instances
+    /// directly keeps parallel tests isolated, where mutating process-global
+    /// environment variables from concurrently-running test threads races.
+    /// (An invalid configuration surfaces as a failed initialization: every
+    /// allocation returns null.)
+    #[must_use]
+    pub const fn with_config(config: HeapConfig, seed: u64) -> Self {
+        Self {
+            state: OnceCell::new(),
+            fixed_seed: Some(seed),
+            fixed_config: Some(config),
         }
     }
 
     /// C-style allocation entry point: allocate `size` bytes aligned to 8
     /// bytes, matching the paper's smallest (8-byte) size class. Rust
     /// callers needing stricter alignment go through [`GlobalAlloc::alloc`]
-    /// with an explicit `Layout`. Returns null when the size class is at its
-    /// `1/M` cap or the system is out of memory.
+    /// with an explicit `Layout`. Returns null when the size is zero or too
+    /// large to describe as a `Layout`, the size class is at its `1/M` cap,
+    /// or the system is out of memory.
     #[must_use]
     pub fn malloc(&self, size: usize) -> *mut u8 {
         if size == 0 {
             return ptr::null_mut();
         }
-        let layout = Layout::from_size_align(size, 8).unwrap_or(Layout::new::<u8>());
+        // An unrepresentable layout (size overflowing isize when rounded to
+        // the alignment) is an allocation failure, reported as null — never
+        // silently downgraded to a smaller allocation.
+        let Ok(layout) = Layout::from_size_align(size, 8) else {
+            return ptr::null_mut();
+        };
         // SAFETY: size is non-zero and the layout is valid.
         unsafe { self.alloc(layout) }
     }
@@ -144,15 +205,19 @@ impl DieHard {
         if ptr.is_null() {
             return;
         }
-        let mut guard = self.state.lock();
-        let Some(heap) = guard.as_mut() else { return };
-        Self::release(heap, ptr);
+        let Some(state) = self.state.get() else {
+            return;
+        };
+        Self::release(state, ptr);
     }
 
     /// DieHard's bounded `strcpy` (§4.4): copies the NUL-terminated string
     /// at `src` to `dest`, clamped to the true remaining space of the heap
     /// object containing `dest`. Falls back to an ordinary bounded-by-source
     /// copy when `dest` is not a DieHard heap pointer.
+    ///
+    /// The bound is pure header arithmetic — no shard lock is taken, keeping
+    /// the paper's two-comparisons-cheap contract even under concurrency.
     ///
     /// Returns the number of payload bytes copied.
     ///
@@ -165,14 +230,11 @@ impl DieHard {
         let src_len = unsafe { c_strlen(src) };
         let src_slice = unsafe { core::slice::from_raw_parts(src, src_len) };
 
-        let space = {
-            let mut guard = self.state.lock();
-            match guard.as_mut() {
-                Some(heap) => Self::object_space(heap, dest),
-                None => None,
-            }
-        };
-        let space = space.unwrap_or(src_len + 1);
+        let space = self
+            .state
+            .get()
+            .and_then(|state| Self::object_space(state, dest))
+            .unwrap_or(src_len + 1);
         // SAFETY: dest is valid for `space` bytes: inside the heap that is
         // the distance to the object end; outside it the caller guarantees
         // room for the whole string.
@@ -191,133 +253,148 @@ impl DieHard {
         // SAFETY: per contract.
         let src_len = unsafe { c_strlen_bounded(src, n) };
         let src_slice = unsafe { core::slice::from_raw_parts(src, src_len) };
-        let space = {
-            let mut guard = self.state.lock();
-            match guard.as_mut() {
-                Some(heap) => Self::object_space(heap, dest),
-                None => None,
-            }
-        };
-        let space = space.unwrap_or(n.max(src_len + 1));
+        let space = self
+            .state
+            .get()
+            .and_then(|state| Self::object_space(state, dest))
+            .unwrap_or_else(|| n.max(src_len + 1));
         // SAFETY: as in `strcpy`.
         let dest_slice = unsafe { core::slice::from_raw_parts_mut(dest, space) };
         safe_str::bounded_strncpy(dest_slice, space, src_slice, n).copied
     }
 
-    /// Live small objects currently tracked (diagnostics).
+    /// Live small objects currently tracked (diagnostics; locks each shard
+    /// briefly in turn).
     #[must_use]
     pub fn live_objects(&self) -> usize {
-        let mut guard = self.state.lock();
-        guard.as_mut().map_or(0, |h| h.core.live_objects())
+        self.state.get().map_or(0, |s| s.heap.live_objects())
     }
 
-    /// Heap statistics since initialization.
+    /// Heap statistics since initialization (lock-free snapshot).
     #[must_use]
-    pub fn stats(&self) -> crate::engine::HeapStats {
-        let mut guard = self.state.lock();
-        guard
-            .as_mut()
-            .map_or_else(Default::default, |h| h.core.stats())
+    pub fn stats(&self) -> HeapStats {
+        self.state
+            .get()
+            .map_or_else(Default::default, |s| s.heap.stats())
     }
 
     // ---- internals -------------------------------------------------------
 
-    fn init(&self, slot: &mut Option<GlobalHeap>) -> bool {
-        if slot.is_some() {
-            return true;
-        }
-        let region_mb = sys::env_u64("DIEHARD_REGION_MB\0").unwrap_or(32).max(1);
-        let m = sys::env_u64("DIEHARD_M\0").unwrap_or(2).max(1);
-        let config = HeapConfig::paper_default()
-            .with_region_bytes((region_mb as usize) << 20)
-            .with_multiplier(m as f64);
-        if config.validate().is_err() {
-            return false;
-        }
+    /// The initialized state, running the one-time initialization on first
+    /// call. `None` means initialization failed (terminally).
+    fn state(&self) -> Option<&GlobalState> {
+        self.state.get_or_try_init(|| self.build_state())
+    }
+
+    /// The one-time initialization: choose a configuration and seed, map the
+    /// metadata arena and the heap span, and assemble the sharded heap plus
+    /// large-object tables. Runs on exactly one thread.
+    fn build_state(&self) -> Option<GlobalState> {
+        let config = match &self.fixed_config {
+            Some(config) => config.clone(),
+            None => {
+                let region_mb = sys::env_u64("DIEHARD_REGION_MB\0").unwrap_or(32).max(1);
+                let m = sys::env_u64("DIEHARD_M\0").unwrap_or(2).max(1);
+                HeapConfig::paper_default()
+                    .with_region_bytes((region_mb as usize) << 20)
+                    .with_multiplier(m as f64)
+            }
+        };
+        config.validate().ok()?;
         let seed = self
             .fixed_seed
             .or_else(|| sys::env_u64("DIEHARD_SEED\0"))
             .unwrap_or_else(entropy_seed);
 
         let page = sys::page_size();
-        let words = HeapCore::bitmap_words_needed(&config);
+        let span = config.heap_span();
+        let words = ShardedHeap::bitmap_words_needed(&config);
         let table_cap = (LARGE_CAPACITY * 2).next_power_of_two();
         let meta_bytes = (words * 8 + 4 * table_cap * 8 + page - 1) & !(page - 1);
         let meta = sys::map_reserve(meta_bytes);
         if meta.is_null() {
-            return false;
+            return None;
         }
-        let heap_base = sys::map_reserve(config.heap_span());
+        let heap_base = sys::map_reserve(span);
         if heap_base.is_null() {
             // SAFETY: meta was just mapped with this length.
             unsafe { sys::unmap(meta, meta_bytes) };
-            return false;
+            return None;
         }
 
         let bitmap_words = meta.cast::<u64>();
         // SAFETY: the meta arena provides `words` zeroed u64s followed by
         // four table arrays of `table_cap` usizes each; mmap'd memory is
         // zeroed and exclusively ours.
-        let core = match unsafe { HeapCore::from_raw_parts(config, seed, bitmap_words) } {
-            Ok(c) => c,
-            Err(_) => return false,
+        let heap = match unsafe { ShardedHeap::from_raw_parts(config, seed, bitmap_words) } {
+            Ok(heap) => heap,
+            Err(_) => {
+                // SAFETY: both mappings were just created with these lengths
+                // and nothing references them.
+                unsafe {
+                    sys::unmap(meta, meta_bytes);
+                    sys::unmap(heap_base, span);
+                }
+                return None;
+            }
         };
         let tables = unsafe { meta.add(words * 8).cast::<usize>() };
         // SAFETY: as above; disjoint quarters of the table area.
-        let large_base =
-            unsafe { LargeTable::from_storage(tables, tables.add(table_cap), table_cap) };
-        let large_len = unsafe {
+        let base = unsafe { LargeTable::from_storage(tables, tables.add(table_cap), table_cap) };
+        let len = unsafe {
             LargeTable::from_storage(
                 tables.add(2 * table_cap),
                 tables.add(3 * table_cap),
                 table_cap,
             )
         };
-        *slot = Some(GlobalHeap {
-            core,
+        Some(GlobalState {
+            heap,
             heap_base,
             page,
-            large_base,
-            large_len,
-        });
-        true
+            large: SpinLock::new(LargeObjects { base, len }),
+        })
     }
 
     /// Distance from `ptr` to the end of its (small) heap object, when
-    /// `ptr` points into the small-object heap.
-    fn object_space(heap: &mut GlobalHeap, ptr: *mut u8) -> Option<usize> {
-        let base = heap.heap_base as usize;
+    /// `ptr` points into the small-object heap. Pure header arithmetic —
+    /// takes no lock.
+    fn object_space(state: &GlobalState, ptr: *mut u8) -> Option<usize> {
+        let base = state.heap_base as usize;
         let addr = ptr as usize;
-        if addr < base || addr >= base + heap.core.heap_span() {
+        if addr < base || addr >= base + state.heap.heap_span() {
             return None;
         }
-        safe_str::space_to_object_end(&heap.core, addr - base)
+        safe_str::space_in_object(state.heap.config(), addr - base)
     }
 
-    fn release(heap: &mut GlobalHeap, ptr: *mut u8) {
-        let base = heap.heap_base as usize;
+    fn release(state: &GlobalState, ptr: *mut u8) {
+        let base = state.heap_base as usize;
         let addr = ptr as usize;
-        if addr >= base && addr < base + heap.core.heap_span() {
-            // Small object: full §4.3 validation inside.
-            let _ = heap.core.free_at(addr - base);
+        if addr >= base && addr < base + state.heap.heap_span() {
+            // Small object: full §4.3 validation inside, locking only the
+            // shard the offset resolves to.
+            let _ = state.heap.free_at(addr - base);
             return;
         }
         // Possibly a large object: consult the validity tables; unknown
         // addresses are ignored ("otherwise, it ignores the request").
-        let Some(total) = heap.large_len.remove(addr) else {
-            return;
+        let (map_base, total) = {
+            let mut large = state.large.lock();
+            let Some(total) = large.len.remove(addr) else {
+                return;
+            };
+            let map_base = large.base.remove(addr).expect("large tables out of sync");
+            (map_base, total)
         };
-        let map_base = heap
-            .large_base
-            .remove(addr)
-            .expect("large tables out of sync");
         // SAFETY: we recorded (map_base, total) when mapping this object and
-        // it has not been released since (the table entry was live).
+        // it has not been released since (the table entry was live); the
+        // lock is already dropped, so the syscall never runs under it.
         unsafe { sys::unmap(map_base as *mut u8, total) };
     }
 
-    fn alloc_large(heap: &mut GlobalHeap, size: usize, align: usize) -> *mut u8 {
-        let page = heap.page;
+    fn alloc_large(state: &GlobalState, size: usize, align: usize) -> *mut u8 {
+        let page = state.page;
         let user_len = (size + page - 1) & !(page - 1);
         let extra_align = if align > page { align } else { 0 };
         let total = user_len + 2 * page + extra_align;
@@ -343,13 +420,15 @@ impl DieHard {
             let tail = user_addr + user_len;
             sys::protect_none(tail as *mut u8, base as usize + total - tail);
         }
-        if !heap.large_len.insert(user_addr, total) {
+        let mut large = state.large.lock();
+        if !large.len.insert(user_addr, total) {
+            drop(large);
             // Table full: refuse rather than lose track of the mapping.
             // SAFETY: mapping is unreferenced; release it whole.
             unsafe { sys::unmap(base, total) };
             return ptr::null_mut();
         }
-        let inserted = heap.large_base.insert(user_addr, base as usize);
+        let inserted = large.base.insert(user_addr, base as usize);
         debug_assert!(inserted, "large tables out of sync");
         user
     }
@@ -362,36 +441,36 @@ impl Default for DieHard {
 }
 
 // SAFETY: `alloc`/`dealloc` satisfy the GlobalAlloc contract: blocks are
-// valid for the layout, never aliased while live (uniqueness is the bitmap
-// no-overlap invariant), and dealloc releases exactly what alloc returned.
+// valid for the layout, never aliased while live (uniqueness is the
+// per-shard bitmap no-overlap invariant), and dealloc releases exactly what
+// alloc returned.
 unsafe impl GlobalAlloc for DieHard {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let mut guard = self.state.lock();
-        if !self.init(&mut guard) {
+        let Some(state) = self.state() else {
             return ptr::null_mut();
-        }
-        let heap = guard.as_mut().expect("initialized above");
+        };
         // Slots are naturally aligned to their (power-of-two) class size, so
         // serving max(size, align) satisfies any alignment request.
         let need = layout.size().max(layout.align()).max(1);
         if need <= crate::size_class::MAX_OBJECT_SIZE {
-            match heap.core.alloc(need) {
+            match state.heap.alloc(need) {
                 Some(slot) => {
-                    let off = heap.core.offset_of(slot);
+                    let off = state.heap.offset_of(slot);
                     // SAFETY: `off` lies within the reserved heap span.
-                    unsafe { heap.heap_base.add(off) }
+                    unsafe { state.heap_base.add(off) }
                 }
                 None => ptr::null_mut(),
             }
         } else {
-            Self::alloc_large(heap, layout.size(), layout.align())
+            Self::alloc_large(state, layout.size(), layout.align())
         }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, _layout: Layout) {
-        let mut guard = self.state.lock();
-        let Some(heap) = guard.as_mut() else { return };
-        Self::release(heap, ptr);
+        let Some(state) = self.state.get() else {
+            return;
+        };
+        Self::release(state, ptr);
     }
 }
 
@@ -426,13 +505,13 @@ unsafe fn c_strlen_bounded(p: *const u8, max: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn small_test_heap() -> DieHard {
-        // Small regions keep test address-space usage modest; seed fixed for
-        // reproducibility. Region must be set via env for lazily-initialized
-        // statics, but direct construction lets us test instance-by-instance.
-        std::env::set_var("DIEHARD_REGION_MB", "1");
-        DieHard::with_seed(0xFEED_FACE)
+        // 1 MB regions keep test address-space usage modest; the config is
+        // instance-scoped (no env mutation), so parallel tests stay
+        // isolated; seed fixed for reproducibility.
+        DieHard::with_config(HeapConfig::default(), 0xFEED_FACE)
     }
 
     #[test]
@@ -451,6 +530,15 @@ mod tests {
         assert_eq!(heap.live_objects(), 1);
         heap.free(p);
         assert_eq!(heap.live_objects(), 0);
+    }
+
+    #[test]
+    fn oversized_malloc_returns_null_not_tiny_object() {
+        let heap = small_test_heap();
+        // A size that cannot be described as a Layout must fail cleanly —
+        // never be silently served as a smaller allocation.
+        assert!(heap.malloc(usize::MAX - 4).is_null());
+        assert_eq!(heap.stats().allocs, 0);
     }
 
     #[test]
@@ -514,8 +602,7 @@ mod tests {
 
     #[test]
     fn exhaustion_returns_null_not_crash() {
-        std::env::set_var("DIEHARD_REGION_MB", "1");
-        let heap = DieHard::with_seed(7);
+        let heap = DieHard::with_config(HeapConfig::default(), 7);
         // The 16 KB class in a 1 MB region holds 64 slots, 32 live cap.
         let mut got = 0;
         for _ in 0..100 {
@@ -524,6 +611,18 @@ mod tests {
             }
         }
         assert_eq!(got, 32, "1/M cap must bound live objects");
+    }
+
+    #[test]
+    fn invalid_config_fails_terminally_with_null() {
+        let bad = HeapConfig::default().with_region_bytes(12_345); // not a power of two
+        let heap = DieHard::with_config(bad, 1);
+        assert!(heap.malloc(64).is_null());
+        assert!(
+            heap.malloc(64).is_null(),
+            "failure is terminal, not retried"
+        );
+        assert_eq!(heap.live_objects(), 0);
     }
 
     #[test]
@@ -563,9 +662,8 @@ mod tests {
 
     #[test]
     fn different_seeds_randomize_layout() {
-        std::env::set_var("DIEHARD_REGION_MB", "1");
-        let a = DieHard::with_seed(1);
-        let b = DieHard::with_seed(2);
+        let a = DieHard::with_config(HeapConfig::default(), 1);
+        let b = DieHard::with_config(HeapConfig::default(), 2);
         let base_a = a.malloc(64) as isize;
         let base_b = b.malloc(64) as isize;
         let mut same = 0;
@@ -581,31 +679,123 @@ mod tests {
 
     #[test]
     fn concurrent_alloc_free_safe() {
-        std::env::set_var("DIEHARD_REGION_MB", "1");
-        let heap: &'static DieHard = Box::leak(Box::new(DieHard::with_seed(3)));
-        let mut handles = Vec::new();
-        for t in 0..4 {
-            handles.push(std::thread::spawn(move || {
-                let mut ptrs = Vec::new();
-                for i in 0..500 {
-                    let p = heap.malloc(8 + (t * 97 + i) % 2000);
-                    if !p.is_null() {
-                        // SAFETY: live object of at least 8 bytes.
-                        unsafe { p.write_bytes(t as u8, 8) };
-                        ptrs.push(p);
+        let heap = DieHard::with_config(HeapConfig::default(), 3);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let heap = &heap;
+                scope.spawn(move || {
+                    let mut ptrs = Vec::new();
+                    for i in 0..500 {
+                        let p = heap.malloc(8 + (t * 97 + i) % 2000);
+                        if !p.is_null() {
+                            // SAFETY: live object of at least 8 bytes.
+                            unsafe { p.write_bytes(t as u8, 8) };
+                            ptrs.push(p);
+                        }
+                        if ptrs.len() > 50 {
+                            heap.free(ptrs.swap_remove(0));
+                        }
                     }
-                    if ptrs.len() > 50 {
-                        heap.free(ptrs.swap_remove(0));
+                    for p in ptrs {
+                        heap.free(p);
                     }
-                }
-                for p in ptrs {
-                    heap.free(p);
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+                });
+            }
+        });
         assert_eq!(heap.live_objects(), 0);
+    }
+
+    /// The sharded-design stress test: ≥8 threads hammer all twelve size
+    /// classes concurrently, with deliberate erroneous frees and `strcpy`
+    /// calls mixed in, and the live-object accounting plus the atomic
+    /// statistics must come out exactly consistent once the threads join.
+    #[test]
+    fn stress_all_classes_with_errors_stays_consistent() {
+        const THREADS: u64 = 8;
+        const ROUNDS: usize = 120;
+        let heap = DieHard::with_config(HeapConfig::default(), 0xC0FFEE);
+        let attempted = AtomicU64::new(0);
+        let served = AtomicU64::new(0);
+        let misaligned_frees = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let heap = &heap;
+                let attempted = &attempted;
+                let served = &served;
+                let misaligned_frees = &misaligned_frees;
+                scope.spawn(move || {
+                    let mut rng = crate::rng::Mwc::seeded(0xBEEF ^ t);
+                    let mut live: Vec<*mut u8> = Vec::new();
+                    for round in 0..ROUNDS {
+                        // One allocation in every size class per round.
+                        for shift in 0..12u32 {
+                            let size = 8usize << shift;
+                            attempted.fetch_add(1, Ordering::Relaxed);
+                            let p = heap.malloc(size);
+                            if p.is_null() {
+                                continue; // 1/M cap under 8-way pressure
+                            }
+                            served.fetch_add(1, Ordering::Relaxed);
+                            // SAFETY: live object of at least 8 bytes.
+                            unsafe { p.write_bytes(t as u8, 8) };
+                            // Erroneous free of an interior (misaligned)
+                            // pointer: always ignored, counted exactly.
+                            // SAFETY: p+1 stays within the live object.
+                            heap.free(unsafe { p.add(1) });
+                            misaligned_frees.fetch_add(1, Ordering::Relaxed);
+                            live.push(p);
+                        }
+                        // Erroneous frees outside the heap: ignored,
+                        // uncounted (the large-object path owns them).
+                        heap.free((0x10 + round) as *mut u8);
+                        // §4.4 strcpy into a fresh small object, clamped.
+                        let dst = heap.malloc(8);
+                        if !dst.is_null() {
+                            attempted.fetch_add(1, Ordering::Relaxed);
+                            served.fetch_add(1, Ordering::Relaxed);
+                            let long = b"far longer than eight bytes\0";
+                            // SAFETY: dst is live; src is NUL-terminated.
+                            let copied = unsafe { heap.strcpy(dst, long.as_ptr()) };
+                            assert_eq!(copied, 7, "strcpy must clamp to the object");
+                            live.push(dst);
+                        } else {
+                            attempted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Keep the window bounded; frees of own pointers
+                        // must always succeed.
+                        while live.len() > 24 {
+                            let victim = live.swap_remove(rng.below(live.len()));
+                            heap.free(victim);
+                        }
+                    }
+                    for p in live {
+                        heap.free(p);
+                    }
+                });
+            }
+        });
+
+        // Quiescent double-free (single-threaded, so the slot cannot have
+        // been re-served between the two frees): exactly one more ignored.
+        let p = heap.malloc(64);
+        assert!(!p.is_null());
+        heap.free(p);
+        heap.free(p);
+
+        let stats = heap.stats();
+        assert_eq!(heap.live_objects(), 0, "every served object was freed");
+        assert_eq!(stats.allocs, served.load(Ordering::Relaxed) + 1);
+        assert_eq!(stats.frees, stats.allocs, "each alloc freed exactly once");
+        assert_eq!(
+            stats.ignored_frees,
+            misaligned_frees.load(Ordering::Relaxed) + 1,
+            "ignored = per-thread misaligned frees + the quiescent double free"
+        );
+        assert_eq!(
+            stats.exhausted,
+            attempted.load(Ordering::Relaxed) - served.load(Ordering::Relaxed),
+            "every failed attempt was an at-threshold denial"
+        );
     }
 }

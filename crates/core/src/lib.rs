@@ -26,8 +26,12 @@
 //! * [`safe_str`] — heap-bounded `strcpy`/`strncpy` (§4.4).
 //! * [`analysis`] — Theorems 1–3 and the expectation formulas (§3.1, §6).
 //! * [`adaptive`] — the adaptive-growth variant from future work (§9).
+//! * [`sync`] — allocation-free [`sync::SpinLock`] and [`sync::OnceCell`].
+//! * [`sharded`] — [`sharded::ShardedHeap`], the thread-safe heap with one
+//!   lock per size class (concurrent allocations in different classes never
+//!   contend).
 //! * [`global`] *(feature `global`, Unix)* — a real `#[global_allocator]`
-//!   built on `mmap`, with guard-paged large objects.
+//!   built on `mmap`, with guard-paged large objects, sharded per class.
 //!
 //! ## Quick start
 //!
@@ -58,15 +62,19 @@ pub mod large;
 pub mod partition;
 pub mod rng;
 pub mod safe_str;
+pub mod sharded;
 pub mod size_class;
+pub mod sync;
 
 #[cfg(all(feature = "global", unix))]
 pub mod global;
 
 pub use config::{FillPolicy, HeapConfig};
-pub use engine::{FreeOutcome, HeapCore, HeapStats, Slot};
+pub use engine::{AtomicHeapStats, FreeOutcome, HeapCore, HeapStats, Slot};
 pub use rng::Mwc;
+pub use sharded::ShardedHeap;
 pub use size_class::SizeClass;
+pub use sync::{OnceCell, SpinGuard, SpinLock};
 
 #[cfg(test)]
 mod tests {
@@ -77,5 +85,13 @@ mod tests {
         assert_send::<crate::rng::Mwc>();
         assert_send::<crate::bitmap::Bitmap>();
         assert_send::<crate::large::LargeTable>();
+    }
+
+    #[test]
+    fn sharded_heap_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<crate::sharded::ShardedHeap>();
+        assert_sync::<crate::engine::AtomicHeapStats>();
+        assert_sync::<crate::sync::SpinLock<u64>>();
     }
 }

@@ -3,6 +3,10 @@
 //! Implements the per-region half of `DieHardMalloc`/`DieHardFree`
 //! (Figure 2 of the paper): hash-table-style probing for a free slot,
 //! the `1/M` fullness threshold, and the allocated-bit bookkeeping.
+//!
+//! Each partition owns its own [`Mwc`] stream, so a partition is a complete,
+//! independently-lockable *shard* of the heap: no shared RNG (or any other
+//! shared mutable state) couples allocations in different size classes.
 
 use crate::bitmap::Bitmap;
 use crate::rng::Mwc;
@@ -21,6 +25,7 @@ pub struct Partition {
     capacity: usize,
     threshold: usize,
     in_use: usize,
+    rng: Mwc,
     /// Total probes performed by `alloc`, for validating the paper's
     /// E[probes] = 1/(1 - 1/M) claim (§4.2).
     probes: u64,
@@ -29,13 +34,14 @@ pub struct Partition {
 
 impl Partition {
     /// Creates an empty partition with `capacity` slots of which at most
-    /// `threshold` may be live at once.
+    /// `threshold` may be live at once, probing with its own RNG stream
+    /// seeded from `seed`.
     ///
     /// # Panics
     ///
     /// Panics if `threshold > capacity` or `capacity == 0`.
     #[must_use]
-    pub fn new(class: SizeClass, capacity: usize, threshold: usize) -> Self {
+    pub fn new(class: SizeClass, capacity: usize, threshold: usize, seed: u64) -> Self {
         assert!(capacity > 0, "partition capacity must be positive");
         assert!(
             threshold <= capacity,
@@ -47,6 +53,7 @@ impl Partition {
             capacity,
             threshold,
             in_use: 0,
+            rng: Mwc::seeded(seed),
             probes: 0,
             allocs: 0,
         }
@@ -64,6 +71,7 @@ impl Partition {
         class: SizeClass,
         capacity: usize,
         threshold: usize,
+        seed: u64,
         words: *mut u64,
     ) -> Self {
         assert!(capacity > 0, "partition capacity must be positive");
@@ -78,6 +86,7 @@ impl Partition {
             capacity,
             threshold,
             in_use: 0,
+            rng: Mwc::seeded(seed),
             probes: 0,
             allocs: 0,
         }
@@ -125,15 +134,16 @@ impl Partition {
     ///
     /// Probing repeats until an empty slot is found, exactly like probing an
     /// open hash table (§4.2). Because at most `1/M` of the region is ever
-    /// live, the expected probe count is `1/(1 - 1/M)`.
-    pub fn alloc(&mut self, rng: &mut Mwc) -> Option<usize> {
+    /// live, the expected probe count is `1/(1 - 1/M)`. Indices are drawn
+    /// from the partition's private RNG stream.
+    pub fn alloc(&mut self) -> Option<usize> {
         if self.at_threshold() {
             return None;
         }
         self.allocs += 1;
         loop {
             self.probes += 1;
-            let index = rng.below(self.capacity);
+            let index = self.rng.below(self.capacity);
             if self.bitmap.try_set(index) {
                 self.in_use += 1;
                 return Some(index);
@@ -224,30 +234,32 @@ mod tests {
     use proptest::prelude::*;
     use std::collections::HashSet;
 
+    fn part_seeded(cap: usize, thresh: usize, seed: u64) -> Partition {
+        Partition::new(SizeClass::from_index(0), cap, thresh, seed)
+    }
+
     fn part(cap: usize, thresh: usize) -> Partition {
-        Partition::new(SizeClass::from_index(0), cap, thresh)
+        part_seeded(cap, thresh, 0xDEED)
     }
 
     #[test]
     fn alloc_until_threshold() {
-        let mut p = part(64, 32);
-        let mut rng = Mwc::seeded(1);
+        let mut p = part_seeded(64, 32, 1);
         let mut seen = HashSet::new();
         for _ in 0..32 {
-            let idx = p.alloc(&mut rng).expect("below threshold");
+            let idx = p.alloc().expect("below threshold");
             assert!(seen.insert(idx), "duplicate slot handed out");
             assert!(idx < 64);
         }
         assert!(p.at_threshold());
-        assert_eq!(p.alloc(&mut rng), None, "at threshold: no more memory");
+        assert_eq!(p.alloc(), None, "at threshold: no more memory");
         assert_eq!(p.in_use(), 32);
     }
 
     #[test]
     fn free_returns_slot_for_reuse() {
-        let mut p = part(16, 8);
-        let mut rng = Mwc::seeded(2);
-        let idx = p.alloc(&mut rng).unwrap();
+        let mut p = part_seeded(16, 8, 2);
+        let idx = p.alloc().unwrap();
         assert!(p.is_live(idx));
         assert!(p.free(idx));
         assert!(!p.is_live(idx));
@@ -256,9 +268,8 @@ mod tests {
 
     #[test]
     fn double_free_is_ignored() {
-        let mut p = part(16, 8);
-        let mut rng = Mwc::seeded(3);
-        let idx = p.alloc(&mut rng).unwrap();
+        let mut p = part_seeded(16, 8, 3);
+        let idx = p.alloc().unwrap();
         assert!(p.free(idx));
         assert!(!p.free(idx), "second free must be ignored");
         assert_eq!(p.in_use(), 0, "accounting unchanged by double free");
@@ -273,11 +284,10 @@ mod tests {
 
     #[test]
     fn fullness_tracks_in_use() {
-        let mut p = part(64, 32);
-        let mut rng = Mwc::seeded(4);
+        let mut p = part_seeded(64, 32, 4);
         assert_eq!(p.fullness(), 0.0);
         for _ in 0..16 {
-            p.alloc(&mut rng);
+            p.alloc();
         }
         assert!((p.fullness() - 0.25).abs() < f64::EPSILON);
     }
@@ -287,9 +297,8 @@ mod tests {
         // M = 2 ⇒ the heap is at most half full ⇒ E[probes] ≤ 2; measured
         // over a region driven to its threshold, the mean probe count from
         // an occupancy ramping 0 → 1/2 must be well under 2.
-        let mut p = part(4096, 2048);
-        let mut rng = Mwc::seeded(5);
-        while p.alloc(&mut rng).is_some() {}
+        let mut p = part_seeded(4096, 2048, 5);
+        while p.alloc().is_some() {}
         let (allocs, probes) = p.probe_stats();
         assert_eq!(allocs, 2048);
         let mean = probes as f64 / allocs as f64;
@@ -303,17 +312,17 @@ mod tests {
     fn probes_at_steady_state_half_full() {
         // Hold the region exactly at threshold−1 and measure steady-state
         // probing: should approach 1/(1 − 1/M) = 2 for M = 2.
-        let mut p = part(4096, 2048);
-        let mut rng = Mwc::seeded(6);
+        let mut p = part_seeded(4096, 2048, 6);
+        let mut victim_rng = Mwc::seeded(60);
         for _ in 0..2047 {
-            p.alloc(&mut rng);
+            p.alloc();
         }
         let (a0, p0) = p.probe_stats();
         let mut freed: Vec<usize> = Vec::new();
         for _ in 0..20_000 {
-            let idx = p.alloc(&mut rng).unwrap();
+            let idx = p.alloc().unwrap();
             freed.push(idx);
-            let victim = freed.swap_remove(rng.below(freed.len()));
+            let victim = freed.swap_remove(victim_rng.below(freed.len()));
             p.free(victim);
         }
         let (a1, p1) = p.probe_stats();
@@ -326,22 +335,20 @@ mod tests {
 
     #[test]
     fn mean_gap_none_when_sparse() {
-        let mut p = part(64, 32);
+        let mut p = part_seeded(64, 32, 7);
         assert_eq!(p.mean_live_gap(), None);
-        let mut rng = Mwc::seeded(7);
-        p.alloc(&mut rng);
+        p.alloc();
         assert_eq!(p.mean_live_gap(), None);
-        p.alloc(&mut rng);
+        p.alloc();
         assert!(p.mean_live_gap().is_some());
     }
 
     #[test]
     fn grow_preserves_live_slots() {
-        let mut p = part(32, 16);
-        let mut rng = Mwc::seeded(8);
+        let mut p = part_seeded(32, 16, 8);
         let mut live = HashSet::new();
         for _ in 0..16 {
-            live.insert(p.alloc(&mut rng).unwrap());
+            live.insert(p.alloc().unwrap());
         }
         assert!(p.at_threshold());
         p.grow(64, 32);
@@ -349,7 +356,7 @@ mod tests {
         let after: HashSet<usize> = p.live_slots().collect();
         assert_eq!(after, live);
         // Freshly unlocked capacity is allocatable.
-        assert!(p.alloc(&mut rng).is_some());
+        assert!(p.alloc().is_some());
     }
 
     #[test]
@@ -372,12 +379,12 @@ mod tests {
             seed in any::<u64>(),
             ops in proptest::collection::vec(any::<bool>(), 1..400),
         ) {
-            let mut p = part(256, 128);
+            let mut p = part_seeded(256, 128, seed);
             let mut rng = Mwc::seeded(seed);
             let mut model: Vec<usize> = Vec::new();
             for op in ops {
                 if op || model.is_empty() {
-                    if let Some(idx) = p.alloc(&mut rng) {
+                    if let Some(idx) = p.alloc() {
                         prop_assert!(!model.contains(&idx), "slot {} double-booked", idx);
                         model.push(idx);
                     } else {
@@ -397,11 +404,10 @@ mod tests {
         /// Freeing everything returns the partition to pristine state.
         #[test]
         fn drain_restores_empty(seed in any::<u64>(), n in 1usize..100) {
-            let mut p = part(256, 128);
-            let mut rng = Mwc::seeded(seed);
+            let mut p = part_seeded(256, 128, seed);
             let mut live = Vec::new();
             for _ in 0..n {
-                if let Some(idx) = p.alloc(&mut rng) {
+                if let Some(idx) = p.alloc() {
                     live.push(idx);
                 }
             }

@@ -150,6 +150,27 @@ impl Iterator for Mwc {
     }
 }
 
+/// Derives the seed of substream `stream` from a single master seed.
+///
+/// The sharded heap gives every size-class partition its own [`Mwc`] so
+/// that shards never contend on a shared generator; seeding each from
+/// `stream_seed(master, class_index)` keeps the whole heap deterministic
+/// from one master seed while decorrelating the per-shard streams (two
+/// SplitMix64 avalanche rounds separate even adjacent stream indices).
+///
+/// # Examples
+///
+/// ```
+/// use diehard_core::rng::stream_seed;
+///
+/// assert_eq!(stream_seed(42, 0), stream_seed(42, 0)); // deterministic
+/// assert_ne!(stream_seed(42, 0), stream_seed(42, 1)); // streams differ
+/// ```
+#[must_use]
+pub fn stream_seed(master: u64, stream: u64) -> u64 {
+    splitmix(master ^ splitmix(stream.wrapping_add(1)))
+}
+
 /// One round of the SplitMix64 finalizer, used to stretch and decorrelate
 /// seeds (not used on the allocation fast path).
 #[must_use]
@@ -344,6 +365,19 @@ mod tests {
         let rng = Mwc::seeded(3);
         let v: Vec<u32> = rng.take(4).collect();
         assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn stream_seeds_deterministic_and_distinct() {
+        let seeds: Vec<u64> = (0..16).map(|i| stream_seed(0xA11C, i)).collect();
+        for (i, &a) in seeds.iter().enumerate() {
+            assert_eq!(a, stream_seed(0xA11C, i as u64), "stream {i} unstable");
+            for (j, &b) in seeds.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "streams {i} and {j} collide");
+            }
+        }
+        // Different masters shift every stream.
+        assert_ne!(stream_seed(1, 0), stream_seed(2, 0));
     }
 
     #[test]

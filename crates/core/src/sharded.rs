@@ -1,0 +1,356 @@
+//! The sharded DieHard heap: per-size-class locking over shared-nothing
+//! partition shards.
+//!
+//! The paper's allocator (§4.2) is embarrassingly partitionable: each of the
+//! twelve size-class regions owns its bitmap, its `1/M` threshold, and its
+//! probe loop, and `DieHardFree`'s validation resolves any offset to exactly
+//! one region with pure arithmetic. [`ShardedHeap`] exploits that structure:
+//! every partition (with its private RNG stream, seeded by splitting the
+//! master seed) sits behind its own [`SpinLock`], so concurrent allocations
+//! in *different* classes never contend, and a free locks only the shard
+//! that [`locate_free`] resolves to. Heap-wide counters are lock-free
+//! atomics ([`AtomicHeapStats`]).
+//!
+//! The isolation property that makes this decomposition sound is DieHard's
+//! own: a (validated) free in one region can never mutate another region's
+//! metadata, so shard locks compose without any ordering discipline — no
+//! operation ever holds two shard locks at once.
+//!
+//! [`HeapCore`](crate::engine::HeapCore) remains the single-threaded,
+//! lock-free-by-`&mut` facade used by the Monte Carlo harnesses; both run
+//! the same [`Partition`] placement logic and the same offset arithmetic
+//! from [`engine`](crate::engine).
+
+use crate::config::{ConfigError, HeapConfig};
+use crate::engine::{
+    build_partitions, build_partitions_from_storage, locate_free, slot_at, slot_offset,
+    AtomicHeapStats, FreeOutcome, HeapCore, HeapStats, Slot,
+};
+use crate::partition::Partition;
+use crate::size_class::{SizeClass, NUM_CLASSES};
+use crate::sync::SpinLock;
+
+/// A thread-safe DieHard heap with one lock per size class.
+///
+/// All operations take `&self`; the heap is `Sync` and designed to be
+/// shared across threads (the real global allocator embeds one behind its
+/// once-initialized header).
+///
+/// # Examples
+///
+/// ```
+/// use diehard_core::{config::HeapConfig, sharded::ShardedHeap};
+///
+/// let heap = ShardedHeap::new(HeapConfig::default(), 42)?;
+/// let slot = heap.alloc(100).expect("space available");
+/// assert_eq!(slot.size(), 128);
+/// let off = heap.offset_of(slot);
+/// assert!(heap.is_live_at(off));
+/// assert!(heap.free_at(off).freed());
+/// assert!(!heap.free_at(off).freed()); // double free: ignored
+/// # Ok::<(), diehard_core::config::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedHeap {
+    config: HeapConfig,
+    shards: [SpinLock<Partition>; NUM_CLASSES],
+    stats: AtomicHeapStats,
+}
+
+impl ShardedHeap {
+    /// Creates an empty sharded heap; shard `i` probes with the RNG stream
+    /// `stream_seed(seed, i)`, so one master seed reproduces the layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is invalid.
+    pub fn new(config: HeapConfig, seed: u64) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let shards = build_partitions(&config, seed).map(SpinLock::new);
+        Ok(Self {
+            config,
+            shards,
+            stats: AtomicHeapStats::new(),
+        })
+    }
+
+    /// As [`new`](Self::new), but hosting all twelve allocation bitmaps in
+    /// caller-provided storage so that construction performs **no heap
+    /// allocation** — required when DieHard itself is the process's global
+    /// allocator (metadata lives in a segregated mmap arena, §4.1).
+    ///
+    /// # Safety
+    ///
+    /// `bitmap_words` must point to at least
+    /// [`bitmap_words_needed`](Self::bitmap_words_needed)`(&config)` zeroed
+    /// `u64`s, valid and exclusively owned for the heap's lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is invalid.
+    pub unsafe fn from_raw_parts(
+        config: HeapConfig,
+        seed: u64,
+        bitmap_words: *mut u64,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        // SAFETY: forwarded caller contract.
+        let shards = unsafe { build_partitions_from_storage(&config, seed, bitmap_words) }
+            .map(SpinLock::new);
+        Ok(Self {
+            config,
+            shards,
+            stats: AtomicHeapStats::new(),
+        })
+    }
+
+    /// Number of `u64` words of bitmap storage
+    /// [`from_raw_parts`](Self::from_raw_parts) requires for `config`
+    /// (identical to the facade's layout).
+    #[must_use]
+    pub fn bitmap_words_needed(config: &HeapConfig) -> usize {
+        HeapCore::bitmap_words_needed(config)
+    }
+
+    /// The heap's configuration (lock-free; the config is immutable).
+    #[must_use]
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// Counters since construction (lock-free snapshot).
+    #[must_use]
+    pub fn stats(&self) -> HeapStats {
+        self.stats.snapshot()
+    }
+
+    /// Bytes spanned by the small-object heap (12 × region size).
+    #[must_use]
+    pub fn heap_span(&self) -> usize {
+        self.config.heap_span()
+    }
+
+    /// Allocates `size` bytes, locking only the size class that serves the
+    /// request. Returns `None` when the request is zero, larger than 16 KB
+    /// (large-object path), or the class region is at its `1/M` cap.
+    pub fn alloc(&self, size: usize) -> Option<Slot> {
+        let class = SizeClass::for_size(size)?;
+        let index = self.shards[class.index()].lock().alloc();
+        match index {
+            Some(index) => {
+                self.stats.record_alloc();
+                Some(Slot { class, index })
+            }
+            None => {
+                self.stats.record_exhausted();
+                None
+            }
+        }
+    }
+
+    /// Byte offset of `slot` within the heap span (pure arithmetic, no
+    /// lock).
+    #[must_use]
+    #[inline]
+    pub fn offset_of(&self, slot: Slot) -> usize {
+        slot_offset(&self.config, slot)
+    }
+
+    /// Resolves a byte offset (any interior pointer) to the slot containing
+    /// it (pure arithmetic, no lock).
+    #[must_use]
+    pub fn slot_containing(&self, offset: usize) -> Option<Slot> {
+        slot_at(&self.config, offset)
+    }
+
+    /// `DieHardFree` (§4.3): validates and frees the object at `offset`,
+    /// locking only the shard the offset resolves to — the span and
+    /// alignment checks are lock-free arithmetic.
+    pub fn free_at(&self, offset: usize) -> FreeOutcome {
+        let slot = match locate_free(&self.config, offset) {
+            Ok(slot) => slot,
+            Err(outcome) => {
+                if outcome == FreeOutcome::MisalignedOffset {
+                    self.stats.record_ignored_free();
+                }
+                return outcome;
+            }
+        };
+        let freed = self.shards[slot.class.index()].lock().free(slot.index);
+        if freed {
+            self.stats.record_free();
+            FreeOutcome::Freed(slot)
+        } else {
+            self.stats.record_ignored_free();
+            FreeOutcome::NotAllocated
+        }
+    }
+
+    /// Whether the object at `offset` (any interior pointer) is live; locks
+    /// only that offset's shard.
+    #[must_use]
+    pub fn is_live_at(&self, offset: usize) -> bool {
+        match slot_at(&self.config, offset) {
+            Some(slot) => self.shards[slot.class.index()].lock().is_live(slot.index),
+            None => false,
+        }
+    }
+
+    /// Runs `f` against the (locked) partition serving `class` — shard-local
+    /// diagnostics without exposing the guard type.
+    pub fn with_partition<R>(&self, class: SizeClass, f: impl FnOnce(&Partition) -> R) -> R {
+        f(&self.shards[class.index()].lock())
+    }
+
+    /// Total live objects across all regions. Locks each shard in turn, so
+    /// the result is a consistent per-shard sum but only an instantaneous
+    /// total when the heap is quiescent.
+    #[must_use]
+    pub fn live_objects(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().in_use()).sum()
+    }
+
+    /// Total live bytes across all regions (rounded object sizes); same
+    /// quiescence caveat as [`live_objects`](Self::live_objects).
+    #[must_use]
+    pub fn live_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let p = s.lock();
+                p.in_use() * p.class().object_size()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::HeapCore;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn heap(seed: u64) -> ShardedHeap {
+        ShardedHeap::new(HeapConfig::default(), seed).unwrap()
+    }
+
+    #[test]
+    fn matches_facade_layout_for_same_seed() {
+        // The facade and the sharded heap split the master seed the same
+        // way, so single-threaded histories coincide exactly.
+        let sharded = heap(0xABCD);
+        let mut facade = HeapCore::new(HeapConfig::default(), 0xABCD).unwrap();
+        for req in [8usize, 8, 24, 100, 1000, 4000, 16_000, 8, 64] {
+            assert_eq!(sharded.alloc(req), facade.alloc(req), "request {req}");
+        }
+        assert_eq!(sharded.stats(), facade.stats());
+    }
+
+    #[test]
+    fn free_validation_pipeline() {
+        let h = heap(4);
+        let slot = h.alloc(64).unwrap();
+        let off = h.offset_of(slot);
+
+        assert_eq!(h.free_at(off + 1), FreeOutcome::MisalignedOffset);
+        assert!(h.is_live_at(off));
+        assert_eq!(h.free_at(off), FreeOutcome::Freed(slot));
+        assert!(!h.is_live_at(off));
+        assert_eq!(h.free_at(off), FreeOutcome::NotAllocated);
+        assert_eq!(h.free_at(usize::MAX / 2), FreeOutcome::NotInHeap);
+
+        let stats = h.stats();
+        assert_eq!(stats.frees, 1);
+        assert_eq!(stats.ignored_frees, 2);
+    }
+
+    #[test]
+    fn concurrent_mixed_class_churn_keeps_accounting_exact() {
+        const THREADS: usize = 8;
+        const OPS: usize = 3000;
+        let h = Arc::new(heap(7));
+        let allocated = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let h = Arc::clone(&h);
+            let allocated = Arc::clone(&allocated);
+            handles.push(std::thread::spawn(move || {
+                let mut live: Vec<usize> = Vec::new();
+                let mut rng = crate::rng::Mwc::seeded(0x1000 + t as u64);
+                for _ in 0..OPS {
+                    let size = 1 + rng.below(16 * 1024);
+                    if let Some(slot) = h.alloc(size) {
+                        allocated.fetch_add(1, Ordering::Relaxed);
+                        live.push(h.offset_of(slot));
+                    }
+                    if live.len() > 32 {
+                        let victim = live.swap_remove(rng.below(live.len()));
+                        assert!(h.free_at(victim).freed(), "own offset must free");
+                    }
+                }
+                for off in live {
+                    assert!(h.free_at(off).freed());
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let stats = h.stats();
+        assert_eq!(h.live_objects(), 0);
+        assert_eq!(stats.allocs, allocated.load(Ordering::Relaxed) as u64);
+        assert_eq!(
+            stats.frees, stats.allocs,
+            "every alloc was freed exactly once"
+        );
+        assert_eq!(stats.ignored_frees, 0);
+    }
+
+    proptest! {
+        /// The sharded heap matches the same shadow model as the facade
+        /// (mirrors `engine_matches_shadow_model`).
+        #[test]
+        fn sharded_matches_shadow_model(
+            seed in any::<u64>(),
+            ops in proptest::collection::vec((0usize..3, 1usize..20_000), 1..300),
+        ) {
+            let h = heap(seed);
+            let mut model: HashMap<usize, Slot> = HashMap::new();
+            let mut rng = crate::rng::Mwc::seeded(seed ^ 0xABCD);
+            for (op, arg) in ops {
+                match op {
+                    0 => {
+                        if let Some(slot) = h.alloc(arg.min(16 * 1024)) {
+                            let off = h.offset_of(slot);
+                            prop_assert!(!model.contains_key(&off), "offset reuse while live");
+                            model.insert(off, slot);
+                        }
+                    }
+                    1 => {
+                        if !model.is_empty() {
+                            let keys: Vec<usize> = model.keys().copied().collect();
+                            let off = keys[rng.below(keys.len())];
+                            prop_assert!(h.free_at(off).freed());
+                            model.remove(&off);
+                        }
+                    }
+                    _ => {
+                        let off = rng.below(h.heap_span() + 1000);
+                        let before = h.live_objects();
+                        match h.free_at(off) {
+                            FreeOutcome::Freed(_) => {
+                                prop_assert!(model.remove(&off).is_some(),
+                                    "freed an object the model did not know");
+                            }
+                            _ => prop_assert_eq!(h.live_objects(), before),
+                        }
+                    }
+                }
+                prop_assert_eq!(h.live_objects(), model.len());
+            }
+        }
+    }
+}

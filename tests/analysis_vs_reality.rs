@@ -4,6 +4,7 @@
 
 use diehard::core::analysis::{p_dangling_mask, p_overflow_mask, p_uninit_detect};
 use diehard::core::partition::Partition;
+use diehard::core::rng::splitmix;
 use diehard::prelude::*;
 
 /// Theorem 1 vs the allocator: overflow masking at three fullness levels.
@@ -15,10 +16,10 @@ fn theorem1_matches_measurement() {
     for (fullness, denom) in [(0.125, 8u32), (0.25, 4), (0.5, 2)] {
         let mut masked = 0;
         for _ in 0..TRIALS {
-            let mut part = Partition::new(SizeClass::from_index(0), CAP, CAP);
-            let mut heap_rng = rng.split();
+            let mut part =
+                Partition::new(SizeClass::from_index(0), CAP, CAP, splitmix(rng.next_u64()));
             for _ in 0..(CAP as f64 * fullness) as usize {
-                part.alloc(&mut heap_rng).unwrap();
+                part.alloc().unwrap();
             }
             let start = rng.below(CAP - 1);
             if !part.is_live(start) {
@@ -43,17 +44,16 @@ fn theorem2_matches_measurement() {
     let mut rng = Mwc::seeded(0x7E02);
     let mut intact = 0;
     for _ in 0..TRIALS {
-        let mut part = Partition::new(SizeClass::from_index(0), CAP, CAP);
-        let mut heap_rng = rng.split();
+        let mut part = Partition::new(SizeClass::from_index(0), CAP, CAP, splitmix(rng.next_u64()));
         let mut live = Vec::new();
         for _ in 0..CAP / 2 {
-            live.push(part.alloc(&mut heap_rng).unwrap());
+            live.push(part.alloc().unwrap());
         }
         let victim = live[rng.below(live.len())];
         part.free(victim);
         let mut survived = true;
         for _ in 0..A {
-            if part.alloc(&mut heap_rng) == Some(victim) {
+            if part.alloc() == Some(victim) {
                 survived = false;
                 break;
             }
@@ -106,9 +106,8 @@ fn expected_separation_matches() {
     for m in [2.0f64, 4.0] {
         let cap = 8192;
         let threshold = (cap as f64 / m) as usize;
-        let mut part = Partition::new(SizeClass::from_index(0), cap, threshold);
-        let mut rng = Mwc::seeded(0x5E9A);
-        while part.alloc(&mut rng).is_some() {}
+        let mut part = Partition::new(SizeClass::from_index(0), cap, threshold, 0x5E9A);
+        while part.alloc().is_some() {}
         let gap = part.mean_live_gap().unwrap();
         let expect = m - 1.0;
         assert!(

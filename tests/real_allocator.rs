@@ -4,11 +4,13 @@
 #![cfg(unix)]
 
 use diehard::core::global::DieHard;
+use diehard::core::HeapConfig;
 use std::alloc::{GlobalAlloc, Layout};
 
 fn test_heap(seed: u64) -> DieHard {
-    std::env::set_var("DIEHARD_REGION_MB", "1");
-    DieHard::with_seed(seed)
+    // 1 MB regions via an instance-scoped config: no process-global env
+    // mutation, so parallel test threads stay isolated.
+    DieHard::with_config(HeapConfig::default(), seed)
 }
 
 #[test]
@@ -102,9 +104,8 @@ fn large_object_lifecycle() {
 
 #[test]
 fn seeded_heaps_reproduce_layouts() {
-    std::env::set_var("DIEHARD_REGION_MB", "1");
-    let a = DieHard::with_seed(99);
-    let b = DieHard::with_seed(99);
+    let a = test_heap(99);
+    let b = test_heap(99);
     let base_a = a.malloc(64) as isize;
     let base_b = b.malloc(64) as isize;
     for _ in 0..100 {
