@@ -1,11 +1,15 @@
 //! Replication-cost bench (§7.2.3 companion): one program, k ∈ {1, 3, 16}
-//! replicas, serial vs parallel execution of the replica set, plus the
-//! voting machinery in isolation.
+//! replicas, serial vs parallel execution of the replica set, the voting
+//! machinery in isolation, and the §5 subprocess engine streaming
+//! multi-megabyte voted output — a stream length the old buffer-everything
+//! voter held entirely in memory (replicas × stream bytes) and the
+//! event-driven engine bounds at replicas × 4 KB.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use diehard_core::config::HeapConfig;
+use diehard_replicate::{run_replicated, LaunchConfig};
 use diehard_runtime::ReplicaSet;
-use diehard_workloads::profile_by_name;
+use diehard_workloads::{profile_by_name, server};
 
 fn bench_replica_counts(c: &mut Criterion) {
     let prog = profile_by_name("espresso")
@@ -49,5 +53,72 @@ fn bench_random_fill_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_replica_counts, bench_random_fill_cost);
+fn bench_streamed_subprocess_vote(c: &mut Criterion) {
+    if !cfg!(unix) {
+        return;
+    }
+    // Three real /bin/sh replicas producing an identical byte stream, voted
+    // at 4 KB barriers as it flows. Scaling the stream from 1 MB to 4 MB
+    // scales wall time but NOT engine memory — the workload the buffering
+    // design could not bound.
+    let mut group = c.benchmark_group("streamed_vote");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for mb in [1usize, 4] {
+        let cfg = LaunchConfig::new(
+            3,
+            vec![
+                "/bin/sh".into(),
+                "-c".into(),
+                format!("yes 0123456789abcde | head -c {}", mb * 1_000_000),
+            ],
+            Vec::new(),
+        );
+        group.bench_with_input(BenchmarkId::new("mb", mb), &cfg, |b, cfg| {
+            b.iter(|| {
+                let exit = run_replicated(cfg).expect("replicated run");
+                assert!(!exit.diverged);
+                assert_eq!(exit.output.len(), mb * 1_000_000);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_streamed_server_trace(c: &mut Criterion) {
+    if !cfg!(unix) {
+        return;
+    }
+    // The interactive shape: requests broadcast through the bounded input
+    // window while produce bursts stream back through the voter.
+    let requests = server::trace(0xBE7C4, 150);
+    let input = server::request_stream(&requests);
+    let expected_len = server::expected_output(&requests).len();
+    let cfg = LaunchConfig::new(
+        3,
+        vec!["/bin/sh".into(), "-c".into(), server::SERVER_SCRIPT.into()],
+        input,
+    );
+    let mut group = c.benchmark_group("streamed_server");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("echo_produce_trace", |b| {
+        b.iter(|| {
+            let exit = run_replicated(&cfg).expect("replicated run");
+            assert!(!exit.diverged);
+            assert_eq!(exit.output.len(), expected_len);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_replica_counts,
+    bench_random_fill_cost,
+    bench_streamed_subprocess_vote,
+    bench_streamed_server_trace
+);
 criterion_main!(benches);

@@ -71,8 +71,18 @@ impl Storage {
 impl LargeTable {
     /// Creates a table able to hold `capacity` entries (rounded up to a
     /// power of two; sized ×2 internally to keep probe chains short).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2`. (This constructor's internal ×2 sizing
+    /// could not itself overflow the hash shift, but sub-2 capacities are
+    /// rejected uniformly with [`Self::from_storage`], where `capacity` is
+    /// the literal table size and a one-slot table shifts by
+    /// `64 - trailing_zeros(1) = 64` — a debug panic, silent masking in
+    /// release.)
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "LargeTable capacity must be at least 2");
         let cap = (capacity.max(4) * 2).next_power_of_two();
         Self {
             keys: Storage::Owned(vec![EMPTY; cap]),
@@ -92,13 +102,15 @@ impl LargeTable {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is not a power of two.
+    /// Panics if `capacity` is not a power of two, or is less than 2 (a
+    /// one-slot table would overflow the hash shift).
     #[must_use]
     pub unsafe fn from_storage(keys: *mut usize, sizes: *mut usize, capacity: usize) -> Self {
         assert!(
             capacity.is_power_of_two(),
             "capacity must be a power of two"
         );
+        assert!(capacity >= 2, "LargeTable capacity must be at least 2");
         Self {
             keys: Storage::Raw(keys, capacity),
             sizes: Storage::Raw(sizes, capacity),
@@ -270,6 +282,35 @@ mod tests {
         t.remove(0x1000);
         let entries: Vec<(usize, usize)> = t.iter().collect();
         assert_eq!(entries, vec![(0x2000, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn new_rejects_capacity_one() {
+        let _ = LargeTable::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn from_storage_rejects_capacity_one() {
+        // Regression: capacity 1 has trailing_zeros() == 0, so hash()'s
+        // `>> (64 - 0)` overflowed the shift before the constructor guard.
+        let mut keys = vec![0usize; 1];
+        let mut sizes = vec![0usize; 1];
+        // SAFETY: vectors outlive the (never-created) table.
+        let _ = unsafe { LargeTable::from_storage(keys.as_mut_ptr(), sizes.as_mut_ptr(), 1) };
+    }
+
+    #[test]
+    fn from_storage_minimum_capacity_hashes_safely() {
+        // capacity 2 is the smallest legal table: shift is 63, not 64.
+        let mut keys = vec![0usize; 2];
+        let mut sizes = vec![0usize; 2];
+        // SAFETY: vectors outlive the table and are unaliased while it lives.
+        let mut t = unsafe { LargeTable::from_storage(keys.as_mut_ptr(), sizes.as_mut_ptr(), 2) };
+        assert!(t.insert(0x4000, 7));
+        assert_eq!(t.get(0x4000), Some(7));
+        assert_eq!(t.remove(0x4000), Some(7));
     }
 
     #[test]

@@ -10,19 +10,27 @@
 //! diehard [-n REPLICAS] [--preload LIB] [--seed SEED] -- COMMAND [ARGS...]
 //! ```
 //!
-//! Standard input is broadcast to all replicas; standard output carries the
-//! voted output. Exit status: 0 on agreement, 2 on detected divergence
-//! (the uninitialized-read signal), 1 on usage or launch errors.
+//! Standard input is broadcast to all replicas **incrementally** (never
+//! buffered whole — arbitrary-length and interactive streams work) and
+//! standard output carries the voted output, committed as each 4 KB
+//! barrier resolves. Exit status: the replicas' *agreed* exit status on
+//! agreement (so a command that fails identically everywhere keeps its
+//! status), 2 on detected divergence (the uninitialized-read signal), and
+//! 1 on usage or launch errors. As with any status-forwarding wrapper
+//! (`env`, `nice`, `ssh`), an agreed status of 1 or 2 is indistinguishable
+//! from the launcher's own sentinels by code alone — the stderr diagnostics
+//! (`diehard: ...`) disambiguate.
 
-use diehard_replicate::{run_replicated, LaunchConfig};
-use std::io::{Read, Write};
+use diehard_replicate::{run_streamed, InputSource, LaunchConfig};
+use std::os::unix::io::AsRawFd;
 
 fn usage() -> ! {
     eprintln!(
         "usage: diehard [-n REPLICAS] [--preload LIB] [--seed SEED] -- COMMAND [ARGS...]\n\
          \n\
          Runs COMMAND in REPLICAS differently-seeded replicas (default 3),\n\
-         broadcasting stdin and voting on stdout in 4 KB chunks.\n\
+         streaming stdin to all and voting on stdout at 4 KB barriers.\n\
+         Exits with the replicas' agreed status, or 2 on divergence.\n\
          Each replica receives a unique DIEHARD_SEED; --preload exports\n\
          LD_PRELOAD for C binaries using libdiehard-style interposition."
     );
@@ -74,13 +82,7 @@ fn main() {
         usage();
     }
 
-    let mut input = Vec::new();
-    if std::io::stdin().read_to_end(&mut input).is_err() {
-        eprintln!("diehard: failed to read standard input");
-        std::process::exit(1);
-    }
-
-    let mut config = LaunchConfig::new(replicas, command, input);
+    let mut config = LaunchConfig::new(replicas, command, Vec::new());
     config.preload = preload;
     if let Some(seed) = master_seed {
         config.seeds = (0..replicas as u64)
@@ -88,20 +90,31 @@ fn main() {
             .collect();
     }
 
-    match run_replicated(&config) {
-        Ok(exit) => {
-            let mut stdout = std::io::stdout();
-            let _ = stdout.write_all(&exit.output);
-            let _ = stdout.flush();
-            if exit.diverged {
+    // Hand the engine our stdin descriptor and locked stdout: input is
+    // streamed on demand and each voted chunk is committed the moment its
+    // barrier resolves.
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut sink = stdout.lock();
+    match run_streamed(&config, InputSource::Fd(stdin.as_raw_fd()), &mut sink) {
+        Ok(outcome) => {
+            drop(sink);
+            if outcome.diverged {
                 eprintln!("diehard: replicas diverged (possible uninitialized read); terminated");
                 std::process::exit(2);
             }
-            if !exit.killed.is_empty() {
+            if !outcome.killed.is_empty() {
                 eprintln!(
                     "diehard: killed {} disagreeing replica(s)",
-                    exit.killed.len()
+                    outcome.killed.len()
                 );
+            }
+            match outcome.exit_code {
+                Some(code) => std::process::exit(code),
+                None => {
+                    eprintln!("diehard: every replica crashed");
+                    std::process::exit(1);
+                }
             }
         }
         Err(e) => {

@@ -14,20 +14,27 @@
 //! their seed from `DIEHARD_SEED`, which this launcher sets uniquely per
 //! replica. (An `LD_PRELOAD` passthrough is provided for C binaries.)
 //!
-//! The [`Voter`] is shared with the launcher binary and unit-testable in
-//! isolation; [`run_replicated`] wires it to real processes and pipes.
+//! The [`Voter`] is unit-testable in isolation; the [`event`] module is the
+//! `poll(2)`-based reactor that wires it to real processes and pipes,
+//! voting at true 4 KB barriers *while the replicas run* — output is
+//! committed and outvoted replicas are SIGKILLed mid-stream, so memory
+//! stays `O(replicas × CHUNK)` no matter how much the replicas produce,
+//! and long-running/server-style commands work. [`run_replicated`] is a
+//! convenience wrapper over [`run_streamed`] for in-memory input/output;
+//! the `diehard` binary streams its real stdin/stdout through the same
+//! engine. The surviving replicas' exit statuses are voted as a final
+//! ballot (signal deaths count as crashes, nonzero exits do not), so a
+//! command that legitimately fails identically everywhere keeps both its
+//! output and its status.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod event;
 pub mod voter;
 
+pub use event::{run_streamed, InputSource, StreamOutcome};
 pub use voter::{ChunkVote, Voter};
-
-use diehard_core::rng::{entropy_seed, splitmix};
-use std::io::{Read, Write};
-use std::process::{Child, Command, Stdio};
-use std::sync::mpsc;
 
 /// The pipe-buffer chunk size the voter compares (§5.2).
 pub const CHUNK: usize = 4096;
@@ -76,143 +83,43 @@ pub struct ReplicatedExit {
     /// The voted output committed to the caller.
     pub output: Vec<u8>,
     /// Whether the voter detected an unresolvable divergence (the §6.3
-    /// uninitialized-read signal): no two replicas agreed on some chunk.
+    /// uninitialized-read signal): no strict plurality agreed on some
+    /// output chunk or on the final exit-status ballot.
     pub diverged: bool,
-    /// Replica indices killed for disagreeing or dying.
+    /// Replica indices killed for disagreeing or crashing, in kill order.
     pub killed: Vec<usize>,
+    /// The exit status the surviving quorum agreed on; `None` when the run
+    /// diverged or no replica survived. Nonzero statuses are *not* crashes:
+    /// a command that fails identically in every replica keeps its output
+    /// and forwards its status.
+    pub exit_code: Option<i32>,
 }
 
-/// Spawns the replicas, broadcasts stdin, votes on stdout chunks, and
-/// returns the committed output.
+/// Spawns the replicas, broadcasts `config.input`, votes on stdout at 4 KB
+/// barriers while the replicas run, and returns the committed output.
+///
+/// This is a thin in-memory wrapper over [`run_streamed`] — same engine,
+/// same incremental voting and mid-stream kills; only the input source
+/// (a buffer) and the sink (a `Vec`) differ from the launcher binary.
 ///
 /// # Errors
 ///
-/// Propagates process-spawn and pipe I/O failures. Replica *crashes* are
+/// Returns [`std::io::ErrorKind::InvalidInput`] when `config.seeds` is
+/// non-empty but does not provide exactly one seed per replica; otherwise
+/// propagates process-spawn and pipe I/O failures. Replica *crashes* are
 /// not errors — the voter handles them by decrementing the live set.
 pub fn run_replicated(config: &LaunchConfig) -> std::io::Result<ReplicatedExit> {
-    let seeds: Vec<u64> = if config.seeds.len() == config.replicas {
-        config.seeds.clone()
-    } else {
-        let master = entropy_seed();
-        (0..config.replicas as u64)
-            .map(|i| splitmix(master ^ (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
-            .collect()
-    };
-
-    // Spawn all replicas with stdin/stdout piped.
-    let mut children: Vec<Child> = Vec::with_capacity(config.replicas);
-    for &seed in &seeds {
-        let mut cmd = Command::new(&config.command[0]);
-        cmd.args(&config.command[1..])
-            .env("DIEHARD_SEED", seed.to_string())
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::null());
-        if let Some(ref lib) = config.preload {
-            cmd.env("LD_PRELOAD", lib);
-        }
-        children.push(cmd.spawn()?);
-    }
-
-    // Broadcast the input to every replica on its own thread (a slow or
-    // dead replica must not stall the others).
-    let mut writers = Vec::new();
-    for child in &mut children {
-        let mut stdin = child.stdin.take().expect("piped stdin");
-        let input = config.input.clone();
-        writers.push(std::thread::spawn(move || {
-            let _ = stdin.write_all(&input); // EPIPE from a dead replica is fine
-        }));
-    }
-
-    // Stream each replica's stdout in CHUNK units into a channel.
-    let (tx, rx) = mpsc::channel::<(usize, Option<Vec<u8>>)>();
-    for (idx, child) in children.iter_mut().enumerate() {
-        let mut stdout = child.stdout.take().expect("piped stdout");
-        let tx = tx.clone();
-        std::thread::spawn(move || {
-            let mut buf = vec![0u8; CHUNK];
-            let mut pending: Vec<u8> = Vec::new();
-            loop {
-                match stdout.read(&mut buf) {
-                    Ok(0) | Err(_) => {
-                        // EOF: flush the partial chunk, then signal end.
-                        if !pending.is_empty() {
-                            let _ = tx.send((idx, Some(std::mem::take(&mut pending))));
-                        }
-                        let _ = tx.send((idx, None));
-                        return;
-                    }
-                    Ok(n) => {
-                        pending.extend_from_slice(&buf[..n]);
-                        while pending.len() >= CHUNK {
-                            let rest = pending.split_off(CHUNK);
-                            let chunk = std::mem::replace(&mut pending, rest);
-                            if tx.send((idx, Some(chunk))).is_err() {
-                                return;
-                            }
-                        }
-                    }
-                }
-            }
-        });
-    }
-    drop(tx);
-
-    // Collect chunk streams per replica, then vote. (Barrier semantics:
-    // the voter consumes chunk i from every live replica before moving on;
-    // buffering whole streams first is equivalent for finite outputs.)
-    let mut streams: Vec<Vec<Vec<u8>>> = vec![Vec::new(); config.replicas];
-    let mut crashed: Vec<bool> = vec![false; config.replicas];
-    while let Ok((idx, msg)) = rx.recv() {
-        if let Some(chunk) = msg {
-            streams[idx].push(chunk);
-        }
-    }
-    for w in writers {
-        let _ = w.join();
-    }
-    for (idx, child) in children.iter_mut().enumerate() {
-        match child.wait() {
-            Ok(status) if status.success() => {}
-            _ => crashed[idx] = true,
-        }
-    }
-
-    // Vote chunk-by-chunk over the replicas that produced output and
-    // exited cleanly.
-    let mut voter = Voter::new(config.replicas);
-    for (idx, dead) in crashed.iter().enumerate() {
-        if *dead {
-            voter.kill(idx);
-        }
-    }
     let mut output = Vec::new();
-    let mut diverged = false;
-    let max_chunks = streams.iter().map(Vec::len).max().unwrap_or(0);
-    for chunk_idx in 0..max_chunks {
-        let ballots: Vec<Option<&[u8]>> = streams
-            .iter()
-            .map(|s| s.get(chunk_idx).map(Vec::as_slice))
-            .collect();
-        match voter.vote(&ballots) {
-            ChunkVote::Commit(bytes) => output.extend_from_slice(&bytes),
-            ChunkVote::Divergence => {
-                diverged = true;
-                break;
-            }
-            ChunkVote::AllDone => break,
-        }
-    }
-    // Kill any children still running (e.g. after divergence).
-    for child in &mut children {
-        let _ = child.kill();
-        let _ = child.wait();
-    }
+    let outcome = event::run_streamed(
+        config,
+        InputSource::Buffer(config.input.clone()),
+        &mut output,
+    )?;
     Ok(ReplicatedExit {
         output,
-        diverged,
-        killed: voter.killed(),
+        diverged: outcome.diverged,
+        killed: outcome.killed,
+        exit_code: outcome.exit_code,
     })
 }
 
@@ -257,9 +164,11 @@ mod tests {
 
     #[test]
     fn crashing_replica_is_tolerated() {
+        // Seed-7 dies from a genuine signal (SIGSEGV) before producing
+        // output; the survivors' quorum carries both output and status.
         let mut cfg = LaunchConfig::new(
             3,
-            sh("if [ \"$DIEHARD_SEED\" = \"7\" ]; then exit 139; fi; echo ok"),
+            sh("if [ \"$DIEHARD_SEED\" = \"7\" ]; then kill -s SEGV $$; fi; echo ok"),
             Vec::new(),
         );
         cfg.seeds = vec![7, 1, 2];
@@ -267,6 +176,45 @@ mod tests {
         assert!(!exit.diverged);
         assert_eq!(exit.output, b"ok\n");
         assert!(exit.killed.contains(&0));
+        assert_eq!(exit.exit_code, Some(0));
+    }
+
+    #[test]
+    fn unanimous_nonzero_exit_is_not_a_crash() {
+        // The grep-with-zero-matches shape: output, then exit 1, in every
+        // replica. The old voter pre-killed all three and dropped the
+        // output; now the output commits and the status is the ballot.
+        let cfg = LaunchConfig::new(3, sh("printf '0\\n'; exit 1"), Vec::new());
+        let exit = run_replicated(&cfg).unwrap();
+        assert!(!exit.diverged);
+        assert_eq!(exit.output, b"0\n");
+        assert!(exit.killed.is_empty(), "identical failures are agreement");
+        assert_eq!(exit.exit_code, Some(1));
+    }
+
+    #[test]
+    fn exit_status_is_voted_like_a_chunk() {
+        // Same output everywhere, but seed 7 exits 5: it loses the final
+        // ballot 2-1 and the agreed status 0 wins.
+        let mut cfg = LaunchConfig::new(
+            3,
+            sh("echo same; if [ \"$DIEHARD_SEED\" = \"7\" ]; then exit 5; fi"),
+            Vec::new(),
+        );
+        cfg.seeds = vec![1, 7, 2];
+        let exit = run_replicated(&cfg).unwrap();
+        assert!(!exit.diverged);
+        assert_eq!(exit.output, b"same\n");
+        assert_eq!(exit.killed, vec![1], "status loser is recorded as killed");
+        assert_eq!(exit.exit_code, Some(0));
+    }
+
+    #[test]
+    fn seed_count_mismatch_is_invalid_input() {
+        let mut cfg = LaunchConfig::new(3, sh("cat"), Vec::new());
+        cfg.seeds = vec![1, 2]; // 2 seeds for 3 replicas: hard error now
+        let err = run_replicated(&cfg).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]

@@ -49,6 +49,12 @@ impl Voter {
         self.alive.iter().filter(|&&a| a).count()
     }
 
+    /// Whether replica `idx` is still live.
+    #[must_use]
+    pub fn is_alive(&self, idx: usize) -> bool {
+        idx < self.alive.len() && self.alive[idx]
+    }
+
     /// Indices of replicas killed so far, in kill order.
     #[must_use]
     pub fn killed(&self) -> Vec<usize> {
@@ -86,7 +92,12 @@ impl Voter {
         }
         groups.sort_by_key(|(members, _)| core::cmp::Reverse(members.len()));
         let (winners, winning) = groups[0].clone();
-        if winners.len() < 2 {
+        // A quorum must be a *strict* plurality: on a tie (2-2 with four
+        // replicas, 2-2-1 with five) no group is distinguishable from the
+        // others, so committing either would be arbitrary — report the
+        // divergence instead of guessing.
+        let tied = groups.len() > 1 && groups[1].0.len() == winners.len();
+        if winners.len() < 2 || tied {
             return ChunkVote::Divergence;
         }
         // Kill the losers.
@@ -171,6 +182,45 @@ mod tests {
         let out = v.vote(&[Some(b"more"), Some(b"more"), None]);
         assert_eq!(out, ChunkVote::Commit(b"more".to_vec()));
         assert_eq!(v.killed(), vec![2]);
+    }
+
+    #[test]
+    fn two_two_tie_is_divergence() {
+        // Four replicas split 2-2: no strict plurality, so committing
+        // either group would be arbitrary. Nobody is killed — the run
+        // terminates on the reported divergence.
+        let mut v = Voter::new(4);
+        let out = v.vote(&[Some(b"aa"), Some(b"bb"), Some(b"aa"), Some(b"bb")]);
+        assert_eq!(out, ChunkVote::Divergence);
+        assert_eq!(v.live_count(), 4);
+    }
+
+    #[test]
+    fn two_two_one_tie_is_divergence() {
+        let mut v = Voter::new(5);
+        let out = v.vote(&[
+            Some(b"aa"),
+            Some(b"bb"),
+            Some(b"aa"),
+            Some(b"bb"),
+            Some(b"cc"),
+        ]);
+        assert_eq!(out, ChunkVote::Divergence);
+        assert_eq!(v.live_count(), 5);
+    }
+
+    #[test]
+    fn three_two_strict_plurality_commits() {
+        let mut v = Voter::new(5);
+        let out = v.vote(&[
+            Some(b"aa"),
+            Some(b"bb"),
+            Some(b"aa"),
+            Some(b"bb"),
+            Some(b"aa"),
+        ]);
+        assert_eq!(out, ChunkVote::Commit(b"aa".to_vec()));
+        assert_eq!(v.killed(), vec![1, 3]);
     }
 
     #[test]

@@ -40,6 +40,72 @@ fn launcher_reports_divergence_with_exit_code_2() {
 }
 
 #[test]
+fn launcher_streams_stdin_and_stdout_incrementally() {
+    // Write exactly two 4 KB chunks, then demand them back on stdout
+    // *before* closing stdin. A launcher that buffered stdin to EOF (the
+    // old `read_to_end`) could never produce output here; the streaming
+    // engine votes and commits each chunk as its barrier fills.
+    let bin = env!("CARGO_BIN_EXE_diehard");
+    let mut child = Command::new(bin)
+        .args(["-n", "3", "--", "/bin/sh", "-c", "cat"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn diehard launcher");
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = child.stdout.take().expect("piped stdout");
+
+    let first: Vec<u8> = (0..8192u32).map(|i| b'a' + (i % 23) as u8).collect();
+    stdin.write_all(&first).unwrap();
+    stdin.flush().unwrap();
+
+    // Read the two voted chunks on a helper thread so a regression shows
+    // up as a clean failure instead of a hung test.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let reader = std::thread::spawn(move || {
+        let mut buf = vec![0u8; 8192];
+        let res = std::io::Read::read_exact(&mut stdout, &mut buf).map(|()| buf);
+        let _ = tx.send(res);
+        stdout
+    });
+    let echoed = rx
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("voted output must stream back while stdin is still open")
+        .expect("read voted chunks");
+    assert_eq!(echoed, first);
+
+    // Now finish the stream: a trailing partial chunk plus EOF.
+    stdin.write_all(b"tail").unwrap();
+    drop(stdin);
+    let mut stdout = reader.join().unwrap();
+    let mut rest = Vec::new();
+    std::io::Read::read_to_end(&mut stdout, &mut rest).unwrap();
+    assert_eq!(rest, b"tail");
+    assert!(child.wait().unwrap().success());
+}
+
+#[test]
+fn launcher_forwards_agreed_exit_status() {
+    // All replicas write output then exit 7: the output must survive and
+    // the launcher must exit 7 (it used to exit 0 on any agreement, and
+    // before that pre-killed nonzero exits as crashes).
+    let bin = env!("CARGO_BIN_EXE_diehard");
+    let out = Command::new(bin)
+        .args(["-n", "3", "--", "/bin/sh", "-c", "printf '0\\n'; exit 7"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("run diehard launcher");
+    assert_eq!(out.stdout, b"0\n", "agreed output must not be dropped");
+    assert_eq!(
+        out.status.code(),
+        Some(7),
+        "agreed status must be forwarded"
+    );
+}
+
+#[test]
 fn launcher_usage_on_bad_args() {
     let bin = env!("CARGO_BIN_EXE_diehard");
     let out = Command::new(bin)

@@ -1,0 +1,141 @@
+//! Integration tests for the event-driven streaming voter: mid-stream
+//! kills, bounded buffering over multi-megabyte streams, and a replicated
+//! server-style trace from `diehard-workloads`.
+
+#![cfg(unix)]
+
+use diehard_replicate::{run_replicated, run_streamed, InputSource, LaunchConfig, CHUNK};
+use diehard_workloads::server;
+use std::time::{Duration, Instant};
+
+fn sh(script: &str) -> Vec<String> {
+    vec!["/bin/sh".into(), "-c".into(), script.into()]
+}
+
+/// Emits `$1` (a 16-char string) 256 times = exactly one 4096-byte chunk.
+const EMIT_CHUNK: &str =
+    r#"emit() { i=0; while [ $i -lt 256 ]; do printf %s "$1"; i=$((i+1)); done; }"#;
+
+#[test]
+fn outvoted_replica_is_killed_mid_stream() {
+    // The bad replica diverges on chunk 0 and then sleeps for 30 s before
+    // producing chunk 1. With barrier-at-a-time voting it is SIGKILLed the
+    // moment chunk 0 loses 2-1, so the run finishes in milliseconds; the
+    // old buffer-everything design waited out the full sleep.
+    let mut cfg = LaunchConfig::new(
+        3,
+        sh(&format!(
+            r#"{EMIT_CHUNK}
+            if [ "$DIEHARD_SEED" = "7" ]; then
+                emit BBBBBBBBBBBBBBBB; sleep 30; emit BBBBBBBBBBBBBBBB
+            else
+                emit GGGGGGGGGGGGGGGG; emit GGGGGGGGGGGGGGGG
+            fi"#
+        )),
+        Vec::new(),
+    );
+    cfg.seeds = vec![1, 7, 2];
+    let start = Instant::now();
+    let exit = run_replicated(&cfg).unwrap();
+    let elapsed = start.elapsed();
+    assert!(!exit.diverged);
+    assert_eq!(exit.killed, vec![1], "the diverging replica must be killed");
+    assert_eq!(exit.output, vec![b'G'; 2 * CHUNK]);
+    assert_eq!(exit.exit_code, Some(0));
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "loser must die at its losing barrier, not at stream end \
+         (took {elapsed:?}; un-killed it would sleep 30 s)"
+    );
+}
+
+#[test]
+fn survivors_continue_after_mid_stream_kill() {
+    // The loser is killed at chunk 1; the survivors stream five more
+    // chunks that must all commit.
+    let mut cfg = LaunchConfig::new(
+        3,
+        sh(&format!(
+            r#"{EMIT_CHUNK}
+            emit SSSSSSSSSSSSSSSS
+            if [ "$DIEHARD_SEED" = "7" ]; then
+                emit XXXXXXXXXXXXXXXX
+            else
+                emit YYYYYYYYYYYYYYYY
+            fi
+            for c in 1 2 3 4 5; do emit ZZZZZZZZZZZZZZZZ; done"#
+        )),
+        Vec::new(),
+    );
+    cfg.seeds = vec![3, 7, 4];
+    let exit = run_replicated(&cfg).unwrap();
+    assert!(!exit.diverged);
+    assert_eq!(exit.killed, vec![1]);
+    let mut expected = vec![b'S'; CHUNK];
+    expected.extend_from_slice(&vec![b'Y'; CHUNK]);
+    expected.extend_from_slice(&vec![b'Z'; 5 * CHUNK]);
+    assert_eq!(exit.output, expected, "survivors' later chunks must commit");
+    assert_eq!(exit.exit_code, Some(0));
+}
+
+#[test]
+fn megabyte_stream_is_voted_with_bounded_buffering() {
+    // 2,000,000 identical bytes per replica. The engine must commit all of
+    // them while never holding more than replicas × CHUNK bytes — the old
+    // design's peak was the full 6 MB of replica output.
+    let cfg = LaunchConfig::new(3, sh("yes 0123456789abcde | head -c 2000000"), Vec::new());
+    let mut out = Vec::new();
+    let outcome = run_streamed(&cfg, InputSource::Buffer(Vec::new()), &mut out).unwrap();
+    assert!(!outcome.diverged);
+    assert_eq!(out.len(), 2_000_000);
+    assert_eq!(outcome.committed, 2_000_000);
+    assert_eq!(outcome.exit_code, Some(0));
+    assert!(outcome.killed.is_empty());
+    assert!(
+        outcome.peak_buffered <= 3 * CHUNK,
+        "peak buffered {} exceeds the replicas × CHUNK = {} bound",
+        outcome.peak_buffered,
+        3 * CHUNK
+    );
+    // Spot-check content: `yes` repeats "0123456789abcde\n".
+    assert_eq!(&out[..16], b"0123456789abcde\n");
+    assert_eq!(&out[1_999_984..], b"0123456789abcde\n");
+}
+
+#[test]
+fn replicated_server_trace_round_trips() {
+    // A long interactive session: requests are broadcast through the
+    // bounded input window while produce bursts stream back out through
+    // the voter, both directions interleaved by the reactor.
+    let requests = server::trace(0xD1E_5EED, 400);
+    let input = server::request_stream(&requests);
+    let expected = server::expected_output(&requests);
+    assert!(expected.len() > 128 * 1024, "trace must span many barriers");
+
+    let cfg = LaunchConfig::new(3, sh(server::SERVER_SCRIPT), input);
+    let exit = run_replicated(&cfg).unwrap();
+    assert!(!exit.diverged);
+    assert!(exit.killed.is_empty());
+    assert_eq!(exit.exit_code, Some(0), "QUIT exits the server cleanly");
+    assert_eq!(
+        exit.output, expected,
+        "voted stream must equal the deterministic server transcript"
+    );
+}
+
+#[test]
+fn exit_status_tie_is_divergence() {
+    // Four replicas split 2-2 on their exit status after unanimous output:
+    // no strict plurality — the run must report divergence rather than
+    // pick a side.
+    let mut cfg = LaunchConfig::new(
+        4,
+        sh(r#"echo agreed; if [ "$DIEHARD_SEED" -lt "10" ]; then exit 3; fi"#),
+        Vec::new(),
+    );
+    cfg.seeds = vec![1, 2, 11, 12];
+    let exit = run_replicated(&cfg).unwrap();
+    assert!(exit.diverged, "2-2 exit-status split has no quorum");
+    assert_eq!(exit.exit_code, None);
+    assert_eq!(exit.output, b"agreed\n", "output had already committed");
+}

@@ -8,12 +8,17 @@
 //!   lindsay's genuine uninitialized-read bug and twolf's wide
 //!   size-class spread;
 //! * [`squid`] — the miniature Squid web cache with the real overflow-
-//!   via-unbounded-`strcpy` bug pattern (§7.3.2).
+//!   via-unbounded-`strcpy` bug pattern (§7.3.2);
+//! * [`server`] — a deterministic server-style echo/produce trace (shell
+//!   server, request generator, exact expected output) for exercising the
+//!   §5 streaming voter on long-running interactive workloads.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod profile;
+pub mod server;
 pub mod squid;
 
 pub use profile::{alloc_intensive_suite, profile_by_name, spec_suite, Profile, SizeDist};
+pub use server::{expected_output, request_stream, ServerRequest, SERVER_SCRIPT};

@@ -1,0 +1,192 @@
+//! A server-style echo/produce trace for the streaming voter (§5).
+//!
+//! The paper's replication front end targets interactive, long-running
+//! programs — the ROADMAP's server-trace open item. This module supplies a
+//! deterministic miniature "server": a portable `/bin/sh` implementation
+//! ([`SERVER_SCRIPT`]) of a line protocol, a generator for request streams,
+//! and the exact byte-for-byte expected response, so replicated runs can be
+//! checked end to end:
+//!
+//! * `ECHO <text>` → `OK <text>` — the interactive round-trip shape;
+//! * `PRODUCE <n>` → `n` lines of `DATA <i>` — a burst of output far larger
+//!   than its request, the shape that forces the voter to commit many 4 KB
+//!   chunks long before the input stream ends;
+//! * `QUIT` → the server exits 0 (a clean unanimous final ballot).
+//!
+//! Because the protocol is deterministic, every correctly-executing replica
+//! produces identical bytes regardless of its `DIEHARD_SEED` — exactly the
+//! property the §5.2 voter relies on.
+
+use diehard_core::rng::Mwc;
+
+/// The `/bin/sh -c` body implementing the echo/produce protocol.
+pub const SERVER_SCRIPT: &str = r#"while IFS= read -r line; do
+  case "$line" in
+    "ECHO "*) printf 'OK %s\n' "${line#ECHO }";;
+    "PRODUCE "*) n="${line#PRODUCE }"; i=0
+      while [ "$i" -lt "$n" ]; do printf 'DATA %08d\n' "$i"; i=$((i+1)); done;;
+    "QUIT") exit 0;;
+    *) printf 'ERR\n';;
+  esac
+done"#;
+
+/// One request in a server trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerRequest {
+    /// Echo this payload back (`OK <payload>`). Payloads are kept
+    /// shell-inert (alphanumerics, `-`, `.`).
+    Echo(String),
+    /// Emit this many `DATA <i>` lines — amplifying a tiny request into a
+    /// large voted output burst.
+    Produce(usize),
+    /// Stop the server with exit status 0.
+    Quit,
+}
+
+impl ServerRequest {
+    fn request_line(&self, out: &mut Vec<u8>) {
+        match self {
+            ServerRequest::Echo(text) => {
+                out.extend_from_slice(b"ECHO ");
+                out.extend_from_slice(text.as_bytes());
+                out.push(b'\n');
+            }
+            ServerRequest::Produce(n) => {
+                out.extend_from_slice(format!("PRODUCE {n}\n").as_bytes());
+            }
+            ServerRequest::Quit => out.extend_from_slice(b"QUIT\n"),
+        }
+    }
+
+    fn response_bytes(&self, out: &mut Vec<u8>) {
+        match self {
+            ServerRequest::Echo(text) => {
+                out.extend_from_slice(b"OK ");
+                out.extend_from_slice(text.as_bytes());
+                out.push(b'\n');
+            }
+            ServerRequest::Produce(n) => {
+                for i in 0..*n {
+                    out.extend_from_slice(format!("DATA {i:08}\n").as_bytes());
+                }
+            }
+            ServerRequest::Quit => {}
+        }
+    }
+}
+
+/// Serializes a trace into the byte stream fed to every replica's stdin.
+#[must_use]
+pub fn request_stream(requests: &[ServerRequest]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for req in requests {
+        req.request_line(&mut out);
+    }
+    out
+}
+
+/// The exact bytes a correct server emits for `requests` (what the voted
+/// replicated output must equal).
+#[must_use]
+pub fn expected_output(requests: &[ServerRequest]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for req in requests {
+        req.response_bytes(&mut out);
+        if matches!(req, ServerRequest::Quit) {
+            break; // requests after QUIT are never read
+        }
+    }
+    out
+}
+
+/// A deterministic mixed trace: mostly echoes with periodic produce bursts,
+/// ending in `QUIT`. The same `(seed, requests)` always yields the same
+/// trace, so replicas and the expected output agree byte for byte.
+#[must_use]
+pub fn trace(seed: u64, requests: usize) -> Vec<ServerRequest> {
+    let mut rng = Mwc::seeded(seed);
+    let mut out = Vec::with_capacity(requests + 1);
+    for i in 0..requests {
+        if rng.chance(0.125) {
+            // Bursts of 64–1,063 lines (13 bytes each): ~0.8–13.8 KB, so a
+            // modest trace streams far more output than input.
+            out.push(ServerRequest::Produce(64 + rng.below(1000)));
+        } else {
+            out.push(ServerRequest::Echo(format!(
+                "req-{i:06}-payload-{:08x}",
+                rng.next_u32()
+            )));
+        }
+    }
+    out.push(ServerRequest::Quit);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_response_round_trip_shapes() {
+        let reqs = vec![
+            ServerRequest::Echo("hello-1".into()),
+            ServerRequest::Produce(3),
+            ServerRequest::Quit,
+        ];
+        assert_eq!(
+            request_stream(&reqs),
+            b"ECHO hello-1\nPRODUCE 3\nQUIT\n".to_vec()
+        );
+        assert_eq!(
+            expected_output(&reqs),
+            b"OK hello-1\nDATA 00000000\nDATA 00000001\nDATA 00000002\n".to_vec()
+        );
+    }
+
+    #[test]
+    fn nothing_expected_after_quit() {
+        let reqs = vec![
+            ServerRequest::Quit,
+            ServerRequest::Echo("never-read".into()),
+        ];
+        assert_eq!(expected_output(&reqs), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_ends_in_quit() {
+        let a = trace(0xD1E, 200);
+        let b = trace(0xD1E, 200);
+        assert_eq!(a, b);
+        assert_eq!(a.last(), Some(&ServerRequest::Quit));
+        assert_eq!(a.len(), 201);
+        // Distinct seeds give distinct traces.
+        assert_ne!(trace(1, 200), a);
+    }
+
+    #[test]
+    fn trace_amplifies_output_past_input() {
+        let reqs = trace(0xBEEF, 400);
+        let input = request_stream(&reqs);
+        let output = expected_output(&reqs);
+        assert!(
+            output.len() > 4 * input.len(),
+            "produce bursts must dominate: {} in, {} out",
+            input.len(),
+            output.len()
+        );
+        assert!(output.len() > 128 * 1024, "trace must span many chunks");
+    }
+
+    #[test]
+    fn echo_payloads_are_shell_inert() {
+        for req in trace(42, 500) {
+            if let ServerRequest::Echo(text) = req {
+                assert!(
+                    text.bytes()
+                        .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'.'),
+                    "payload {text:?} could be shell-mangled"
+                );
+            }
+        }
+    }
+}

@@ -12,10 +12,14 @@
 
 /// C `char` (platform-signedness is irrelevant for our byte-wise uses).
 pub type c_char = core::ffi::c_char;
+/// C `short`.
+pub type c_short = core::ffi::c_short;
 /// C `int`.
 pub type c_int = core::ffi::c_int;
 /// C `long`.
 pub type c_long = core::ffi::c_long;
+/// C `unsigned long`.
+pub type c_ulong = core::ffi::c_ulong;
 /// C `void` (only ever used behind a pointer).
 pub type c_void = core::ffi::c_void;
 /// C `size_t`.
@@ -24,9 +28,46 @@ pub type size_t = usize;
 pub type ssize_t = isize;
 /// C `off_t` (64-bit on the Linux targets we build for).
 pub type off_t = i64;
+/// Process id.
+pub type pid_t = c_int;
+/// `poll(2)` descriptor-count type.
+pub type nfds_t = c_ulong;
+
+/// One entry in a `poll(2)` descriptor set.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct pollfd {
+    /// The file descriptor to watch (negative entries are ignored).
+    pub fd: c_int,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: c_short,
+    /// Returned events (may include `POLLERR` / `POLLHUP` / `POLLNVAL`).
+    pub revents: c_short,
+}
 
 /// `open(2)` flag: read-only.
 pub const O_RDONLY: c_int = 0;
+/// File-status flag: non-blocking I/O (Linux generic value).
+pub const O_NONBLOCK: c_int = 0o4000;
+
+/// `fcntl(2)` command: get file-status flags.
+pub const F_GETFL: c_int = 3;
+/// `fcntl(2)` command: set file-status flags.
+pub const F_SETFL: c_int = 4;
+
+/// `poll(2)` event: data available to read.
+pub const POLLIN: c_short = 0x001;
+/// `poll(2)` event: writable without blocking.
+pub const POLLOUT: c_short = 0x004;
+/// `poll(2)` returned event: error condition on the descriptor.
+pub const POLLERR: c_short = 0x008;
+/// `poll(2)` returned event: peer hung up.
+pub const POLLHUP: c_short = 0x010;
+/// `poll(2)` returned event: invalid descriptor.
+pub const POLLNVAL: c_short = 0x020;
+
+/// `SIGKILL` — uncatchable termination (the voter's kill signal).
+pub const SIGKILL: c_int = 9;
 
 /// `sysconf(3)` selector for the VM page size (Linux value).
 pub const _SC_PAGESIZE: c_int = 30;
@@ -71,4 +112,10 @@ extern "C" {
     pub fn munmap(addr: *mut c_void, length: size_t) -> c_int;
     /// `mprotect(2)`.
     pub fn mprotect(addr: *mut c_void, length: size_t, prot: c_int) -> c_int;
+    /// `poll(2)`.
+    pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+    /// `fcntl(2)` (variadic: `F_SETFL` takes the flags as a third argument).
+    pub fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+    /// `kill(2)`.
+    pub fn kill(pid: pid_t, sig: c_int) -> c_int;
 }
