@@ -1,19 +1,24 @@
 //! Multi-threaded malloc/free contention bench: per-size-class sharding
-//! versus a single heap-wide lock.
+//! versus a single heap-wide lock versus thread-local magazines.
 //!
 //! The old global allocator funneled every operation through one
 //! `SpinLock<HeapCore>`; the sharded design locks only the size class an
-//! operation resolves to. This bench measures exactly that architectural
-//! delta on a mixed-class workload at 1/2/4/8 threads: `single_lock` wraps
-//! the facade in one `SpinLock`, `sharded` uses [`ShardedHeap`] directly.
-//! Both run identical per-thread op sequences (allocate into a sliding
-//! window, free the oldest), so the reported ns/iter are directly
-//! comparable — an iteration is `threads × OPS_PER_THREAD` alloc/free pairs
-//! of work, and wall-clock shrinking as threads rise is the scaling win.
+//! operation resolves to; the magazine layer removes even that for the hot
+//! path, touching a shard lock only once per refill/flush batch. This bench
+//! measures the architectural deltas on a mixed-class workload at 1/2/4/8
+//! threads: `single_lock` wraps the facade in one `SpinLock`, `sharded`
+//! uses [`ShardedHeap`] directly, and `magazine` runs each thread through a
+//! [`MagazineHeap`] thread cache (created and flushed inside the iteration,
+//! so refill/flush costs are charged to the measurement). All three run
+//! identical per-thread op sequences (allocate into a sliding window, free
+//! the oldest), so the reported ns/iter are directly comparable — an
+//! iteration is `threads × OPS_PER_THREAD` alloc/free pairs of work, and
+//! wall-clock shrinking as threads rise is the scaling win.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use diehard_core::config::HeapConfig;
 use diehard_core::engine::HeapCore;
+use diehard_core::magazine::MagazineHeap;
 use diehard_core::rng::Mwc;
 use diehard_core::sharded::ShardedHeap;
 use diehard_core::sync::SpinLock;
@@ -71,6 +76,26 @@ fn churn_sharded(heap: &ShardedHeap, sizes: &[usize]) {
     }
 }
 
+/// The identical churn through a thread-local magazine cache: the hot path
+/// is a lock-free handout/buffered free; shard locks are touched only by
+/// batched refills and flushes (including the flush when the cache drops).
+fn churn_magazine(heap: &MagazineHeap, sizes: &[usize]) {
+    let mut cache = heap.thread_cache();
+    let mut live: Vec<usize> = Vec::with_capacity(WINDOW + 1);
+    for (i, &sz) in sizes.iter().cycle().take(OPS_PER_THREAD).enumerate() {
+        if let Some(slot) = cache.alloc(sz) {
+            live.push(heap.offset_of(slot));
+        }
+        if live.len() > WINDOW {
+            let victim = live.swap_remove(i % WINDOW);
+            cache.free_at(victim);
+        }
+    }
+    for off in live {
+        cache.free_at(off);
+    }
+}
+
 fn run_threads(threads: usize, per_thread: impl Fn(u64) + Sync) {
     std::thread::scope(|scope| {
         for t in 0..threads {
@@ -110,6 +135,19 @@ fn bench_alloc_mt(c: &mut Criterion) {
                 b.iter(|| {
                     run_threads(threads, |t| {
                         churn_sharded(&sharded, black_box(&size_tables[t as usize]));
+                    });
+                });
+            },
+        );
+
+        let magazine = MagazineHeap::new(HeapConfig::default(), 1).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("magazine", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    run_threads(threads, |t| {
+                        churn_magazine(&magazine, black_box(&size_tables[t as usize]));
                     });
                 });
             },

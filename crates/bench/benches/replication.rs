@@ -86,6 +86,46 @@ fn bench_streamed_subprocess_vote(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_replica_scaling(c: &mut Criterion) {
+    if !cfg!(unix) {
+        return;
+    }
+    // The ROADMAP's multicore-host measurement harness: N real subprocess
+    // replicas voting a fixed 1 MB stream at 4 KB barriers. In this
+    // single-CPU container the replicas time-slice, so wall time grows
+    // roughly linearly in N; on a multicore host the replicas run in
+    // parallel and the curve should flatten toward the per-stream cost plus
+    // voting overhead. Two replicas are a legitimate *scaling* point even
+    // though `LaunchConfig::new` rejects them for production use (a 1-1
+    // disagreement cannot be outvoted, §6) — identical replicas never
+    // disagree, so the config is built directly.
+    let mut group = c.benchmark_group("replica_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for replicas in [2usize, 3, 5] {
+        let cfg = LaunchConfig {
+            replicas,
+            command: vec![
+                "/bin/sh".into(),
+                "-c".into(),
+                "yes 0123456789abcde | head -c 1000000".into(),
+            ],
+            input: Vec::new(),
+            seeds: Vec::new(),
+            preload: None,
+        };
+        group.bench_with_input(BenchmarkId::new("replicas", replicas), &cfg, |b, cfg| {
+            b.iter(|| {
+                let exit = run_replicated(cfg).expect("replicated run");
+                assert!(!exit.diverged);
+                assert_eq!(exit.output.len(), 1_000_000);
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_streamed_server_trace(c: &mut Criterion) {
     if !cfg!(unix) {
         return;
@@ -119,6 +159,7 @@ criterion_group!(
     bench_replica_counts,
     bench_random_fill_cost,
     bench_streamed_subprocess_vote,
+    bench_replica_scaling,
     bench_streamed_server_trace
 );
 criterion_main!(benches);

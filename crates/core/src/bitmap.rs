@@ -10,6 +10,8 @@
 //! inside a global allocator once built over caller-provided storage
 //! ([`Bitmap::from_storage`]).
 
+use core::sync::atomic::{AtomicU64, Ordering};
+
 /// A fixed-capacity bitmap over object slots.
 ///
 /// # Examples
@@ -189,6 +191,148 @@ impl Bitmap {
     }
 }
 
+/// A fixed-capacity bitmap whose bits can be read and written concurrently.
+///
+/// The magazine layer ([`crate::magazine`]) overlays one of these on each
+/// partition's allocation bitmap to mark slots that are *reserved* by a
+/// thread-local magazine but not yet handed to the application. The overlay
+/// must be atomic because the reserved→live transition (a magazine handout)
+/// happens on the owning thread **without** taking the shard lock — that is
+/// the entire point of the magazine — while other threads read the bit under
+/// the shard lock to decide whether a slot is live.
+///
+/// Memory ordering: [`clear`](Self::clear) (the handout) releases, and
+/// [`get`](Self::get) acquires, so a thread that legitimately learned of an
+/// object (the pointer was passed to it, which synchronizes) observes the
+/// slot as live. Threads issuing *erroneous* frees may observe a stale
+/// reserved bit and have the free ignored — exactly DieHard's contract for
+/// invalid frees.
+#[derive(Debug)]
+pub struct AtomicBitmap {
+    words: AtomicStorage,
+    bits: usize,
+}
+
+#[derive(Debug)]
+enum AtomicStorage {
+    Owned(Box<[AtomicU64]>),
+    /// Caller-provided word storage (carved out of the global allocator's
+    /// mmap'd metadata arena, which must never allocate re-entrantly).
+    Raw {
+        ptr: *const AtomicU64,
+        words: usize,
+    },
+}
+
+// SAFETY: `Raw` storage is exclusively owned by this bitmap for its
+// lifetime, and every access goes through atomic operations.
+unsafe impl Send for AtomicBitmap {}
+unsafe impl Sync for AtomicBitmap {}
+
+impl AtomicBitmap {
+    /// Creates an atomic bitmap with `bits` slots, all clear.
+    #[must_use]
+    pub fn new(bits: usize) -> Self {
+        Self {
+            words: AtomicStorage::Owned(
+                (0..bits.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            ),
+            bits,
+        }
+    }
+
+    /// Creates an atomic bitmap over caller-provided zeroed word storage.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be valid for reads and writes of `bits.div_ceil(64)` u64
+    /// words for the lifetime of the bitmap, exclusively owned by it, zeroed,
+    /// and aligned for `u64` (which matches `AtomicU64`'s layout).
+    #[must_use]
+    pub unsafe fn from_storage(ptr: *mut u64, bits: usize) -> Self {
+        Self {
+            words: AtomicStorage::Raw {
+                ptr: ptr.cast::<AtomicU64>(),
+                words: bits.div_ceil(64),
+            },
+            bits,
+        }
+    }
+
+    #[inline]
+    fn words(&self) -> &[AtomicU64] {
+        match &self.words {
+            AtomicStorage::Owned(v) => v,
+            // SAFETY: `ptr` is valid for `words` AtomicU64s per the
+            // `from_storage` contract (AtomicU64 is layout-identical to u64).
+            AtomicStorage::Raw { ptr, words } => unsafe {
+                core::slice::from_raw_parts(*ptr, *words)
+            },
+        }
+    }
+
+    /// Number of slots the bitmap covers.
+    #[must_use]
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// `true` when the bitmap covers zero slots.
+    #[must_use]
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Reads the bit at `index` (acquire).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.bits, "bit index {index} out of range");
+        let w = self.words()[index / 64].load(Ordering::Acquire);
+        (w >> (index % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `index` (release).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn set(&self, index: usize) {
+        assert!(index < self.bits, "bit index {index} out of range");
+        self.words()[index / 64].fetch_or(1u64 << (index % 64), Ordering::Release);
+    }
+
+    /// Clears the bit at `index` (release) — the lock-free reserved→live
+    /// handout transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn clear(&self, index: usize) {
+        assert!(index < self.bits, "bit index {index} out of range");
+        self.words()[index / 64].fetch_and(!(1u64 << (index % 64)), Ordering::Release);
+    }
+
+    /// Number of set bits. Each word is read atomically but the sum is not a
+    /// snapshot — exact only when no thread is mutating the bitmap (the same
+    /// quiescence caveat as the sharded heap's aggregate counters).
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words()
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+}
+
 /// Iterator over set-bit indices, produced by [`Bitmap::iter_ones`].
 #[derive(Debug)]
 pub struct IterOnes<'a> {
@@ -308,6 +452,62 @@ mod tests {
         assert_eq!(bm.count_ones(), 1);
         drop(bm);
         assert_ne!(backing[2], 0, "bit 150 lives in word 2");
+    }
+
+    #[test]
+    fn atomic_bitmap_set_get_clear() {
+        let bm = AtomicBitmap::new(130);
+        assert_eq!(bm.len(), 130);
+        assert!(!bm.is_empty());
+        for i in [0usize, 63, 64, 65, 129] {
+            assert!(!bm.get(i));
+            bm.set(i);
+            assert!(bm.get(i), "bit {i}");
+        }
+        assert_eq!(bm.count_ones(), 5);
+        bm.clear(64);
+        assert!(!bm.get(64));
+        assert_eq!(bm.count_ones(), 4);
+    }
+
+    #[test]
+    fn atomic_bitmap_over_raw_storage() {
+        let mut backing = vec![0u64; 4];
+        // SAFETY: `backing` outlives `bm`, is zeroed, and is not otherwise
+        // accessed while `bm` lives.
+        let bm = unsafe { AtomicBitmap::from_storage(backing.as_mut_ptr(), 200) };
+        bm.set(150);
+        assert!(bm.get(150));
+        assert_eq!(bm.count_ones(), 1);
+        drop(bm);
+        assert_ne!(backing[2], 0, "bit 150 lives in word 2");
+    }
+
+    #[test]
+    fn atomic_bitmap_concurrent_disjoint_bits() {
+        let bm = std::sync::Arc::new(AtomicBitmap::new(512));
+        let mut handles = Vec::new();
+        for t in 0..8usize {
+            let bm = std::sync::Arc::clone(&bm);
+            handles.push(std::thread::spawn(move || {
+                for i in (t..512).step_by(8) {
+                    bm.set(i);
+                }
+                for i in (t..512).step_by(16) {
+                    bm.clear(i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(bm.count_ones(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn atomic_bitmap_out_of_range_panics() {
+        AtomicBitmap::new(10).set(10);
     }
 
     proptest! {

@@ -129,6 +129,22 @@ impl AtomicHeapStats {
         self.ignored_frees.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts `n` successful frees in one atomic add — used by the magazine
+    /// layer, whose free buffer releases a whole batch under one shard-lock
+    /// acquisition and should pay one counter RMW for it, not `n`.
+    pub fn record_frees(&self, n: u64) {
+        if n > 0 {
+            self.frees.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts `n` ignored (double/invalid) frees in one atomic add.
+    pub fn record_ignored_frees(&self, n: u64) {
+        if n > 0 {
+            self.ignored_frees.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Counts one allocation denied at the `1/M` cap.
     pub fn record_exhausted(&self) {
         self.exhausted.fetch_add(1, Ordering::Relaxed);

@@ -31,12 +31,14 @@
 //!   paper's 384 MB heap).
 //! * `DIEHARD_M` — integer expansion factor `M` (default 2).
 //!
-//! ## Unsafe-surface audit (2026-07, stable toolchain, sharded design)
+//! ## Unsafe-surface audit (2026-07, stable toolchain, sharded + magazines)
 //!
-//! This module and [`sys`] are the crate's `unsafe` *syscall* surface, which
-//! is why the subtree sits behind the off-by-default `global` cargo feature;
-//! the allocation-free synchronization primitives it builds on live ungated
-//! in [`crate::sync`]. Findings, kept current as the module changes:
+//! This module, [`sys`], and [`tls`] are the crate's `unsafe` *syscall and
+//! TLS* surface, which is why the subtree sits behind the off-by-default
+//! `global` cargo feature; the allocation-free synchronization primitives it
+//! builds on live ungated in [`crate::sync`], and the magazine algorithm
+//! itself (including its atomic reserved-overlay reasoning) lives ungated in
+//! [`crate::magazine`]. Findings, kept current as the module changes:
 //!
 //! * **No `static mut` anywhere.** Allocator state is a once-initialized
 //!   [`OnceCell`]`<GlobalState>`: one `Acquire` load proves the header
@@ -65,23 +67,44 @@
 //! * **Lazily-initialized, never self-allocating.** Exactly one thread runs
 //!   initialization (losers of the `OnceCell` race spin without parking —
 //!   parking may allocate and re-enter the allocator being initialized);
-//!   metadata (bitmaps and the large-object validity tables) lives in a
-//!   dedicated mapping, so initialization cannot recurse. A failed
-//!   initialization (OOM, invalid config) is terminal: later calls return
-//!   null instead of retrying `mmap` storms.
+//!   metadata (bitmaps, reserved overlays, and the large-object validity
+//!   tables) lives in a dedicated mapping, so initialization cannot recurse.
+//!   A failed initialization (OOM, invalid config) is terminal: later calls
+//!   return null instead of retrying `mmap` storms.
+//! * **Thread-local magazines never allocate and never dangle.** The
+//!   per-thread block is `const`-initialized ELF TLS (no lazy-init state,
+//!   no `std` destructor registration — which would `calloc` inside glibc
+//!   and re-enter the allocator); the thread-exit flush is a single
+//!   `pthread` key whose destructor runs while ELF TLS is still mapped.
+//!   TLS blocks cache only a heap *id*; every flush that is not protected
+//!   by a live `&GlobalState` resolves the id through a registry whose
+//!   lock is held across the flush and across `Drop`'s unregistration, so
+//!   a dropped heap is either flushed-before-freed or discarded — never
+//!   dereferenced (full protocol in [`tls`]'s module docs). Corollary: a
+//!   `DieHard` value must not be moved after its first allocation (the
+//!   registry pins its interior address); statics never move, and test
+//!   instances move only while uninitialized.
+//! * **The magazine fast path is the one lock-free *write* to shared
+//!   heap state**: handing out a pre-reserved slot clears its bit in the
+//!   class's `AtomicBitmap` overlay (release) and bumps the atomic alloc
+//!   counter. Every other overlay access happens under the owning shard's
+//!   lock, and the reserved/live state machine (free → reserved → live →
+//!   free) is documented and tested in [`crate::magazine`].
 
 mod sys;
+mod tls;
 
 pub use crate::sync::{OnceCell, SpinGuard, SpinLock};
 
 use crate::config::HeapConfig;
 use crate::engine::HeapStats;
 use crate::large::LargeTable;
+use crate::magazine::MagazineHeap;
 use crate::rng::entropy_seed;
 use crate::safe_str;
-use crate::sharded::ShardedHeap;
 use core::alloc::{GlobalAlloc, Layout};
 use core::ptr;
+use core::sync::atomic::{AtomicU8, Ordering};
 
 /// Capacity of the large-object validity tables (live large objects).
 const LARGE_CAPACITY: usize = 4096;
@@ -96,16 +119,29 @@ struct LargeObjects {
     len: LargeTable,
 }
 
+/// Magazine engagement states for [`GlobalState::mag_state`].
+const MAG_UNDECIDED: u8 = 0;
+const MAG_ON: u8 = 1;
+const MAG_OFF: u8 = 2;
+
 /// The state behind an initialized allocator: the lock-free header fields
 /// plus the two locked domains (small-object shards, large-object tables).
 struct GlobalState {
-    /// Twelve independently-locked partition shards + atomic stats.
-    heap: ShardedHeap,
+    /// Twelve independently-locked partition shards + reserved overlays +
+    /// atomic stats (the magazine-capable heap).
+    heap: MagazineHeap,
     /// Base address of the small-object span. Written once at init, then
     /// read-only.
     heap_base: *mut u8,
     /// System page size. Written once at init, then read-only.
     page: usize,
+    /// Unique id for the thread-local magazine registry (see [`tls`]).
+    id: u64,
+    /// Whether per-thread magazines are engaged: undecided until the first
+    /// operation (registration must run *after* the state reaches its final
+    /// address inside the `OnceCell`), then on, or off when the registry is
+    /// full (the heap runs uncached — correct, just unbatched).
+    mag_state: AtomicU8,
     large: SpinLock<LargeObjects>,
 }
 
@@ -264,18 +300,46 @@ impl DieHard {
     }
 
     /// Live small objects currently tracked (diagnostics; locks each shard
-    /// briefly in turn).
+    /// briefly in turn). Flushes the calling thread's magazine first so the
+    /// count reflects this thread's buffered frees; slots reserved inside
+    /// other threads' magazines are excluded (they are not live).
     #[must_use]
     pub fn live_objects(&self) -> usize {
+        self.flush_thread_cache();
         self.state.get().map_or(0, |s| s.heap.live_objects())
     }
 
-    /// Heap statistics since initialization (lock-free snapshot).
+    /// Heap statistics since initialization. Flushes the calling thread's
+    /// magazine first, so in quiescence (all other threads exited or
+    /// flushed) the counters are exact.
     #[must_use]
     pub fn stats(&self) -> HeapStats {
+        self.flush_thread_cache();
         self.state
             .get()
             .map_or_else(Default::default, |s| s.heap.stats())
+    }
+
+    /// Slots currently reserved inside thread-local magazines (diagnostics;
+    /// zero once every thread has exited or flushed). Flushes the calling
+    /// thread's magazine first — flushing returns its reservations too.
+    #[must_use]
+    pub fn reserved_slots(&self) -> usize {
+        self.flush_thread_cache();
+        self.state.get().map_or(0, |s| s.heap.reserved_slots())
+    }
+
+    /// Flushes the calling thread's magazine into this heap, releasing its
+    /// buffered frees and returning its unhanded reservations. A no-op when
+    /// the thread's magazines are bound to a different heap (or to none).
+    /// Other threads flush at their own exits; call this from each thread
+    /// that should settle its accounting early.
+    pub fn flush_thread_cache(&self) {
+        if let Some(state) = self.state.get() {
+            if state.mag_state.load(Ordering::Acquire) == MAG_ON {
+                tls::flush_if_bound(state);
+            }
+        }
     }
 
     // ---- internals -------------------------------------------------------
@@ -308,7 +372,7 @@ impl DieHard {
 
         let page = sys::page_size();
         let span = config.heap_span();
-        let words = ShardedHeap::bitmap_words_needed(&config);
+        let words = MagazineHeap::metadata_words_needed(&config);
         let table_cap = (LARGE_CAPACITY * 2).next_power_of_two();
         let meta_bytes = (words * 8 + 4 * table_cap * 8 + page - 1) & !(page - 1);
         let meta = sys::map_reserve(meta_bytes);
@@ -323,10 +387,11 @@ impl DieHard {
         }
 
         let bitmap_words = meta.cast::<u64>();
-        // SAFETY: the meta arena provides `words` zeroed u64s followed by
-        // four table arrays of `table_cap` usizes each; mmap'd memory is
-        // zeroed and exclusively ours.
-        let heap = match unsafe { ShardedHeap::from_raw_parts(config, seed, bitmap_words) } {
+        // SAFETY: the meta arena provides `words` zeroed u64s (allocation
+        // bitmaps + reserved overlays) followed by four table arrays of
+        // `table_cap` usizes each; mmap'd memory is zeroed and exclusively
+        // ours.
+        let heap = match unsafe { MagazineHeap::from_raw_parts(config, seed, bitmap_words) } {
             Ok(heap) => heap,
             Err(_) => {
                 // SAFETY: both mappings were just created with these lengths
@@ -352,8 +417,39 @@ impl DieHard {
             heap,
             heap_base,
             page,
+            id: tls::allocate_id(),
+            mag_state: AtomicU8::new(MAG_UNDECIDED),
             large: SpinLock::new(LargeObjects { base, len }),
         })
+    }
+
+    /// Whether thread-local magazines serve this heap. The first call
+    /// registers the (now pinned) state in the TLS registry; a full
+    /// registry disables magazines for this heap, which then runs through
+    /// the uncached sharded path.
+    fn magazines_on(state: &GlobalState) -> bool {
+        match state.mag_state.load(Ordering::Acquire) {
+            MAG_ON => true,
+            MAG_OFF => false,
+            _ => {
+                let on = tls::register(state);
+                let decided = if on { MAG_ON } else { MAG_OFF };
+                // Racing first-operations may decide differently (one can
+                // register just as a registry row frees up); the CAS makes
+                // one decision win and every racer adopt it — registration
+                // is idempotent by id, so the winner's view is correct for
+                // all.
+                match state.mag_state.compare_exchange(
+                    MAG_UNDECIDED,
+                    decided,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => on,
+                    Err(current) => current == MAG_ON,
+                }
+            }
+        }
     }
 
     /// Distance from `ptr` to the end of its (small) heap object, when
@@ -372,9 +468,17 @@ impl DieHard {
         let base = state.heap_base as usize;
         let addr = ptr as usize;
         if addr >= base && addr < base + state.heap.heap_span() {
-            // Small object: full §4.3 validation inside, locking only the
-            // shard the offset resolves to.
-            let _ = state.heap.free_at(addr - base);
+            // Small object: full §4.3 validation. The span/alignment half is
+            // lock-free arithmetic either way; with magazines engaged the
+            // free is buffered in this thread's cache and released to its
+            // shard in a batch.
+            if Self::magazines_on(state) {
+                tls::with_cache(state, |mags, state| {
+                    let _ = mags.free_at(&state.heap, addr - base);
+                });
+            } else {
+                let _ = state.heap.free_at(addr - base);
+            }
             return;
         }
         // Possibly a large object: consult the validity tables; unknown
@@ -440,6 +544,24 @@ impl Default for DieHard {
     }
 }
 
+impl Drop for DieHard {
+    /// Unregisters the heap from the magazine registry (so other threads'
+    /// stale TLS bindings become lookup misses and are discarded, never
+    /// dereferenced) after flushing this thread's own binding. The `mmap`
+    /// regions themselves are deliberately leaked, as before: a global
+    /// allocator's heap must outlive every object it ever served, and
+    /// tracking that is the caller's impossible job, not ours.
+    fn drop(&mut self) {
+        if let Some(state) = self.state.get() {
+            // Unconditionally: even a heap that settled on MAG_OFF can have
+            // lost a registration race and still own a registry row (the
+            // row must not outlive the state it points to); retire's
+            // removal is a no-op when the id was never registered.
+            tls::retire(state);
+        }
+    }
+}
+
 // SAFETY: `alloc`/`dealloc` satisfy the GlobalAlloc contract: blocks are
 // valid for the layout, never aliased while live (uniqueness is the
 // per-shard bitmap no-overlap invariant), and dealloc releases exactly what
@@ -453,7 +575,14 @@ unsafe impl GlobalAlloc for DieHard {
         // serving max(size, align) satisfies any alignment request.
         let need = layout.size().max(layout.align()).max(1);
         if need <= crate::size_class::MAX_OBJECT_SIZE {
-            match state.heap.alloc(need) {
+            // Fast path: pop a pre-reserved random slot from this thread's
+            // magazine (no lock); refills batch the shard lock.
+            let slot = if Self::magazines_on(state) {
+                tls::with_cache(state, |mags, state| mags.alloc(&state.heap, need))
+            } else {
+                state.heap.alloc(need)
+            };
+            match slot {
                 Some(slot) => {
                     let off = state.heap.offset_of(slot);
                     // SAFETY: `off` lies within the reserved heap span.
@@ -699,9 +828,84 @@ mod tests {
                     for p in ptrs {
                         heap.free(p);
                     }
+                    // Scoped threads: `scope` returns when the closure
+                    // finishes, racing the pthread-key exit flush that runs
+                    // during OS-thread teardown — settle explicitly so the
+                    // assertion below is deterministic. (Plainly `join`ed
+                    // threads need no such call: `pthread_join` returns only
+                    // after key destructors complete.)
+                    heap.flush_thread_cache();
                 });
             }
         });
+        assert_eq!(heap.live_objects(), 0);
+    }
+
+    /// The pthread-key exit flush: a plainly-`join`ed thread (join returns
+    /// only after key destructors run) leaks neither reservations nor
+    /// buffered frees.
+    #[test]
+    fn thread_exit_flushes_magazines() {
+        let heap = std::sync::Arc::new(DieHard::with_config(HeapConfig::default(), 0x7157));
+        let h = std::sync::Arc::clone(&heap);
+        std::thread::spawn(move || {
+            let mut ptrs = Vec::new();
+            for i in 0..200usize {
+                let p = h.malloc(8 + (i * 37) % 2000);
+                assert!(!p.is_null());
+                ptrs.push(p);
+            }
+            for p in ptrs {
+                h.free(p);
+            }
+            // No explicit flush: reservations and any still-buffered frees
+            // must be settled by the thread-exit destructor alone.
+        })
+        .join()
+        .unwrap();
+        assert_eq!(heap.reserved_slots(), 0, "exit flush returns reservations");
+        assert_eq!(heap.live_objects(), 0, "exit flush releases buffered frees");
+        let stats = heap.stats();
+        assert_eq!(stats.allocs, 200);
+        assert_eq!(stats.frees, 200);
+        assert_eq!(stats.ignored_frees, 0);
+    }
+
+    /// One thread alternating between two live heaps: each touch of the
+    /// other heap rebinds the thread's magazines, flushing into the heap
+    /// they came from — no reservation is ever stranded in a live heap.
+    #[test]
+    fn rebinding_between_live_heaps_flushes_the_old_one() {
+        let a = DieHard::with_config(HeapConfig::default(), 0xA);
+        let b = DieHard::with_config(HeapConfig::default(), 0xB);
+        let pa = a.malloc(64);
+        let pb = b.malloc(64); // rebind: flushes a's magazines back to a
+        assert!(!pa.is_null() && !pb.is_null());
+        assert_eq!(a.reserved_slots(), 0, "rebind returned a's reservations");
+        assert_eq!(a.live_objects(), 1, "handed-out object stays live");
+        a.free(pa); // rebind back: flushes b's magazines
+        assert_eq!(b.reserved_slots(), 0);
+        assert_eq!(b.live_objects(), 1);
+        b.free(pb);
+        assert_eq!(a.live_objects(), 0);
+        assert_eq!(b.live_objects(), 0);
+    }
+
+    /// Reserved-but-unhanded slots are not live through the C API either:
+    /// a wild free aimed at one is ignored and the reservation survives.
+    #[test]
+    fn magazine_reservations_invisible_to_free_and_live_count() {
+        let heap = DieHard::with_config(HeapConfig::default(), 0x11FE);
+        let p = heap.malloc(64);
+        assert!(!p.is_null());
+        // The refill reserved a batch; only the handout is an allocation.
+        assert_eq!(heap.stats().allocs, 1);
+        assert_eq!(heap.live_objects(), 1);
+        // Every remaining slot of the batch is reserved, not live — and a
+        // heap.reserved_slots() call flushes this thread's cache, returning
+        // them to the shard.
+        assert_eq!(heap.reserved_slots(), 0);
+        heap.free(p);
         assert_eq!(heap.live_objects(), 0);
     }
 
@@ -772,6 +976,10 @@ mod tests {
                     for p in live {
                         heap.free(p);
                     }
+                    // Settle before `scope` returns (see
+                    // `concurrent_alloc_free_safe` for why scoped threads
+                    // flush explicitly).
+                    heap.flush_thread_cache();
                 });
             }
         });

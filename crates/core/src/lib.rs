@@ -30,6 +30,10 @@
 //! * [`sharded`] — [`sharded::ShardedHeap`], the thread-safe heap with one
 //!   lock per size class (concurrent allocations in different classes never
 //!   contend).
+//! * [`magazine`] — [`magazine::MagazineHeap`], thread-local allocation
+//!   magazines in front of the sharded heap: batched, probe-loop-sampled
+//!   refills and buffered frees, so same-class allocations from different
+//!   threads stop contending too.
 //! * [`global`] *(feature `global`, Unix)* — a real `#[global_allocator]`
 //!   built on `mmap`, with guard-paged large objects, sharded per class.
 //!
@@ -59,6 +63,7 @@ pub mod bitmap;
 pub mod config;
 pub mod engine;
 pub mod large;
+pub mod magazine;
 pub mod partition;
 pub mod rng;
 pub mod safe_str;
@@ -71,6 +76,7 @@ pub mod global;
 
 pub use config::{FillPolicy, HeapConfig};
 pub use engine::{AtomicHeapStats, FreeOutcome, HeapCore, HeapStats, Slot};
+pub use magazine::{MagazineCache, MagazineHeap, ThreadMagazines};
 pub use rng::Mwc;
 pub use sharded::ShardedHeap;
 pub use size_class::SizeClass;

@@ -1,0 +1,941 @@
+//! Thread-local allocation magazines in front of the sharded heap.
+//!
+//! PR 2 sharded the heap per size class, but two threads allocating the
+//! *same* class still serialize on that class's one `SpinLock<Partition>`.
+//! This module adds the classic magazine layer (Bonwick's vmem/slab per-CPU
+//! caches, adapted to DieHard's randomized placement): each thread holds,
+//! per size class, a small **magazine** of pre-reserved slots plus a bounded
+//! **free buffer**, so the hot paths touch the shard lock only once per
+//! batch instead of once per operation.
+//!
+//! # Preserving the paper's guarantees
+//!
+//! DieHard's probabilistic memory safety (§3, §4.2) rests on objects being
+//! placed *uniformly at random* over a region at most `1/M` full. The
+//! magazine must not perturb either property:
+//!
+//! * **Uniform placement.** A refill does not carve a deterministic run of
+//!   slots; it samples `K` slots by running the partition's own MWC probe
+//!   loop (`Partition::alloc`) under a single shard-lock acquisition. Each
+//!   reserved slot is therefore a uniform draw over the free slots, from
+//!   the same per-class RNG stream the uncached heap would have used — for
+//!   one thread performing only allocations, the magazine-served sequence
+//!   is *bit-identical* to [`ShardedHeap`]'s for the same master seed
+//!   (handout is FIFO in draw order).
+//! * **The `1/M` occupancy cap.** Reserved slots are marked in the
+//!   partition's allocation bitmap and count toward `inUse`, so the
+//!   threshold check bounds *live + reserved* — strictly conservative: the
+//!   truly live fraction is always at or below the paper's cap.
+//! * **No randomized-reuse shortcut.** The free buffer never hands a
+//!   buffered slot back to the local thread; it flushes to the owning shard,
+//!   where the slot rejoins the uniform probe space. Immediate deterministic
+//!   reuse (what tcmalloc-style caches do) would gut the dangling-pointer
+//!   protection of §3.3.
+//!
+//! # The reserved/live distinction
+//!
+//! A slot a magazine holds but has not handed out is **not live**: no
+//! pointer to it has ever been returned, so `free_at` must ignore it and
+//! `is_live_at` must report `false` (and heap statistics must not count
+//! it as an allocation). Each class therefore has an [`AtomicBitmap`]
+//! *reserved overlay* beside the partition bitmap:
+//!
+//! | partition bit | overlay bit | state                                |
+//! |---------------|-------------|--------------------------------------|
+//! | 0             | 0           | free                                 |
+//! | 1             | 1           | reserved (magazine-held, not live)   |
+//! | 1             | 0           | live                                 |
+//!
+//! Free→reserved happens under the shard lock (refill); reserved→live is a
+//! single lock-free atomic clear on the owning thread (handout — the fast
+//! path the whole layer exists for); live→free happens under the shard lock
+//! (free-buffer flush, or a direct `free_at`). The overlay is atomic
+//! precisely because the handout transition takes no lock; every other
+//! reader checks it while holding the shard lock.
+//!
+//! # Accounting
+//!
+//! [`AtomicHeapStats`] stays exact: a handout records one alloc (the moment
+//! the application actually receives memory), a refill that returns empty
+//! records one exhaustion per denied request, and a free-buffer flush
+//! records its batch of frees/ignored-frees under the shard lock it already
+//! holds. Thread exit (guard drop) flushes buffered frees and returns every
+//! unhanded reservation to its shard — zero leaked reservations, no
+//! spurious stats.
+
+use crate::bitmap::AtomicBitmap;
+use crate::config::{ConfigError, HeapConfig};
+use crate::engine::{locate_free, slot_at, slot_offset, FreeOutcome, HeapStats, Slot};
+use crate::partition::Partition;
+use crate::sharded::ShardedHeap;
+use crate::size_class::{SizeClass, NUM_CLASSES};
+
+/// Maximum slots a per-class magazine holds between refills.
+pub const MAG_SLOTS: usize = 8;
+
+/// Free-buffer capacity per class; a full buffer forces a flush, a
+/// half-full one flushes opportunistically (`try_lock`).
+pub const FREE_SLOTS: usize = 16;
+
+/// Refill batch size for a partition with the given `1/M` threshold: small
+/// regions reserve less so a handful of threads cannot park the entire
+/// allowance inside magazines.
+#[inline]
+fn refill_batch(threshold: usize) -> usize {
+    MAG_SLOTS.min((threshold / 8).max(1))
+}
+
+/// A thread-safe DieHard heap that supports thread-local magazine caching.
+///
+/// Structurally this is a [`ShardedHeap`] plus one reserved overlay per
+/// class. All operations take `&self`; threads that want the cached fast
+/// path create a [`MagazineCache`] via [`thread_cache`](Self::thread_cache),
+/// while uncached (`alloc`/`free_at`) calls remain available and interleave
+/// correctly with cached traffic.
+///
+/// # Examples
+///
+/// ```
+/// use diehard_core::{config::HeapConfig, magazine::MagazineHeap};
+///
+/// let heap = MagazineHeap::new(HeapConfig::default(), 42)?;
+/// let mut cache = heap.thread_cache();
+/// let slot = cache.alloc(100).expect("space available");
+/// let off = heap.offset_of(slot);
+/// assert!(heap.is_live_at(off));
+/// cache.free_at(off);
+/// drop(cache); // flushes buffered frees, returns unhanded reservations
+/// assert_eq!(heap.live_objects(), 0);
+/// assert_eq!(heap.reserved_slots(), 0);
+/// # Ok::<(), diehard_core::config::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct MagazineHeap {
+    heap: ShardedHeap,
+    reserved: [AtomicBitmap; NUM_CLASSES],
+}
+
+impl MagazineHeap {
+    /// Creates an empty magazine-capable heap; placement is driven by the
+    /// same per-class RNG streams as [`ShardedHeap::new`] with this seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is invalid.
+    pub fn new(config: HeapConfig, seed: u64) -> Result<Self, ConfigError> {
+        let heap = ShardedHeap::new(config, seed)?;
+        let reserved = core::array::from_fn(|i| {
+            AtomicBitmap::new(heap.config().capacity(SizeClass::from_index(i)))
+        });
+        Ok(Self { heap, reserved })
+    }
+
+    /// As [`new`](Self::new), but hosting all metadata (allocation bitmaps
+    /// *and* reserved overlays) in caller-provided storage so construction
+    /// performs no heap allocation — required when DieHard itself is the
+    /// process's global allocator.
+    ///
+    /// # Safety
+    ///
+    /// `words` must point to at least
+    /// [`metadata_words_needed`](Self::metadata_words_needed)`(&config)`
+    /// zeroed `u64`s, valid and exclusively owned for the heap's lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is invalid.
+    pub unsafe fn from_raw_parts(
+        config: HeapConfig,
+        seed: u64,
+        words: *mut u64,
+    ) -> Result<Self, ConfigError> {
+        let base_words = ShardedHeap::bitmap_words_needed(&config);
+        // SAFETY: the first half of the arena is the allocation bitmaps
+        // (forwarded caller contract).
+        let heap = unsafe { ShardedHeap::from_raw_parts(config, seed, words) }?;
+        // SAFETY: the second half is the reserved overlays, carved
+        // sequentially per class.
+        let mut cursor = unsafe { words.add(base_words) };
+        let reserved = core::array::from_fn(|i| {
+            let cap = heap.config().capacity(SizeClass::from_index(i));
+            // SAFETY: the caller provides `2 × base_words` zeroed words; the
+            // per-class overlay word counts sum to exactly `base_words`.
+            let bm = unsafe { AtomicBitmap::from_storage(cursor, cap) };
+            cursor = unsafe { cursor.add(cap.div_ceil(64)) };
+            bm
+        });
+        Ok(Self { heap, reserved })
+    }
+
+    /// Number of `u64` words of metadata storage
+    /// [`from_raw_parts`](Self::from_raw_parts) requires for `config`:
+    /// twice [`ShardedHeap::bitmap_words_needed`] (allocation bitmaps plus
+    /// the reserved overlays).
+    #[must_use]
+    pub fn metadata_words_needed(config: &HeapConfig) -> usize {
+        2 * ShardedHeap::bitmap_words_needed(config)
+    }
+
+    /// The heap's configuration (lock-free; immutable).
+    #[must_use]
+    pub fn config(&self) -> &HeapConfig {
+        self.heap.config()
+    }
+
+    /// Counters since construction (lock-free snapshot). Frees sitting in a
+    /// thread's buffer are counted when that buffer flushes.
+    #[must_use]
+    pub fn stats(&self) -> HeapStats {
+        self.heap.stats()
+    }
+
+    /// Bytes spanned by the small-object heap.
+    #[must_use]
+    pub fn heap_span(&self) -> usize {
+        self.heap.heap_span()
+    }
+
+    /// Byte offset of `slot` within the heap span (pure arithmetic).
+    #[must_use]
+    #[inline]
+    pub fn offset_of(&self, slot: Slot) -> usize {
+        slot_offset(self.config(), slot)
+    }
+
+    /// Resolves a byte offset (any interior pointer) to the slot containing
+    /// it (pure arithmetic).
+    #[must_use]
+    pub fn slot_containing(&self, offset: usize) -> Option<Slot> {
+        slot_at(self.config(), offset)
+    }
+
+    /// A thread-local cache over this heap. Dropping the cache flushes its
+    /// buffered frees and returns its unhanded reservations.
+    #[must_use]
+    pub fn thread_cache(&self) -> MagazineCache<'_> {
+        MagazineCache {
+            heap: self,
+            mags: ThreadMagazines::new(),
+        }
+    }
+
+    /// Uncached allocation: identical to [`ShardedHeap::alloc`] (the probe
+    /// loop skips reserved slots because their partition bits are set).
+    pub fn alloc(&self, size: usize) -> Option<Slot> {
+        self.heap.alloc(size)
+    }
+
+    /// Uncached `DieHardFree` (§4.3): validates and frees the object at
+    /// `offset`, ignoring frees of reserved-but-unhanded slots (they are not
+    /// live — no pointer to them was ever returned).
+    pub fn free_at(&self, offset: usize) -> FreeOutcome {
+        let slot = match locate_free(self.config(), offset) {
+            Ok(slot) => slot,
+            Err(outcome) => {
+                if outcome == FreeOutcome::MisalignedOffset {
+                    self.heap.stats_ref().record_ignored_free();
+                }
+                return outcome;
+            }
+        };
+        let c = slot.class;
+        let mut shard = self.heap.shard(c).lock();
+        if self.reserved[c.index()].get(slot.index) {
+            drop(shard);
+            self.heap.stats_ref().record_ignored_free();
+            return FreeOutcome::NotAllocated;
+        }
+        let freed = shard.free(slot.index);
+        drop(shard);
+        if freed {
+            self.heap.stats_ref().record_free();
+            FreeOutcome::Freed(slot)
+        } else {
+            self.heap.stats_ref().record_ignored_free();
+            FreeOutcome::NotAllocated
+        }
+    }
+
+    /// Whether the object at `offset` is live. Reserved-but-unhanded slots
+    /// report `false`.
+    #[must_use]
+    pub fn is_live_at(&self, offset: usize) -> bool {
+        match slot_at(self.config(), offset) {
+            Some(slot) => {
+                let live = self.heap.shard(slot.class).lock().is_live(slot.index);
+                live && !self.reserved[slot.class.index()].get(slot.index)
+            }
+            None => false,
+        }
+    }
+
+    /// Total live objects: partition occupancy minus magazine reservations.
+    /// Exact only when the heap is quiescent (same caveat as
+    /// [`ShardedHeap::live_objects`]).
+    #[must_use]
+    pub fn live_objects(&self) -> usize {
+        SizeClass::all()
+            .map(|c| {
+                let in_use = self.heap.shard(c).lock().in_use();
+                in_use - self.reserved[c.index()].count_ones().min(in_use)
+            })
+            .sum()
+    }
+
+    /// Slots currently reserved inside thread magazines across all classes
+    /// (quiescence caveat as above). Zero once every cache has flushed.
+    #[must_use]
+    pub fn reserved_slots(&self) -> usize {
+        self.reserved.iter().map(AtomicBitmap::count_ones).sum()
+    }
+
+    /// Runs `f` against the (locked) partition serving `class` — shard-local
+    /// diagnostics, e.g. layout statistics for the sim harness's A/B runs.
+    /// Note the partition bitmap includes reserved slots; flush caches first
+    /// for live-only statistics.
+    pub fn with_partition<R>(&self, class: SizeClass, f: impl FnOnce(&Partition) -> R) -> R {
+        self.heap.with_partition(class, f)
+    }
+
+    // ---- cache back end --------------------------------------------------
+
+    /// Refills `out` with up to one batch of reserved slots for `class`,
+    /// drawn by the partition's own probe loop under one lock acquisition.
+    /// Returns the number of slots reserved (0 when at the `1/M` cap).
+    fn refill(&self, class: SizeClass, out: &mut [usize; MAG_SLOTS]) -> usize {
+        let overlay = &self.reserved[class.index()];
+        let mut shard = self.heap.shard(class).lock();
+        let want = refill_batch(shard.threshold());
+        let mut n = 0;
+        while n < want {
+            match shard.alloc() {
+                Some(index) => {
+                    // Setting the overlay bit while still holding the shard
+                    // lock makes free→reserved atomic with respect to every
+                    // lock-holding reader.
+                    overlay.set(index);
+                    out[n] = index;
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// The lock-free reserved→live handout transition.
+    #[inline]
+    fn commit(&self, class: SizeClass, index: usize) {
+        self.reserved[class.index()].clear(index);
+        self.heap.stats_ref().record_alloc();
+    }
+
+    /// Releases a batch of buffered frees for `class` under one lock
+    /// acquisition. With `force` false the flush is opportunistic: a
+    /// contended shard leaves the buffer untouched.
+    fn flush_frees(&self, class: SizeClass, frees: &mut [usize; FREE_SLOTS], len: &mut usize) {
+        self.flush_frees_inner(class, frees, len, true);
+    }
+
+    fn try_flush_frees(&self, class: SizeClass, frees: &mut [usize; FREE_SLOTS], len: &mut usize) {
+        self.flush_frees_inner(class, frees, len, false);
+    }
+
+    fn flush_frees_inner(
+        &self,
+        class: SizeClass,
+        frees: &mut [usize; FREE_SLOTS],
+        len: &mut usize,
+        force: bool,
+    ) {
+        if *len == 0 {
+            return;
+        }
+        let overlay = &self.reserved[class.index()];
+        let lock = self.heap.shard(class);
+        let mut shard = if force {
+            lock.lock()
+        } else {
+            match lock.try_lock() {
+                Some(guard) => guard,
+                None => return,
+            }
+        };
+        let mut freed = 0u64;
+        let mut ignored = 0u64;
+        for &index in frees[..*len].iter() {
+            // A reserved slot is not live: the free targets an address the
+            // application never received, so it is ignored — and must not
+            // release a reservation another magazine holds.
+            if overlay.get(index) {
+                ignored += 1;
+            } else if shard.free(index) {
+                freed += 1;
+            } else {
+                ignored += 1;
+            }
+        }
+        drop(shard);
+        *len = 0;
+        let stats = self.heap.stats_ref();
+        stats.record_frees(freed);
+        stats.record_ignored_frees(ignored);
+    }
+
+    /// Returns unhanded reservations to their shard (no stats: they were
+    /// never allocations).
+    fn return_reservations(&self, class: SizeClass, slots: &[usize]) {
+        if slots.is_empty() {
+            return;
+        }
+        let overlay = &self.reserved[class.index()];
+        let mut shard = self.heap.shard(class).lock();
+        for &index in slots {
+            overlay.clear(index);
+            let was_reserved = shard.free(index);
+            debug_assert!(was_reserved, "returned slot {index} was not reserved");
+        }
+    }
+}
+
+/// Outcome of a cached free: either queued for a batched release or
+/// resolved immediately by the lock-free span/alignment validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachedFree {
+    /// The offset names a plausible slot; it is buffered and will be
+    /// validated against the bitmap (double/invalid frees ignored) when the
+    /// buffer flushes.
+    Buffered,
+    /// Validation failed without needing any shard: the offset is outside
+    /// the heap ([`FreeOutcome::NotInHeap`]) or misaligned
+    /// ([`FreeOutcome::MisalignedOffset`]).
+    Rejected(FreeOutcome),
+}
+
+/// One size class's thread-local state: the magazine (FIFO over the refill
+/// draw order, preserving the probe stream's sequence) and the free buffer.
+#[derive(Debug, Clone, Copy)]
+struct ClassCache {
+    mag: [usize; MAG_SLOTS],
+    head: usize,
+    len: usize,
+    frees: [usize; FREE_SLOTS],
+    flen: usize,
+}
+
+impl ClassCache {
+    const EMPTY: Self = Self {
+        mag: [0; MAG_SLOTS],
+        head: 0,
+        len: 0,
+        frees: [0; FREE_SLOTS],
+        flen: 0,
+    };
+}
+
+/// The per-thread magazine state for all twelve classes.
+///
+/// Deliberately a plain, `const`-constructible value with **no heap-backed
+/// members and no `Drop` impl**: the global allocator keeps one of these in
+/// ELF thread-local storage, where construction and access must never
+/// allocate (any allocation would re-enter the allocator being served) and
+/// where `std`'s lazy TLS destructor machinery must not be triggered.
+/// Callers that want automatic cleanup wrap it in a [`MagazineCache`] guard;
+/// the global allocator flushes via a `pthread` key destructor instead.
+#[derive(Debug)]
+pub struct ThreadMagazines {
+    classes: [ClassCache; NUM_CLASSES],
+}
+
+impl ThreadMagazines {
+    /// An empty set of magazines (usable in `const`/TLS contexts).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            classes: [ClassCache::EMPTY; NUM_CLASSES],
+        }
+    }
+
+    /// `true` when no reservations are held and no frees are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.classes.iter().all(|c| c.len == 0 && c.flen == 0)
+    }
+
+    /// Allocates `size` bytes through this thread's magazine, refilling from
+    /// `heap` (one shard-lock acquisition per batch) when empty. Returns
+    /// `None` for zero/oversized requests or when the class is at its `1/M`
+    /// cap — each denied request records one exhaustion, like the uncached
+    /// path.
+    pub fn alloc(&mut self, heap: &MagazineHeap, size: usize) -> Option<Slot> {
+        let class = SizeClass::for_size(size)?;
+        let cache = &mut self.classes[class.index()];
+        if cache.len == 0 {
+            let drawn = heap.refill(class, &mut cache.mag);
+            if drawn == 0 {
+                heap.heap.stats_ref().record_exhausted();
+                return None;
+            }
+            cache.head = 0;
+            cache.len = drawn;
+        }
+        let index = cache.mag[cache.head];
+        cache.head += 1;
+        cache.len -= 1;
+        heap.commit(class, index);
+        Some(Slot { class, index })
+    }
+
+    /// Frees the object at `offset` through this thread's buffer. The
+    /// lock-free [`locate_free`] arithmetic rejects out-of-span and
+    /// misaligned offsets immediately; plausible slots are buffered per
+    /// class and released in batches (opportunistically at half capacity,
+    /// forced at full capacity).
+    pub fn free_at(&mut self, heap: &MagazineHeap, offset: usize) -> CachedFree {
+        let slot = match locate_free(heap.config(), offset) {
+            Ok(slot) => slot,
+            Err(outcome) => {
+                if outcome == FreeOutcome::MisalignedOffset {
+                    heap.heap.stats_ref().record_ignored_free();
+                }
+                return CachedFree::Rejected(outcome);
+            }
+        };
+        let cache = &mut self.classes[slot.class.index()];
+        cache.frees[cache.flen] = slot.index;
+        cache.flen += 1;
+        if cache.flen == FREE_SLOTS {
+            heap.flush_frees(slot.class, &mut cache.frees, &mut cache.flen);
+        } else if cache.flen >= FREE_SLOTS / 2 {
+            heap.try_flush_frees(slot.class, &mut cache.frees, &mut cache.flen);
+        }
+        CachedFree::Buffered
+    }
+
+    /// Flushes everything: buffered frees are released (stats recorded) and
+    /// unhanded reservations are returned to their shards (no stats). The
+    /// thread-exit path.
+    pub fn flush(&mut self, heap: &MagazineHeap) {
+        for (i, cache) in self.classes.iter_mut().enumerate() {
+            let class = SizeClass::from_index(i);
+            heap.flush_frees(class, &mut cache.frees, &mut cache.flen);
+            let held = &cache.mag[cache.head..cache.head + cache.len];
+            heap.return_reservations(class, held);
+            cache.head = 0;
+            cache.len = 0;
+        }
+    }
+
+    /// Drops all cached state without touching any heap. Only for the case
+    /// where the owning heap is already gone (the global allocator's TLS
+    /// rebinding after a heap was dropped); on a live heap this would leak
+    /// reservations — use [`flush`](Self::flush).
+    pub fn discard(&mut self) {
+        self.classes = [ClassCache::EMPTY; NUM_CLASSES];
+    }
+}
+
+impl Default for ThreadMagazines {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A guard coupling a [`ThreadMagazines`] to its heap: the ergonomic façade
+/// for threads using `&MagazineHeap` directly (benches, the sim harness's
+/// A/B runs, tests). Dropping it flushes — the in-process analogue of the
+/// global allocator's thread-exit flush.
+#[derive(Debug)]
+pub struct MagazineCache<'h> {
+    heap: &'h MagazineHeap,
+    mags: ThreadMagazines,
+}
+
+impl MagazineCache<'_> {
+    /// Allocates `size` bytes through the magazine
+    /// (see [`ThreadMagazines::alloc`]).
+    pub fn alloc(&mut self, size: usize) -> Option<Slot> {
+        self.mags.alloc(self.heap, size)
+    }
+
+    /// Frees the object at `offset` through the buffer
+    /// (see [`ThreadMagazines::free_at`]).
+    pub fn free_at(&mut self, offset: usize) -> CachedFree {
+        self.mags.free_at(self.heap, offset)
+    }
+
+    /// Flushes buffered frees and returns unhanded reservations now, without
+    /// consuming the cache.
+    pub fn flush(&mut self) {
+        self.mags.flush(self.heap);
+    }
+}
+
+impl Drop for MagazineCache<'_> {
+    fn drop(&mut self) {
+        self.mags.flush(self.heap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::HeapCore;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn heap(seed: u64) -> MagazineHeap {
+        MagazineHeap::new(HeapConfig::default(), seed).unwrap()
+    }
+
+    /// For one thread performing only allocations, the magazine serves the
+    /// exact slot sequence the sharded heap would have: refills run the same
+    /// probe loop on the same per-class stream, and handout is FIFO.
+    #[test]
+    fn alloc_only_sequence_matches_sharded_exactly() {
+        let mag = heap(0xABCD);
+        let sharded = ShardedHeap::new(HeapConfig::default(), 0xABCD).unwrap();
+        let mut cache = mag.thread_cache();
+        for req in [8usize, 8, 24, 100, 1000, 4000, 16_000, 8, 64, 100, 100] {
+            assert_eq!(cache.alloc(req), sharded.alloc(req), "request {req}");
+        }
+    }
+
+    #[test]
+    fn reserved_slots_are_not_live() {
+        let h = heap(7);
+        let mut cache = h.thread_cache();
+        let slot = cache.alloc(64).unwrap();
+        let handed = h.offset_of(slot);
+        // The refill reserved a whole batch; everything but the handed-out
+        // slot is reserved-not-live.
+        let batch = refill_batch(h.config().threshold(slot.class));
+        assert!(batch > 1, "test needs a multi-slot refill");
+        assert_eq!(h.reserved_slots(), batch - 1);
+        assert_eq!(h.live_objects(), 1);
+        assert!(h.is_live_at(handed));
+
+        let reserved_idx = h
+            .with_partition(slot.class, |p| p.live_slots().find(|&i| i != slot.index))
+            .expect("a reserved slot exists");
+        let reserved_off = h.offset_of(Slot {
+            class: slot.class,
+            index: reserved_idx,
+        });
+        assert!(
+            !h.is_live_at(reserved_off),
+            "reserved slot must not be live"
+        );
+        assert_eq!(
+            h.free_at(reserved_off),
+            FreeOutcome::NotAllocated,
+            "freeing a reserved slot is an invalid free"
+        );
+        let stats = h.stats();
+        assert_eq!(stats.allocs, 1, "only the handout counts");
+        assert_eq!(stats.ignored_frees, 1);
+        assert_eq!(stats.frees, 0);
+
+        // The ignored free must not have released the reservation: the next
+        // handouts still come from the intact magazine.
+        for _ in 1..batch {
+            let s = cache.alloc(64).unwrap();
+            assert!(h.is_live_at(h.offset_of(s)));
+        }
+        assert_eq!(h.reserved_slots(), 0);
+    }
+
+    #[test]
+    fn drop_returns_reservations_and_flushes_frees() {
+        let h = heap(3);
+        let mut offs = Vec::new();
+        {
+            let mut cache = h.thread_cache();
+            for _ in 0..5 {
+                offs.push(h.offset_of(cache.alloc(256).unwrap()));
+            }
+            // Buffer two frees below the opportunistic-flush threshold.
+            cache.free_at(offs[0]);
+            cache.free_at(offs[1]);
+            assert_eq!(h.stats().frees, 0, "frees still buffered");
+        }
+        // Guard dropped: frees flushed, reservations returned.
+        assert_eq!(h.stats().frees, 2);
+        assert_eq!(h.reserved_slots(), 0);
+        assert_eq!(h.live_objects(), 3);
+        for &off in &offs[2..] {
+            assert!(h.free_at(off).freed());
+        }
+        assert_eq!(h.live_objects(), 0);
+        let stats = h.stats();
+        assert_eq!(stats.allocs, 5);
+        assert_eq!(stats.frees, 5);
+        assert_eq!(stats.ignored_frees, 0);
+    }
+
+    #[test]
+    fn full_free_buffer_forces_flush() {
+        let h = heap(11);
+        let mut cache = h.thread_cache();
+        let offs: Vec<usize> = (0..FREE_SLOTS)
+            .map(|_| h.offset_of(cache.alloc(8).unwrap()))
+            .collect();
+        for &off in &offs {
+            assert_eq!(cache.free_at(off), CachedFree::Buffered);
+        }
+        // The buffer hit capacity at least once (opportunistic flushes may
+        // have drained it earlier too — single-threaded, try_lock succeeds).
+        assert_eq!(h.stats().frees, FREE_SLOTS as u64);
+    }
+
+    #[test]
+    fn double_free_through_buffer_is_ignored_exactly_once() {
+        let h = heap(13);
+        let mut cache = h.thread_cache();
+        let off = h.offset_of(cache.alloc(128).unwrap());
+        cache.free_at(off);
+        cache.free_at(off);
+        cache.flush();
+        let stats = h.stats();
+        assert_eq!(stats.frees, 1);
+        assert_eq!(stats.ignored_frees, 1);
+        assert_eq!(h.live_objects(), 0);
+    }
+
+    #[test]
+    fn rejected_frees_do_not_enter_the_buffer() {
+        let h = heap(17);
+        let mut cache = h.thread_cache();
+        let off = h.offset_of(cache.alloc(64).unwrap());
+        assert_eq!(
+            cache.free_at(off + 1),
+            CachedFree::Rejected(FreeOutcome::MisalignedOffset)
+        );
+        assert_eq!(
+            cache.free_at(usize::MAX / 2),
+            CachedFree::Rejected(FreeOutcome::NotInHeap)
+        );
+        cache.flush();
+        let stats = h.stats();
+        assert_eq!(
+            stats.ignored_frees, 1,
+            "misaligned counts, not-in-heap does not"
+        );
+        assert_eq!(stats.frees, 0);
+        assert!(h.is_live_at(off), "victim object untouched");
+    }
+
+    #[test]
+    fn exhaustion_is_counted_per_denied_request() {
+        // 32 KB regions: the 16 KB class has capacity 2, threshold 1.
+        let cfg = HeapConfig::default().with_region_bytes(32 * 1024);
+        let h = MagazineHeap::new(cfg, 19).unwrap();
+        let mut cache = h.thread_cache();
+        assert!(cache.alloc(16 * 1024).is_some());
+        assert!(cache.alloc(16 * 1024).is_none());
+        assert!(cache.alloc(16 * 1024).is_none());
+        let stats = h.stats();
+        assert_eq!(stats.allocs, 1);
+        assert_eq!(stats.exhausted, 2);
+    }
+
+    #[test]
+    fn cached_and_uncached_traffic_interleave() {
+        let h = heap(23);
+        let mut cache = h.thread_cache();
+        let a = cache.alloc(64).unwrap();
+        let b = h.alloc(64).unwrap();
+        assert_ne!(a, b, "uncached alloc cannot receive a reserved slot");
+        assert!(h.is_live_at(h.offset_of(a)));
+        assert!(h.is_live_at(h.offset_of(b)));
+        assert!(h.free_at(h.offset_of(b)).freed());
+        cache.free_at(h.offset_of(a));
+        cache.flush();
+        assert_eq!(h.live_objects(), 0);
+        let stats = h.stats();
+        assert_eq!(stats.allocs, 2);
+        assert_eq!(stats.frees, 2);
+    }
+
+    /// Satellite: alloc on thread A, free on thread B, thread-exit flush
+    /// with zero leaked reservations, stats reconciled against a `HeapCore`
+    /// shadow run of the same logical operation sequence.
+    #[test]
+    fn cross_thread_traffic_flushes_and_reconciles() {
+        const N: usize = 500;
+        let h = Arc::new(heap(0xC0DE));
+        // Sizes stay ≤ 1 KB: the producer may run far ahead of the consumer
+        // on one CPU, so every class it touches must hold its share of all N
+        // objects (uniform byte sizes put half the requests in the top
+        // class) plus reservations below its 1/M threshold — the 1 KB class
+        // allows 512 live, the 16 KB class only 32.
+        let sizes: Vec<usize> = {
+            let mut rng = crate::rng::Mwc::seeded(0xC0DE);
+            (0..N).map(|_| 1 + rng.below(1024)).collect()
+        };
+        let (tx, rx) = std::sync::mpsc::channel::<usize>();
+
+        let producer = {
+            let h = Arc::clone(&h);
+            let sizes = sizes.clone();
+            std::thread::spawn(move || {
+                let mut cache = h.thread_cache();
+                for &sz in &sizes {
+                    let slot = cache.alloc(sz).expect("default heap is ample");
+                    tx.send(h.offset_of(slot)).unwrap();
+                }
+                // cache drops here: thread-exit flush
+            })
+        };
+        let consumer = {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                let mut cache = h.thread_cache();
+                for off in rx {
+                    assert_eq!(cache.free_at(off), CachedFree::Buffered);
+                }
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap();
+
+        assert_eq!(h.reserved_slots(), 0, "zero leaked reservations");
+        assert_eq!(h.live_objects(), 0);
+        let stats = h.stats();
+
+        // Shadow run: the same logical sequence (every alloc later freed)
+        // through the single-threaded facade must produce identical
+        // counters.
+        let mut shadow = HeapCore::new(HeapConfig::default(), 0xC0DE).unwrap();
+        let mut offs = Vec::new();
+        for &sz in &sizes {
+            let slot = shadow.alloc(sz).unwrap();
+            offs.push(shadow.offset_of(slot));
+        }
+        for off in offs {
+            assert!(shadow.free_at(off).freed());
+        }
+        assert_eq!(
+            stats,
+            shadow.stats(),
+            "magazine stats reconcile with shadow"
+        );
+    }
+
+    /// The ISSUE's 8-thread stress: every class, cross-checked attempted vs
+    /// served vs exhausted, with exact accounting after all caches flush.
+    #[test]
+    fn stress_eight_threads_exact_stats() {
+        const THREADS: u64 = 8;
+        const OPS: usize = 2500;
+        let h = Arc::new(heap(0x57E55));
+        let served = Arc::new(AtomicU64::new(0));
+        let attempted = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let h = Arc::clone(&h);
+            let served = Arc::clone(&served);
+            let attempted = Arc::clone(&attempted);
+            handles.push(std::thread::spawn(move || {
+                let mut cache = h.thread_cache();
+                let mut rng = crate::rng::Mwc::seeded(0xF00D ^ t);
+                let mut live: Vec<usize> = Vec::new();
+                for _ in 0..OPS {
+                    let size = 1 + rng.below(16 * 1024);
+                    attempted.fetch_add(1, Ordering::Relaxed);
+                    if let Some(slot) = cache.alloc(size) {
+                        served.fetch_add(1, Ordering::Relaxed);
+                        live.push(h.offset_of(slot));
+                    }
+                    if live.len() > 32 {
+                        let victim = live.swap_remove(rng.below(live.len()));
+                        assert_eq!(cache.free_at(victim), CachedFree::Buffered);
+                    }
+                }
+                for off in live {
+                    assert_eq!(cache.free_at(off), CachedFree::Buffered);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let stats = h.stats();
+        assert_eq!(h.reserved_slots(), 0, "all reservations returned");
+        assert_eq!(h.live_objects(), 0, "all served objects freed");
+        assert_eq!(stats.allocs, served.load(Ordering::Relaxed));
+        assert_eq!(stats.frees, stats.allocs, "each alloc freed exactly once");
+        assert_eq!(stats.ignored_frees, 0);
+        assert_eq!(
+            stats.exhausted,
+            attempted.load(Ordering::Relaxed) - served.load(Ordering::Relaxed),
+            "every failed attempt was an at-threshold denial"
+        );
+    }
+
+    proptest! {
+        /// Shadow-model proptest: cached allocs/frees plus uncached bogus
+        /// frees keep the heap consistent with an offset-keyed model.
+        #[test]
+        fn magazine_matches_shadow_model(
+            seed in any::<u64>(),
+            ops in proptest::collection::vec((0usize..3, 1usize..20_000), 1..300),
+        ) {
+            let h = heap(seed);
+            let mut cache = h.thread_cache();
+            let mut model: HashMap<usize, Slot> = HashMap::new();
+            // Offsets freed through the cache; a slot stays in here after
+            // its buffer flushes (we deliberately do not mirror the flush
+            // schedule), so membership means "was cache-freed at some point
+            // and not re-served since".
+            let mut cache_freed: std::collections::HashSet<usize> =
+                std::collections::HashSet::new();
+            let mut rng = crate::rng::Mwc::seeded(seed ^ 0xABCD);
+            for (op, arg) in ops {
+                match op {
+                    0 => {
+                        if let Some(slot) = cache.alloc(arg.min(16 * 1024)) {
+                            let off = h.offset_of(slot);
+                            prop_assert!(!model.contains_key(&off),
+                                "offset reuse while live");
+                            cache_freed.remove(&off);
+                            model.insert(off, slot);
+                        }
+                    }
+                    1 => {
+                        if !model.is_empty() {
+                            let keys: Vec<usize> = model.keys().copied().collect();
+                            let off = keys[rng.below(keys.len())];
+                            prop_assert_eq!(cache.free_at(off), CachedFree::Buffered);
+                            model.remove(&off);
+                            cache_freed.insert(off);
+                        }
+                    }
+                    _ => {
+                        // Bogus uncached free at a random offset: must never
+                        // free a live object the model doesn't know about.
+                        let off = rng.below(h.heap_span() + 1000);
+                        if let FreeOutcome::Freed(_) = h.free_at(off) {
+                            if model.remove(&off).is_none() {
+                                // The only other way a slot can be released
+                                // here is a cache-freed slot whose buffered
+                                // entry has not flushed yet. Flush now so
+                                // the stale buffer entry cannot later kill a
+                                // re-served object (the double-free hazard
+                                // DieHard only defends probabilistically).
+                                prop_assert!(cache_freed.remove(&off),
+                                    "freed an object the model did not know");
+                                cache.flush();
+                            }
+                        }
+                    }
+                }
+            }
+            cache.flush();
+            prop_assert_eq!(h.live_objects(), model.len());
+            prop_assert_eq!(h.reserved_slots(), 0);
+        }
+    }
+}

@@ -196,6 +196,22 @@ impl ShardedHeap {
         }
     }
 
+    /// The lock guarding the partition that serves `class` — the magazine
+    /// layer refills and flushes against a shard directly so that one lock
+    /// acquisition covers a whole batch.
+    #[inline]
+    pub(crate) fn shard(&self, class: SizeClass) -> &SpinLock<Partition> {
+        &self.shards[class.index()]
+    }
+
+    /// The heap-wide atomic counters, shared with wrappers (the magazine
+    /// layer records handouts and batched frees into the same stats so the
+    /// aggregate numbers stay exact whichever path served an operation).
+    #[inline]
+    pub(crate) fn stats_ref(&self) -> &AtomicHeapStats {
+        &self.stats
+    }
+
     /// Runs `f` against the (locked) partition serving `class` — shard-local
     /// diagnostics without exposing the guard type.
     pub fn with_partition<R>(&self, class: SizeClass, f: impl FnOnce(&Partition) -> R) -> R {

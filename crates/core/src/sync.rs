@@ -53,6 +53,24 @@ impl<T> SpinLock<T> {
         }
         SpinGuard { lock: self }
     }
+
+    /// Acquires the lock only if it is free right now, without spinning.
+    ///
+    /// The magazine layer uses this for *opportunistic* free-buffer flushes:
+    /// when the buffer is only half full a contended shard is left alone
+    /// (the flush retries at the next free), and only a completely full
+    /// buffer forces a blocking [`lock`](Self::lock).
+    pub fn try_lock(&self) -> Option<SpinGuard<'_, T>> {
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(SpinGuard { lock: self })
+        } else {
+            None
+        }
+    }
 }
 
 /// RAII guard returned by [`SpinLock::lock`]; releases on drop.
@@ -213,6 +231,15 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*lock.lock(), 80_000);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let lock = SpinLock::new(1u32);
+        let g = lock.try_lock().expect("uncontended");
+        assert!(lock.try_lock().is_none(), "held lock must not be re-taken");
+        drop(g);
+        assert_eq!(*lock.try_lock().expect("released"), 1);
     }
 
     #[test]

@@ -99,6 +99,18 @@ fn main() {
     match run_streamed(&config, InputSource::Fd(stdin.as_raw_fd()), &mut sink) {
         Ok(outcome) => {
             drop(sink);
+            // Forward the winning replica's captured stderr (first ≤ 4 KB)
+            // before the launcher's own diagnostics.
+            if !outcome.stderr.is_empty() {
+                use std::io::Write;
+                let _ = std::io::stderr().write_all(&outcome.stderr);
+            }
+            if outcome.stderr_dropped > 0 {
+                eprintln!(
+                    "diehard: replica stderr truncated ({} bytes dropped)",
+                    outcome.stderr_dropped
+                );
+            }
             if outcome.diverged {
                 eprintln!("diehard: replicas diverged (possible uninitialized read); terminated");
                 std::process::exit(2);

@@ -17,10 +17,14 @@
 //!   chunk to the caller's sink immediately, and `SIGKILL`s outvoted
 //!   replicas on the spot ("a replica that has generated anomalous output
 //!   is no longer useful");
-//! * after the streams end, reaps every replica, treats **signal deaths**
-//!   as crashes (removed from the live set), and votes the survivors' exit
-//!   statuses as a final ballot so the launcher can forward the agreed
-//!   code.
+//! * captures each replica's stderr into a bounded (≤ [`CHUNK`]) buffer —
+//!   draining past the cap so a chatty replica never blocks — and reports
+//!   the winning replica's capture so the launcher can forward it;
+//! * after the streams end, reaps every replica (stderr still drained
+//!   throughout, so a replica blocked on diagnostics can exit), treats
+//!   **signal deaths** as crashes (removed from the live set), and votes
+//!   the survivors' exit statuses as a final ballot so the launcher can
+//!   forward the agreed code.
 //!
 //! Peak voter memory is `O(replicas × CHUNK)` regardless of output length;
 //! [`StreamOutcome::peak_buffered`] reports the observed high-water mark so
@@ -39,7 +43,7 @@ use diehard_core::rng::{entropy_seed, splitmix};
 use std::io::{self, Read, Write};
 use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::process::ExitStatusExt;
-use std::process::{Child, ChildStdin, ChildStdout, Command, ExitStatus, Stdio};
+use std::process::{Child, ChildStderr, ChildStdin, ChildStdout, Command, ExitStatus, Stdio};
 
 /// Where the broadcast standard input comes from.
 #[derive(Debug)]
@@ -71,9 +75,19 @@ pub struct StreamOutcome {
     /// Total bytes committed to the sink.
     pub committed: u64,
     /// High-water mark of bytes buffered inside the engine (per-replica
-    /// chunk buffers plus the streamed-input window) — bounded by
-    /// `(replicas + 1) × CHUNK` by construction.
+    /// stdout chunk and stderr capture buffers plus the streamed-input
+    /// window) — bounded by `(2 × replicas + 1) × CHUNK` by construction.
     pub peak_buffered: usize,
+    /// The winning replica's captured standard error (first ≤ [`CHUNK`]
+    /// bytes — the same chunk discipline as stdout voting). Empty when the
+    /// run diverged or no replica survived; stderr is *not* voted (that is
+    /// the remaining half of the stderr open item), only captured and
+    /// forwarded.
+    pub stderr: Vec<u8>,
+    /// Bytes of the winning replica's stderr beyond the [`CHUNK`] capture
+    /// cap. They were read and discarded — never left in the pipe, so a
+    /// chatty replica cannot block on stderr backpressure.
+    pub stderr_dropped: u64,
 }
 
 /// Runs `config.command` in `config.replicas` differently-seeded replicas,
@@ -131,8 +145,14 @@ struct Replica {
     stdin: Option<ChildStdin>,
     /// `None` once the replica's output stream ended.
     stdout: Option<ChildStdout>,
+    /// `None` once the replica's stderr ended (or it was killed).
+    stderr: Option<ChildStderr>,
     /// The chunk being assembled for the next barrier (≤ [`CHUNK`] bytes).
     chunk: Vec<u8>,
+    /// Captured stderr: the first ≤ [`CHUNK`] bytes this replica wrote.
+    err_buf: Vec<u8>,
+    /// Stderr bytes beyond the capture cap, drained and discarded.
+    err_dropped: u64,
     /// The output stream has ended; a partial `chunk` is its last ballot.
     eof: bool,
     /// Absolute input offset this replica has consumed up to.
@@ -173,6 +193,8 @@ impl Input {
 enum Target {
     /// Replica `i`'s stdout (read side).
     Out(usize),
+    /// Replica `i`'s stderr (read side, capture + drain).
+    Err(usize),
     /// Replica `i`'s stdin (write side).
     In(usize),
     /// The streamed input source.
@@ -227,7 +249,7 @@ impl Engine {
                 .env("DIEHARD_SEED", seed.to_string())
                 .stdin(Stdio::piped())
                 .stdout(Stdio::piped())
-                .stderr(Stdio::null());
+                .stderr(Stdio::piped());
             if let Some(ref lib) = config.preload {
                 cmd.env("LD_PRELOAD", lib);
             }
@@ -237,13 +259,18 @@ impl Engine {
             };
             let stdin = child.stdin.take().expect("piped stdin");
             let stdout = child.stdout.take().expect("piped stdout");
+            let stderr = child.stderr.take().expect("piped stderr");
             let nb = set_nonblocking(stdin.as_raw_fd())
-                .and_then(|_| set_nonblocking(stdout.as_raw_fd()).map(|_| ()));
+                .and_then(|_| set_nonblocking(stdout.as_raw_fd()))
+                .and_then(|_| set_nonblocking(stderr.as_raw_fd()).map(|_| ()));
             let mut rep = Replica {
                 child,
                 stdin: Some(stdin),
                 stdout: Some(stdout),
+                stderr: Some(stderr),
                 chunk: Vec::with_capacity(CHUNK),
+                err_buf: Vec::new(),
+                err_dropped: 0,
                 eof: false,
                 in_pos: 0,
                 status: None,
@@ -300,7 +327,12 @@ impl Engine {
         } else {
             0 // a caller-provided buffer is not engine memory
         };
-        let cur = self.reps.iter().map(|r| r.chunk.len()).sum::<usize>() + win;
+        let cur = self
+            .reps
+            .iter()
+            .map(|r| r.chunk.len() + r.err_buf.len())
+            .sum::<usize>()
+            + win;
         self.peak_buffered = self.peak_buffered.max(cur);
     }
 
@@ -311,6 +343,7 @@ impl Engine {
             sigkill(&r.child);
             r.stdin = None;
             r.stdout = None;
+            r.stderr = None;
             r.chunk.clear();
             r.eof = true;
         }
@@ -324,6 +357,7 @@ impl Engine {
             }
             r.stdin = None;
             r.stdout = None;
+            r.stderr = None;
         }
     }
 
@@ -386,6 +420,36 @@ impl Engine {
         if ended {
             r.stdout = None;
             r.eof = true;
+        }
+        self.note_buffered();
+    }
+
+    /// Drains replica `i`'s stderr. The capture keeps the first ≤ [`CHUNK`]
+    /// bytes (the same chunk discipline as stdout voting); everything
+    /// beyond the cap is still *read* — and discarded — so a chatty replica
+    /// can never block on a full stderr pipe and stall its own exit.
+    fn read_stderr(&mut self, i: usize) {
+        let r = &mut self.reps[i];
+        let Some(err) = r.stderr.as_mut() else { return };
+        let mut buf = [0u8; CHUNK];
+        loop {
+            match err.read(&mut buf) {
+                Ok(0) => {
+                    r.stderr = None;
+                    break;
+                }
+                Ok(n) => {
+                    let keep = (CHUNK - r.err_buf.len()).min(n);
+                    r.err_buf.extend_from_slice(&buf[..keep]);
+                    r.err_dropped += (n - keep) as u64;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    r.stderr = None;
+                    break;
+                }
+            }
         }
         self.note_buffered();
     }
@@ -471,6 +535,17 @@ impl Engine {
                     map.push(Target::Out(i));
                 }
             }
+            if let Some(ref err) = r.stderr {
+                // Always drain stderr — unlike stdout there is deliberately
+                // no backpressure: a full capture buffer switches to
+                // read-and-discard rather than letting the pipe fill.
+                fds.push(libc::pollfd {
+                    fd: err.as_raw_fd(),
+                    events: libc::POLLIN,
+                    revents: 0,
+                });
+                map.push(Target::Err(i));
+            }
             if let Some(ref sin) = r.stdin {
                 if r.in_pos < self.input.end() {
                     fds.push(libc::pollfd {
@@ -512,6 +587,7 @@ impl Engine {
             // read/write sees the EOF or EPIPE and retires the descriptor.
             match target {
                 Target::Out(i) => self.read_stdout(i),
+                Target::Err(i) => self.read_stderr(i),
                 Target::In(i) => self.write_stdin(i),
                 Target::Source => self.refill_input(),
             }
@@ -571,18 +647,19 @@ impl Engine {
             self.poll_once()?;
         }
 
-        // Close the pipes first so replicas blocked on stdin see EOF, then
-        // reap everyone. (A replica that closed stdout but never exits
-        // stalls here — by design: its exit status is its final ballot.)
+        // Close stdin/stdout first so replicas blocked on either see
+        // EOF/EPIPE, then reap everyone — draining stderr throughout.
+        // Stderr must stay open and drained until each replica exits:
+        // closing it would SIGPIPE a chatty replica into a spurious
+        // "crash", and merely ignoring it would let a >pipe-capacity burst
+        // of diagnostics block the replica's exit forever. (A replica that
+        // closed stdout but never exits still stalls the run — by design:
+        // its exit status is its final ballot.)
         for r in &mut self.reps {
             r.stdin = None;
             r.stdout = None;
         }
-        for r in &mut self.reps {
-            if r.status.is_none() {
-                r.status = r.child.wait().ok();
-            }
-        }
+        self.reap_draining_stderr();
 
         // Signal deaths are crashes: remove them from the live set (§5.2
         // "when a replica dies, DieHard decrements the number of currently
@@ -617,13 +694,88 @@ impl Engine {
             }
         }
 
+        // Forward the winning replica's captured stderr: any member of the
+        // surviving quorum carries the agreed run's diagnostics (the lowest
+        // live index is deterministic). A diverged or fully-crashed run has
+        // no winner and forwards nothing.
+        let (stderr, stderr_dropped) = if diverged {
+            (Vec::new(), 0)
+        } else {
+            match (0..self.reps.len()).find(|&i| self.voter.is_alive(i)) {
+                Some(i) => (
+                    core::mem::take(&mut self.reps[i].err_buf),
+                    self.reps[i].err_dropped,
+                ),
+                None => (Vec::new(), 0),
+            }
+        };
+
         Ok(StreamOutcome {
             diverged,
             killed: self.voter.killed(),
             exit_code,
             committed: self.committed,
             peak_buffered: self.peak_buffered,
+            stderr,
+            stderr_dropped,
         })
+    }
+
+    /// Reaps every replica while keeping its stderr drained, so a replica
+    /// blocked writing diagnostics can make progress and exit. Leaves every
+    /// `status` populated and every stderr handle closed.
+    fn reap_draining_stderr(&mut self) {
+        loop {
+            let mut unreaped = false;
+            for r in &mut self.reps {
+                if r.status.is_none() {
+                    match r.child.try_wait() {
+                        Ok(Some(status)) => r.status = Some(status),
+                        Ok(None) => unreaped = true,
+                        Err(_) => r.status = r.child.wait().ok(),
+                    }
+                }
+            }
+            for i in 0..self.reps.len() {
+                self.read_stderr(i);
+            }
+            if !unreaped {
+                break;
+            }
+            let mut fds: Vec<libc::pollfd> = self
+                .reps
+                .iter()
+                .filter(|r| r.status.is_none())
+                .filter_map(|r| r.stderr.as_ref())
+                .map(|err| libc::pollfd {
+                    fd: err.as_raw_fd(),
+                    events: libc::POLLIN,
+                    revents: 0,
+                })
+                .collect();
+            if fds.is_empty() {
+                // Nothing left to drain for the stragglers: block on them
+                // directly (pre-stderr-capture behavior).
+                for r in &mut self.reps {
+                    if r.status.is_none() {
+                        r.status = r.child.wait().ok();
+                    }
+                }
+            } else {
+                // Sleep until a straggler writes or exits (its stderr EOF
+                // wakes us); the timeout is a backstop for a grandchild
+                // inheriting the pipe and outliving the replica.
+                // SAFETY: fds is a live, correctly-sized pollfd array.
+                unsafe { libc::poll(fds.as_mut_ptr(), fds.len() as libc::nfds_t, 200) };
+            }
+        }
+        // Final drain: the pipes may still hold bytes written before exit.
+        for i in 0..self.reps.len() {
+            self.read_stderr(i);
+        }
+        for r in &mut self.reps {
+            r.stderr = None;
+        }
     }
 
     /// Final teardown: kill and reap anything still unreaped (the error
@@ -634,6 +786,7 @@ impl Engine {
                 sigkill(&r.child);
                 r.stdin = None;
                 r.stdout = None;
+                r.stderr = None;
                 r.status = r.child.wait().ok();
             }
         }

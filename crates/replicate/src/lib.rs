@@ -93,6 +93,11 @@ pub struct ReplicatedExit {
     /// a command that fails identically in every replica keeps its output
     /// and forwards its status.
     pub exit_code: Option<i32>,
+    /// The winning replica's captured standard error: the first ≤ 4 KB it
+    /// wrote (bytes beyond the cap are drained and discarded so the replica
+    /// never blocks on stderr). Empty on divergence or total crash. Stderr
+    /// is captured and forwarded, not voted.
+    pub stderr: Vec<u8>,
 }
 
 /// Spawns the replicas, broadcasts `config.input`, votes on stdout at 4 KB
@@ -120,6 +125,7 @@ pub fn run_replicated(config: &LaunchConfig) -> std::io::Result<ReplicatedExit> 
         diverged: outcome.diverged,
         killed: outcome.killed,
         exit_code: outcome.exit_code,
+        stderr: outcome.stderr,
     })
 }
 

@@ -106,6 +106,35 @@ fn launcher_forwards_agreed_exit_status() {
 }
 
 #[test]
+fn launcher_forwards_winning_replica_stderr() {
+    // Every replica writes the same diagnostic line; exactly one copy (the
+    // winning replica's capture) must reach the launcher's stderr.
+    let bin = env!("CARGO_BIN_EXE_diehard");
+    let out = Command::new(bin)
+        .args([
+            "-n",
+            "3",
+            "--",
+            "/bin/sh",
+            "-c",
+            "echo diag-from-replica >&2; echo payload",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("run diehard launcher");
+    assert!(out.status.success());
+    assert_eq!(out.stdout, b"payload\n");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        err.matches("diag-from-replica").count(),
+        1,
+        "exactly the winner's stderr is forwarded (got {err:?})"
+    );
+}
+
+#[test]
 fn launcher_usage_on_bad_args() {
     let bin = env!("CARGO_BIN_EXE_diehard");
     let out = Command::new(bin)

@@ -124,6 +124,85 @@ fn replicated_server_trace_round_trips() {
 }
 
 #[test]
+fn winning_replica_stderr_is_captured() {
+    let mut cfg = LaunchConfig::new(
+        3,
+        sh("echo \"diag from $DIEHARD_SEED\" >&2; echo payload"),
+        Vec::new(),
+    );
+    cfg.seeds = vec![1, 2, 3];
+    let exit = run_replicated(&cfg).unwrap();
+    assert!(!exit.diverged);
+    assert_eq!(exit.output, b"payload\n");
+    // All replicas agree on stdout; the winner is the lowest live index.
+    assert_eq!(exit.stderr, b"diag from 1\n");
+}
+
+#[test]
+fn loser_stderr_is_not_forwarded() {
+    let mut cfg = LaunchConfig::new(
+        3,
+        sh(r#"if [ "$DIEHARD_SEED" = "7" ]; then
+                  echo LOSER-DIAGNOSTIC >&2; echo bad
+              else
+                  echo quorum-diagnostic >&2; echo good
+              fi"#),
+        Vec::new(),
+    );
+    cfg.seeds = vec![7, 1, 2];
+    let exit = run_replicated(&cfg).unwrap();
+    assert!(!exit.diverged);
+    assert_eq!(exit.output, b"good\n");
+    assert_eq!(exit.killed, vec![0]);
+    assert_eq!(
+        exit.stderr, b"quorum-diagnostic\n",
+        "only a quorum member's stderr may be forwarded"
+    );
+}
+
+#[test]
+fn stderr_capture_is_bounded_and_never_blocks_the_replica() {
+    // Each replica writes 100 KB of diagnostics — beyond the 64 KB pipe
+    // capacity — *before* producing stdout or exiting. Without continuous
+    // draining the replica would block on stderr forever; with it, the
+    // capture keeps exactly the first CHUNK bytes and drops the rest.
+    let cfg = LaunchConfig::new(
+        3,
+        sh("yes e | head -c 200000 | tr -d '\\n' >&2; echo ok"),
+        Vec::new(),
+    );
+    let mut out = Vec::new();
+    let outcome = run_streamed(&cfg, InputSource::Buffer(Vec::new()), &mut out).unwrap();
+    assert!(!outcome.diverged);
+    assert_eq!(out, b"ok\n");
+    assert_eq!(outcome.stderr.len(), CHUNK, "capture capped at one chunk");
+    assert!(outcome.stderr.iter().all(|&b| b == b'e'));
+    // `yes e` emits "e\n"; tr strips newlines, so 100 000 'e's total.
+    assert_eq!(outcome.stderr_dropped, 100_000 - CHUNK as u64);
+    assert!(
+        outcome.peak_buffered <= 2 * 3 * CHUNK,
+        "stderr captures are part of the (2 × replicas) × CHUNK bound, got {}",
+        outcome.peak_buffered
+    );
+}
+
+#[test]
+fn diverged_run_forwards_no_stderr() {
+    let cfg = LaunchConfig::new(
+        3,
+        sh("echo \"secret $DIEHARD_SEED\" >&2; echo $DIEHARD_SEED"),
+        Vec::new(),
+    );
+    let exit = run_replicated(&cfg).unwrap();
+    assert!(exit.diverged);
+    assert!(
+        exit.stderr.is_empty(),
+        "no winner, nothing to forward (got {:?})",
+        String::from_utf8_lossy(&exit.stderr)
+    );
+}
+
+#[test]
 fn exit_status_tie_is_divergence() {
     // Four replicas split 2-2 on their exit status after unanimous output:
     // no strict plurality — the run must report divergence rather than

@@ -30,6 +30,8 @@ pub type ssize_t = isize;
 pub type off_t = i64;
 /// Process id.
 pub type pid_t = c_int;
+/// `pthread(3)` thread-specific-data key (glibc/musl: an unsigned int).
+pub type pthread_key_t = core::ffi::c_uint;
 /// `poll(2)` descriptor-count type.
 pub type nfds_t = c_ulong;
 
@@ -118,4 +120,12 @@ extern "C" {
     pub fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
     /// `kill(2)`.
     pub fn kill(pid: pid_t, sig: c_int) -> c_int;
+    /// `pthread_key_create(3)`: allocates a thread-specific-data key whose
+    /// destructor runs at each thread's exit while its value is non-null.
+    pub fn pthread_key_create(
+        key: *mut pthread_key_t,
+        destructor: Option<unsafe extern "C" fn(*mut c_void)>,
+    ) -> c_int;
+    /// `pthread_setspecific(3)`: binds this thread's value for `key`.
+    pub fn pthread_setspecific(key: pthread_key_t, value: *const c_void) -> c_int;
 }
