@@ -1,0 +1,67 @@
+//! `perf_report` — runs the registered hot-path kernels deterministically
+//! and emits the machine-readable perf trajectory (`BENCH_<pr>.json`).
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p diehard-bench --bin perf_report            # full
+//! cargo run --release -p diehard-bench --bin perf_report -- --smoke # CI
+//! cargo run ... --bin perf_report -- --out path/to/report.json
+//! ```
+//!
+//! The process exits non-zero when the written report is missing any
+//! registered kernel, so CI can gate on completeness by exit status alone.
+
+use diehard_bench::perf::{missing_kernels, render_json, run_all};
+use diehard_bench::TextTable;
+
+fn main() {
+    let smoke = diehard_bench::smoke();
+    let out_path = out_arg().unwrap_or_else(|| "BENCH_5.json".to_string());
+
+    let results = run_all(smoke);
+    let json = render_json(&results);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("perf_report: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+
+    let mut table = TextTable::new(vec!["kernel", "mean", "min", "max", "iters"]);
+    for r in &results {
+        table.row(vec![
+            r.name.to_string(),
+            format!("{:.1} ns/op", r.mean_ns),
+            format!("{:.1} ns/op", r.min_ns),
+            format!("{:.1} ns/op", r.max_ns),
+            r.iters.to_string(),
+        ]);
+    }
+    println!(
+        "perf trajectory{} -> {out_path}",
+        if smoke {
+            " (--smoke: wiring check only)"
+        } else {
+            ""
+        }
+    );
+    println!("{}", table.render());
+
+    // Completeness gate: re-read what actually landed on disk.
+    let written = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let missing = missing_kernels(&written);
+    if !missing.is_empty() {
+        eprintln!("perf_report: {out_path} is missing kernels: {missing:?}");
+        std::process::exit(1);
+    }
+}
+
+/// The value following `--out`, if present.
+fn out_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            return args.next();
+        }
+    }
+    None
+}

@@ -8,6 +8,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod perf;
+
 use std::time::{Duration, Instant};
 
 /// A simple aligned text table, printed like the paper's tables.

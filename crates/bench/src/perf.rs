@@ -1,0 +1,249 @@
+//! The machine-readable perf trajectory: deterministic hot-path kernels and
+//! the `BENCH_*.json` report they emit.
+//!
+//! Every perf-focused PR runs the same registered kernels through
+//! `cargo run --release -p diehard-bench --bin perf_report` and commits the
+//! resulting `BENCH_<pr>.json` at the repo root, so allocator speedups leave
+//! a diffable number trail instead of prose tables. The kernels are seeded
+//! and fixed-size — two runs on the same machine measure the same work —
+//! and deliberately target the allocator's strength-reduced arithmetic:
+//! partition probing, free validation, and the replicated-mode random fill.
+//!
+//! Schema of the emitted JSON: a single object mapping kernel name to
+//! `{"mean_ns": float, "min_ns": float, "max_ns": float, "iters": int}`,
+//! where the `_ns` figures are nanoseconds *per operation* (mean/min/max
+//! across timed samples) and `iters` is the total operation count measured.
+
+use diehard_core::config::{FillPolicy, HeapConfig};
+use diehard_core::partition::Partition;
+use diehard_core::rng::Mwc;
+use diehard_core::size_class::SizeClass;
+use diehard_sim::{DieHardSimHeap, SimAllocator};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Every kernel the report must contain; CI fails when one is missing.
+pub const KERNELS: &[&str] = &[
+    "alloc_churn_mixed",
+    "probe_steady_half_full",
+    "fill_none",
+    "fill_random",
+];
+
+/// One kernel's timing summary (nanoseconds per operation across samples).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelResult {
+    /// Registered kernel name (one of [`KERNELS`]).
+    pub name: &'static str,
+    /// Mean ns/op across samples.
+    pub mean_ns: f64,
+    /// Fastest sample's ns/op.
+    pub min_ns: f64,
+    /// Slowest sample's ns/op.
+    pub max_ns: f64,
+    /// Total operations measured (samples × ops per sample).
+    pub iters: u64,
+}
+
+/// Times `samples` runs of `sample_fn`, each performing `ops` operations,
+/// after `warmup` untimed runs; reports ns/op statistics.
+fn measure(
+    name: &'static str,
+    warmup: usize,
+    samples: usize,
+    ops: u64,
+    mut sample_fn: impl FnMut(),
+) -> KernelResult {
+    for _ in 0..warmup {
+        sample_fn();
+    }
+    let mut per_op: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        sample_fn();
+        per_op.push(start.elapsed().as_nanos() as f64 / ops as f64);
+    }
+    let min = per_op.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_op.iter().copied().fold(0.0, f64::max);
+    let mean = per_op.iter().sum::<f64>() / per_op.len() as f64;
+    KernelResult {
+        name,
+        mean_ns: mean,
+        min_ns: min,
+        max_ns: max,
+        iters: ops * samples as u64,
+    }
+}
+
+/// The `alloc_micro` diehard churn, made steady-state: a persistent sim
+/// heap serves mixed-size malloc/free traffic through a 64-slot ring of
+/// live objects. One op = one free (of the slot's previous occupant) plus
+/// one malloc. The ring is a fixed array indexed by mask, so the harness
+/// contributes a load and a branch per op — the measurement is the
+/// allocator's placement and free-validation arithmetic, not container
+/// bookkeeping.
+fn alloc_churn_mixed(smoke: bool) -> KernelResult {
+    const RING: usize = 64;
+    let (warmup, samples, ops) = if smoke {
+        (1, 3, 2_000)
+    } else {
+        (3, 25, 50_000)
+    };
+    let sizes: [usize; RING] = {
+        let mut rng = Mwc::seeded(0xBEAC4);
+        core::array::from_fn(|_| 8 + rng.below(2040))
+    };
+    let mut heap = DieHardSimHeap::new(HeapConfig::default(), 1).unwrap();
+    let mut ring = [usize::MAX; RING];
+    let mut i = 0usize;
+    measure("alloc_churn_mixed", warmup, samples, ops, move || {
+        for _ in 0..ops {
+            let slot = i & (RING - 1);
+            if ring[slot] != usize::MAX {
+                let _ = heap.free(ring[slot]);
+            }
+            ring[slot] = match heap.malloc(sizes[slot], &[]) {
+                Ok(Some(p)) => p,
+                _ => usize::MAX,
+            };
+            i += 1;
+        }
+    })
+}
+
+/// Steady-state partition probing at the paper's default occupancy (half
+/// full, M = 2): one op = one alloc/free pair against a 16 Ki-slot region.
+fn probe_steady_half_full(smoke: bool) -> KernelResult {
+    const CAPACITY: usize = 1 << 14;
+    let (warmup, samples, ops) = if smoke {
+        (1, 3, 5_000)
+    } else {
+        (3, 25, 100_000)
+    };
+    let mut part = Partition::new(SizeClass::from_index(0), CAPACITY, CAPACITY, 7);
+    for _ in 0..CAPACITY / 2 {
+        part.alloc();
+    }
+    measure("probe_steady_half_full", warmup, samples, ops, move || {
+        for _ in 0..ops {
+            let idx = part.alloc().expect("has space");
+            part.free(black_box(idx));
+        }
+    })
+}
+
+/// Allocation with a given fill policy: one op = one 4 KB malloc, with the
+/// live window drained inside the timed loop so the heap stays reusable and
+/// both policies run the identical op sequence.
+/// `fill_random` minus `fill_none` is the replicated-mode fill overhead.
+fn fill_kernel(name: &'static str, fill: FillPolicy, smoke: bool) -> KernelResult {
+    let (warmup, samples, ops) = if smoke { (1, 3, 64) } else { (2, 25, 2_048) };
+    let mut heap = DieHardSimHeap::new(HeapConfig::default().with_fill(fill), 5).unwrap();
+    measure(name, warmup, samples, ops, move || {
+        let mut live: Vec<usize> = Vec::with_capacity(64);
+        for _ in 0..ops {
+            if let Ok(Some(p)) = heap.malloc(4096, &[]) {
+                live.push(p);
+            }
+            if live.len() >= 64 {
+                for p in live.drain(..) {
+                    let _ = heap.free(p);
+                }
+            }
+        }
+        for p in live.drain(..) {
+            let _ = heap.free(p);
+        }
+    })
+}
+
+/// Runs every registered kernel, in registry order.
+#[must_use]
+pub fn run_all(smoke: bool) -> Vec<KernelResult> {
+    KERNELS
+        .iter()
+        .map(|&name| run_kernel(name, smoke).expect("registered kernel"))
+        .collect()
+}
+
+/// Runs one kernel by name; `None` for an unregistered name.
+#[must_use]
+pub fn run_kernel(name: &str, smoke: bool) -> Option<KernelResult> {
+    match name {
+        "alloc_churn_mixed" => Some(alloc_churn_mixed(smoke)),
+        "probe_steady_half_full" => Some(probe_steady_half_full(smoke)),
+        "fill_none" => Some(fill_kernel("fill_none", FillPolicy::None, smoke)),
+        "fill_random" => Some(fill_kernel("fill_random", FillPolicy::Random, smoke)),
+        _ => None,
+    }
+}
+
+/// Renders results as the `BENCH_*.json` document (stable key order).
+#[must_use]
+pub fn render_json(results: &[KernelResult]) -> String {
+    let mut out = String::from("{\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{}\": {{\"mean_ns\": {:.2}, \"min_ns\": {:.2}, \"max_ns\": {:.2}, \"iters\": {}}}{}\n",
+            r.name,
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.iters,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Checks a rendered (or committed) report for every registered kernel,
+/// returning the missing names — the CI gate for the perf trajectory.
+#[must_use]
+pub fn missing_kernels(json: &str) -> Vec<&'static str> {
+    KERNELS
+        .iter()
+        .copied()
+        .filter(|name| !json.contains(&format!("\"{name}\"")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_covers_every_kernel() {
+        let results = run_all(true);
+        assert_eq!(results.len(), KERNELS.len());
+        for (r, &name) in results.iter().zip(KERNELS) {
+            assert_eq!(r.name, name);
+            assert!(r.mean_ns > 0.0, "{name} measured nothing");
+            assert!(r.min_ns <= r.mean_ns && r.mean_ns <= r.max_ns);
+            assert!(r.iters > 0);
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_kernel_names() {
+        let results = run_all(true);
+        let json = render_json(&results);
+        assert!(missing_kernels(&json).is_empty(), "all kernels present");
+        assert!(json.contains("\"mean_ns\""));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn missing_kernels_detects_gaps() {
+        let missing = missing_kernels("{\"alloc_churn_mixed\": {}}");
+        assert!(!missing.contains(&"alloc_churn_mixed"));
+        assert!(missing.contains(&"probe_steady_half_full"));
+        assert!(missing.contains(&"fill_none"));
+        assert!(missing.contains(&"fill_random"));
+    }
+
+    #[test]
+    fn unregistered_kernel_is_none() {
+        assert!(run_kernel("nonesuch", true).is_none());
+    }
+}

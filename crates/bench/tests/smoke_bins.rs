@@ -41,3 +41,30 @@ fn table1_smoke() {
 fn uninit_smoke() {
     run_smoke(env!("CARGO_BIN_EXE_uninit"), "Theorem 3");
 }
+
+/// `perf_report --smoke` must emit a JSON report containing every
+/// registered kernel (the CI completeness gate) at the requested path.
+#[test]
+fn perf_report_smoke_emits_complete_json() {
+    // Cargo-provided per-target temp dir plus the test process id: no
+    // collision with a concurrent run of this same test elsewhere.
+    let out = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("perf_report_smoke_{}.json", std::process::id()));
+    let out_str = out.to_str().unwrap();
+    let result = Command::new(env!("CARGO_BIN_EXE_perf_report"))
+        .args(["--smoke", "--out", out_str])
+        .output()
+        .expect("spawn perf_report");
+    assert!(
+        result.status.success(),
+        "perf_report --smoke failed: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
+    let json = std::fs::read_to_string(&out).expect("report written");
+    let missing = diehard_bench::perf::missing_kernels(&json);
+    assert!(
+        missing.is_empty(),
+        "kernels missing from report: {missing:?}"
+    );
+    let _ = std::fs::remove_file(&out);
+}

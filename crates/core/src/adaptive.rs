@@ -10,8 +10,8 @@
 //! the trade-off the paper describes, protection proportional to the
 //! *current* region size rather than the maximum.
 
-use crate::config::{ConfigError, HeapConfig};
-use crate::engine::{FreeOutcome, Slot};
+use crate::config::{ConfigError, HeapConfig, HeapGeometry};
+use crate::engine::{locate_free, slot_offset, FreeOutcome, Slot};
 use crate::partition::Partition;
 use crate::rng::stream_seed;
 use crate::size_class::SizeClass;
@@ -37,7 +37,7 @@ pub const DEFAULT_INITIAL_FRACTION: usize = 64;
 /// ```
 #[derive(Debug)]
 pub struct AdaptiveHeap {
-    config: HeapConfig,
+    geometry: HeapGeometry,
     partitions: Vec<Partition>,
     growths: u64,
 }
@@ -50,20 +50,21 @@ impl AdaptiveHeap {
     ///
     /// Returns [`ConfigError`] when the configuration is invalid.
     pub fn new(config: HeapConfig, seed: u64) -> Result<Self, ConfigError> {
-        config.validate()?;
+        let geometry = HeapGeometry::new(config)?;
+        let config = geometry.config();
         let partitions = SizeClass::all()
             .map(|c| {
-                let max_cap = config.capacity(c);
+                let max_cap = geometry.capacity(c);
                 let min_start = (config.multiplier.ceil() as usize).max(2);
                 let start = (max_cap / DEFAULT_INITIAL_FRACTION)
                     .max(min_start)
                     .min(max_cap);
-                let threshold = ((start as f64 / config.multiplier) as usize).max(1);
+                let threshold = config.threshold_for(start).max(1);
                 Partition::new(c, start, threshold, stream_seed(seed, c.index() as u64))
             })
             .collect();
         Ok(Self {
-            config,
+            geometry,
             partitions,
             growths: 0,
         })
@@ -72,7 +73,7 @@ impl AdaptiveHeap {
     /// The heap's configuration (region sizes are *maximums* here).
     #[must_use]
     pub fn config(&self) -> &HeapConfig {
-        &self.config
+        self.geometry.config()
     }
 
     /// Currently committed slot count for `class` (grows over time).
@@ -108,11 +109,11 @@ impl AdaptiveHeap {
     /// the region has reached its configured maximum *and* is full.
     pub fn alloc(&mut self, size: usize) -> Option<Slot> {
         let class = SizeClass::for_size(size)?;
-        let max_cap = self.config.capacity(class);
+        let max_cap = self.geometry.capacity(class);
         let p = &mut self.partitions[class.index()];
         if p.at_threshold() && p.capacity() < max_cap {
             let new_cap = (p.capacity() * 2).min(max_cap);
-            let new_threshold = ((new_cap as f64 / self.config.multiplier) as usize).max(1);
+            let new_threshold = self.geometry.config().threshold_for(new_cap).max(1);
             p.grow(new_cap, new_threshold);
             self.growths += 1;
         }
@@ -124,20 +125,17 @@ impl AdaptiveHeap {
     /// growth because regions are laid out at their maximum spacing.
     #[must_use]
     pub fn offset_of(&self, slot: Slot) -> usize {
-        self.config.region_base(slot.class) + (slot.index << slot.class.shift())
+        slot_offset(&self.geometry, slot)
     }
 
-    /// Validated free, identical to the fixed heap's pipeline (§4.3).
+    /// Validated free, identical to the fixed heap's pipeline (§4.3) —
+    /// shift/mask arithmetic, with the extra check that the slot falls
+    /// inside the region's currently committed prefix.
     pub fn free_at(&mut self, offset: usize) -> FreeOutcome {
-        if offset >= self.config.heap_span() {
-            return FreeOutcome::NotInHeap;
-        }
-        let class = SizeClass::from_index(offset / self.config.region_bytes);
-        let within = offset - self.config.region_base(class);
-        if within & (class.object_size() - 1) != 0 {
-            return FreeOutcome::MisalignedOffset;
-        }
-        let index = within >> class.shift();
+        let Slot { class, index } = match locate_free(&self.geometry, offset) {
+            Ok(slot) => slot,
+            Err(outcome) => return outcome,
+        };
         let p = &mut self.partitions[class.index()];
         if index < p.capacity() && p.free(index) {
             FreeOutcome::Freed(Slot { class, index })

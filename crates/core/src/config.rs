@@ -113,7 +113,48 @@ impl HeapConfig {
     #[must_use]
     #[inline]
     pub fn threshold(&self, class: SizeClass) -> usize {
-        (self.capacity(class) as f64 / self.multiplier) as usize
+        self.threshold_for(self.capacity(class))
+    }
+
+    /// `⌊capacity / M⌋` in exact integer arithmetic, for an arbitrary slot
+    /// count (the adaptive heap's growing partitions use non-class
+    /// capacities).
+    ///
+    /// The obvious `(capacity as f64 / M) as usize` drifts: above 2⁵³ the
+    /// capacity itself is not representable, and even below that the rounded
+    /// quotient can land on the wrong side of an integer, overshooting the
+    /// paper's `1/M` cap by a slot. Every finite `f64` is a dyadic rational
+    /// `mant × 2^e`, so the floor is computed exactly as
+    /// `⌊capacity × 2^-e / mant⌋` in 128-bit integers.
+    #[must_use]
+    pub fn threshold_for(&self, capacity: usize) -> usize {
+        let m = self.multiplier;
+        if !m.is_finite() || m < 1.0 {
+            // Out-of-contract multiplier ([`validate`](Self::validate)
+            // rejects it): keep the historical float behaviour rather than
+            // asserting in a non-validating accessor.
+            return (capacity as f64 / m) as usize;
+        }
+        // m >= 1.0 is normal: m = (2^52 | frac) × 2^(exp - 1075), exactly.
+        let bits = m.to_bits();
+        let exp = ((bits >> 52) & 0x7FF) as i32;
+        let mut mant = (1u64 << 52) | (bits & ((1u64 << 52) - 1));
+        let mut e = exp - 1075;
+        let tz = mant.trailing_zeros();
+        mant >>= tz;
+        e += tz as i32;
+        if e >= 0 {
+            // m is the integer mant << e; a denominator above usize::MAX
+            // floors everything to zero.
+            if e >= 64 {
+                return 0;
+            }
+            (capacity as u128 / ((mant as u128) << e)) as usize
+        } else {
+            // mant is odd and < 2^53 with m >= 1, so -e <= 52 and the
+            // shifted numerator fits comfortably in 128 bits.
+            (((capacity as u128) << -e) / mant as u128) as usize
+        }
     }
 
     /// Total bytes spanned by the twelve small-object regions.
@@ -160,6 +201,131 @@ impl HeapConfig {
 impl Default for HeapConfig {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Precomputed shift/mask geometry for a validated [`HeapConfig`].
+///
+/// The paper's §4.1 chooses power-of-two size classes so that "expensive
+/// division and modulus operations [are] replaced with bit-shifting" — this
+/// type is where that promise is kept. Built once at heap construction, it
+/// turns every per-operation conversion into shifts and masks:
+///
+/// * offset → class is `offset >> region_shift` (no division),
+/// * offset → within-region is `offset & region_mask` (no modulus),
+/// * class → region base is `index << region_shift` (no multiply),
+/// * per-class capacities are stored with their exact `log2`, so partition
+///   probes can draw a uniform slot as `next_u64() >> (64 - capacity_log2)`,
+/// * the `1/M` thresholds are integer values computed once
+///   ([`HeapConfig::threshold_for`]), never per-call float division.
+///
+/// Geometry construction *validates*: a `HeapGeometry` existing is proof the
+/// configuration is legal, which is what lets the hot paths drop their
+/// checks to shifts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeapGeometry {
+    config: HeapConfig,
+    region_shift: u32,
+    region_mask: usize,
+    heap_span: usize,
+    capacity: [usize; NUM_CLASSES],
+    threshold: [usize; NUM_CLASSES],
+}
+
+impl HeapGeometry {
+    /// Validates `config` and precomputes its shift/mask geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is invalid.
+    pub fn new(config: HeapConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let region_shift = config.region_bytes.trailing_zeros();
+        let mut capacity = [0usize; NUM_CLASSES];
+        let mut threshold = [0usize; NUM_CLASSES];
+        for c in SizeClass::all() {
+            let cap = config.capacity(c);
+            debug_assert!(cap.is_power_of_two(), "pow2 region / pow2 class");
+            capacity[c.index()] = cap;
+            threshold[c.index()] = config.threshold(c);
+        }
+        Ok(Self {
+            region_shift,
+            region_mask: config.region_bytes - 1,
+            heap_span: config.heap_span(),
+            capacity,
+            threshold,
+            config,
+        })
+    }
+
+    /// The validated configuration this geometry was built from.
+    #[must_use]
+    #[inline]
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// `log2(region_bytes)`: shifting an offset right by this yields its
+    /// class index.
+    #[must_use]
+    #[inline]
+    pub fn region_shift(&self) -> u32 {
+        self.region_shift
+    }
+
+    /// `region_bytes - 1`: masking an offset with this yields the byte
+    /// position within its region.
+    #[must_use]
+    #[inline]
+    pub fn region_mask(&self) -> usize {
+        self.region_mask
+    }
+
+    /// Total bytes spanned by the twelve small-object regions.
+    #[must_use]
+    #[inline]
+    pub fn heap_span(&self) -> usize {
+        self.heap_span
+    }
+
+    /// Byte offset of the start of `class`'s region (a shift, §4.1).
+    #[must_use]
+    #[inline]
+    pub fn region_base(&self, class: SizeClass) -> usize {
+        class.index() << self.region_shift
+    }
+
+    /// Number of object slots in `class`'s region (always a power of two).
+    #[must_use]
+    #[inline]
+    pub fn capacity(&self, class: SizeClass) -> usize {
+        self.capacity[class.index()]
+    }
+
+    /// `log2` of [`capacity`](Self::capacity): `region_shift - class.shift()`,
+    /// computed from the same stored shift the offset arithmetic uses, so it
+    /// cannot drift from the capacities the partitions are built with. The
+    /// partition probe loop's draw shift is `64 - capacity_log2`.
+    #[must_use]
+    #[inline]
+    pub fn capacity_log2(&self, class: SizeClass) -> u32 {
+        self.region_shift - class.shift()
+    }
+
+    /// Maximum live objects allowed in `class`'s region (`⌊capacity / M⌋`,
+    /// computed once in exact integer arithmetic).
+    #[must_use]
+    #[inline]
+    pub fn threshold(&self, class: SizeClass) -> usize {
+        self.threshold[class.index()]
+    }
+
+    /// Random-fill policy for detecting uninitialized reads.
+    #[must_use]
+    #[inline]
+    pub fn fill(&self) -> FillPolicy {
+        self.config.fill
     }
 }
 
@@ -272,6 +438,108 @@ mod tests {
         assert_eq!(HeapConfig::min_region_bytes(8.0), 128 * 1024);
         // M < 1 clamps to 1.
         assert_eq!(HeapConfig::min_region_bytes(0.5), 16 * 1024);
+    }
+
+    #[test]
+    fn threshold_is_exact_where_the_float_drifted() {
+        // Regression cases for the old `(capacity as f64 / M) as usize`:
+        // each triple is (capacity, M, exact ⌊capacity / M⌋) at a point
+        // where float division lands on the wrong integer.
+        //
+        // The overshoot cases are the dangerous ones — the float threshold
+        // exceeded the paper's `1/M` cap by a slot.
+        let cases: &[(usize, f64, usize)] = &[
+            // float undershoots (2^60 not representable precisely / 3):
+            (1 << 60, 3.0, 384_307_168_202_282_325),
+            (1 << 60, 7.0, 164_703_072_086_692_425),
+            // float OVERSHOOTS the cap (M = 4/3 as stored in f64):
+            ((1 << 53) + 2, 4.0 / 3.0, 6_755_399_441_055_745),
+            ((1 << 53) - 1, 4.0 / 3.0, 6_755_399_441_055_743),
+            ((1 << 53) - 1, 1.1, 8_188_362_958_855_445),
+        ];
+        for &(capacity, m, exact) in cases {
+            let cfg = HeapConfig::new().with_multiplier(m);
+            assert_eq!(
+                cfg.threshold_for(capacity),
+                exact,
+                "capacity {capacity}, M = {m}"
+            );
+            // And demonstrate the old float arithmetic really was wrong
+            // here, so this test fails if anyone "simplifies" it back.
+            assert_ne!(
+                (capacity as f64 / m) as usize,
+                exact,
+                "case no longer exercises float drift (capacity {capacity})"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_matches_float_on_dyadic_multipliers() {
+        // For dyadic M (exactly representable) and representable capacities
+        // the old float result was already exact; the integer path must
+        // agree bit for bit.
+        for m in [1.0, 1.5, 2.0, 4.0, 8.0, 2.5] {
+            let cfg = HeapConfig::new().with_multiplier(m);
+            for capacity in [1usize, 2, 63, 64, 4096, 1 << 20, (1 << 30) + 7] {
+                assert_eq!(
+                    cfg.threshold_for(capacity),
+                    (capacity as f64 / m) as usize,
+                    "capacity {capacity}, M = {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_huge_multiplier_floors_to_zero() {
+        let cfg = HeapConfig::new().with_multiplier(1e300);
+        assert_eq!(cfg.threshold_for(usize::MAX), 0);
+    }
+
+    proptest::proptest! {
+        /// The integer threshold t is the true floor: t·M ≤ capacity and
+        /// (t+1)·M > capacity, checked in exact dyadic arithmetic.
+        #[test]
+        fn threshold_is_true_floor(
+            capacity in 1usize..=(1 << 60),
+            // Spread multipliers across [1, 16) including non-dyadics.
+            num in 8u32..128,
+        ) {
+            let m = f64::from(num) / 8.0;
+            let cfg = HeapConfig::new().with_multiplier(m);
+            let t = cfg.threshold_for(capacity);
+            // m = mant·2^e exactly; compare t·mant·2^e with capacity in
+            // u128 (e here is within ±64 for these multipliers).
+            let bits = m.to_bits();
+            let exp = ((bits >> 52) & 0x7FF) as i32;
+            let mant = ((1u64 << 52) | (bits & ((1u64 << 52) - 1))) as u128;
+            let e = exp - 1075;
+            let scaled_cap = (capacity as u128) << (-e) as u32;
+            proptest::prop_assert!((t as u128) * mant <= scaled_cap);
+            proptest::prop_assert!((t as u128 + 1) * mant > scaled_cap);
+        }
+    }
+
+    #[test]
+    fn geometry_matches_config_arithmetic() {
+        for region_log2 in [15u32, 20, 25] {
+            let cfg = HeapConfig::new().with_region_bytes(1 << region_log2);
+            let geom = HeapGeometry::new(cfg.clone()).unwrap();
+            assert_eq!(geom.heap_span(), cfg.heap_span());
+            assert_eq!(geom.region_mask(), cfg.region_bytes - 1);
+            assert_eq!(1usize << geom.region_shift(), cfg.region_bytes);
+            for c in SizeClass::all() {
+                assert_eq!(geom.capacity(c), cfg.capacity(c));
+                assert_eq!(geom.threshold(c), cfg.threshold(c));
+                assert_eq!(geom.region_base(c), cfg.region_base(c));
+                // The shift the probe loop derives from the capacity is the
+                // same one the geometry advertises.
+                assert_eq!(1usize << geom.capacity_log2(c), geom.capacity(c));
+            }
+        }
+        // Construction validates.
+        assert!(HeapGeometry::new(HeapConfig::new().with_region_bytes(12_345)).is_err());
     }
 
     #[test]

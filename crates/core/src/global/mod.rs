@@ -461,7 +461,7 @@ impl DieHard {
         if addr < base || addr >= base + state.heap.heap_span() {
             return None;
         }
-        safe_str::space_in_object(state.heap.config(), addr - base)
+        safe_str::space_in_object(state.heap.geometry(), addr - base)
     }
 
     fn release(state: &GlobalState, ptr: *mut u8) {

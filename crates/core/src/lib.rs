@@ -74,7 +74,7 @@ pub mod sync;
 #[cfg(all(feature = "global", unix))]
 pub mod global;
 
-pub use config::{FillPolicy, HeapConfig};
+pub use config::{FillPolicy, HeapConfig, HeapGeometry};
 pub use engine::{AtomicHeapStats, FreeOutcome, HeapCore, HeapStats, Slot};
 pub use magazine::{MagazineCache, MagazineHeap, ThreadMagazines};
 pub use rng::Mwc;

@@ -64,7 +64,7 @@
 //! spurious stats.
 
 use crate::bitmap::AtomicBitmap;
-use crate::config::{ConfigError, HeapConfig};
+use crate::config::{ConfigError, HeapConfig, HeapGeometry};
 use crate::engine::{locate_free, slot_at, slot_offset, FreeOutcome, HeapStats, Slot};
 use crate::partition::Partition;
 use crate::sharded::ShardedHeap;
@@ -182,6 +182,13 @@ impl MagazineHeap {
         self.heap.config()
     }
 
+    /// The heap's precomputed shift/mask geometry (lock-free; immutable).
+    #[must_use]
+    #[inline]
+    pub fn geometry(&self) -> &HeapGeometry {
+        self.heap.geometry()
+    }
+
     /// Counters since construction (lock-free snapshot). Frees sitting in a
     /// thread's buffer are counted when that buffer flushes.
     #[must_use]
@@ -199,14 +206,14 @@ impl MagazineHeap {
     #[must_use]
     #[inline]
     pub fn offset_of(&self, slot: Slot) -> usize {
-        slot_offset(self.config(), slot)
+        slot_offset(self.geometry(), slot)
     }
 
     /// Resolves a byte offset (any interior pointer) to the slot containing
     /// it (pure arithmetic).
     #[must_use]
     pub fn slot_containing(&self, offset: usize) -> Option<Slot> {
-        slot_at(self.config(), offset)
+        slot_at(self.geometry(), offset)
     }
 
     /// A thread-local cache over this heap. Dropping the cache flushes its
@@ -229,7 +236,7 @@ impl MagazineHeap {
     /// `offset`, ignoring frees of reserved-but-unhanded slots (they are not
     /// live — no pointer to them was ever returned).
     pub fn free_at(&self, offset: usize) -> FreeOutcome {
-        let slot = match locate_free(self.config(), offset) {
+        let slot = match locate_free(self.geometry(), offset) {
             Ok(slot) => slot,
             Err(outcome) => {
                 if outcome == FreeOutcome::MisalignedOffset {
@@ -260,7 +267,7 @@ impl MagazineHeap {
     /// report `false`.
     #[must_use]
     pub fn is_live_at(&self, offset: usize) -> bool {
-        match slot_at(self.config(), offset) {
+        match slot_at(self.geometry(), offset) {
             Some(slot) => {
                 let live = self.heap.shard(slot.class).lock().is_live(slot.index);
                 live && !self.reserved[slot.class.index()].get(slot.index)
@@ -287,6 +294,16 @@ impl MagazineHeap {
     #[must_use]
     pub fn reserved_slots(&self) -> usize {
         self.reserved.iter().map(AtomicBitmap::count_ones).sum()
+    }
+
+    /// Cumulative probe statistics summed across every shard:
+    /// `(allocations, total probes)`. Magazine refills run the partition's
+    /// own probe loop, so reservation draws count here exactly like direct
+    /// allocations — the §4.2 expectation applies to the cached stack
+    /// unchanged (reserved slots hold occupancy at or below the `1/M` cap).
+    #[must_use]
+    pub fn probe_stats(&self) -> (u64, u64) {
+        self.heap.probe_stats()
     }
 
     /// Runs `f` against the (locked) partition serving `class` — shard-local
@@ -492,7 +509,7 @@ impl ThreadMagazines {
     /// class and released in batches (opportunistically at half capacity,
     /// forced at full capacity).
     pub fn free_at(&mut self, heap: &MagazineHeap, offset: usize) -> CachedFree {
-        let slot = match locate_free(heap.config(), offset) {
+        let slot = match locate_free(heap.geometry(), offset) {
             Ok(slot) => slot,
             Err(outcome) => {
                 if outcome == FreeOutcome::MisalignedOffset {
@@ -872,6 +889,51 @@ mod tests {
             stats.exhausted,
             attempted.load(Ordering::Relaxed) - served.load(Ordering::Relaxed),
             "every failed attempt was an at-threshold denial"
+        );
+    }
+
+    /// §4.2 through the magazine layer: refills sample slots with the
+    /// partition's own probe loop, and reserved slots count toward the
+    /// `1/M` cap, so the E[probes] = 1/(1 − 1/M) expectation holds for the
+    /// cached stack too. Buffered frees let occupancy dip a few dozen slots
+    /// under the cap, so the tolerance is a little wider than the sharded
+    /// heap's.
+    #[test]
+    fn probe_expectation_holds_through_magazines() {
+        const THREADS: usize = 4;
+        const OPS: usize = 20_000;
+        let h = Arc::new(heap(0x9E0E));
+        let mut offs = Vec::new();
+        while let Some(slot) = h.alloc(8) {
+            offs.push(h.offset_of(slot));
+        }
+        // Headroom for in-flight reservations (up to MAG_SLOTS per thread)
+        // plus buffered frees.
+        for off in offs.drain(..THREADS * (MAG_SLOTS + FREE_SLOTS)) {
+            assert!(h.free_at(off).freed());
+        }
+        let (a0, p0) = h.probe_stats();
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                let mut cache = h.thread_cache();
+                for _ in 0..OPS {
+                    if let Some(slot) = cache.alloc(8) {
+                        cache.free_at(h.offset_of(slot));
+                    }
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let (a1, p1) = h.probe_stats();
+        assert!(a1 - a0 > (THREADS * OPS) as u64 / 2, "churn mostly served");
+        let mean = (p1 - p0) as f64 / (a1 - a0) as f64;
+        assert!(
+            mean > 1.5 && mean < 2.2,
+            "magazine steady-state probes {mean}, expected ≈ 2"
         );
     }
 

@@ -26,10 +26,30 @@ pub struct Partition {
     threshold: usize,
     in_use: usize,
     rng: Mwc,
+    /// `64 - log2(capacity)` when the capacity is a power of two (every
+    /// region the heap geometry builds): a probe index is then drawn as
+    /// `next_u64() >> draw_shift`, which is **bit-identical** to the
+    /// widening-multiply [`Mwc::below`] for a power-of-two bound —
+    /// `(r * 2^k) >> 64 == r >> (64 - k)` — but costs a shift instead of a
+    /// 128-bit multiply. `0` means the capacity is not a power of two (the
+    /// adaptive variant's odd start sizes) and probes fall back to `below`.
+    draw_shift: u32,
     /// Total probes performed by `alloc`, for validating the paper's
     /// E[probes] = 1/(1 - 1/M) claim (§4.2).
     probes: u64,
     allocs: u64,
+}
+
+/// The strength-reduced draw shift for `capacity`, or the `0` sentinel when
+/// only the general widening-multiply draw is exact.
+#[inline]
+fn draw_shift_for(capacity: usize) -> u32 {
+    if capacity.is_power_of_two() && capacity > 1 {
+        64 - capacity.trailing_zeros()
+    } else {
+        // capacity == 1 draws index 0 either way; `below` handles it.
+        0
+    }
 }
 
 impl Partition {
@@ -54,6 +74,7 @@ impl Partition {
             threshold,
             in_use: 0,
             rng: Mwc::seeded(seed),
+            draw_shift: draw_shift_for(capacity),
             probes: 0,
             allocs: 0,
         }
@@ -87,6 +108,7 @@ impl Partition {
             threshold,
             in_use: 0,
             rng: Mwc::seeded(seed),
+            draw_shift: draw_shift_for(capacity),
             probes: 0,
             allocs: 0,
         }
@@ -112,6 +134,7 @@ impl Partition {
 
     /// Currently live slots (the paper's `inUse[c]`).
     #[must_use]
+    #[inline]
     pub fn in_use(&self) -> usize {
         self.in_use
     }
@@ -124,6 +147,7 @@ impl Partition {
 
     /// `true` when the region has hit its `1/M` cap.
     #[must_use]
+    #[inline]
     pub fn at_threshold(&self) -> bool {
         self.in_use >= self.threshold
     }
@@ -136,6 +160,7 @@ impl Partition {
     /// open hash table (§4.2). Because at most `1/M` of the region is ever
     /// live, the expected probe count is `1/(1 - 1/M)`. Indices are drawn
     /// from the partition's private RNG stream.
+    #[inline]
     pub fn alloc(&mut self) -> Option<usize> {
         if self.at_threshold() {
             return None;
@@ -143,7 +168,14 @@ impl Partition {
         self.allocs += 1;
         loop {
             self.probes += 1;
-            let index = self.rng.below(self.capacity);
+            // Power-of-two capacities (every geometry-built region) draw
+            // with one shift; the result is bit-identical to `below`, so
+            // placement sequences are stable across the two paths.
+            let index = if self.draw_shift != 0 {
+                (self.rng.next_u64() >> self.draw_shift) as usize
+            } else {
+                self.rng.below(self.capacity)
+            };
             if self.bitmap.try_set(index) {
                 self.in_use += 1;
                 return Some(index);
@@ -159,6 +191,7 @@ impl Partition {
     ///
     /// Panics if `index >= capacity` — the enclosing heap validates range
     /// and alignment before calling in, so this indicates a heap bug.
+    #[inline]
     pub fn free(&mut self, index: usize) -> bool {
         if self.bitmap.get(index) {
             self.bitmap.clear(index);
@@ -175,6 +208,7 @@ impl Partition {
     ///
     /// Panics if `index >= capacity`.
     #[must_use]
+    #[inline]
     pub fn is_live(&self, index: usize) -> bool {
         self.bitmap.get(index)
     }
@@ -225,6 +259,7 @@ impl Partition {
         self.bitmap = bigger;
         self.capacity = new_capacity;
         self.threshold = new_threshold;
+        self.draw_shift = draw_shift_for(new_capacity);
     }
 }
 

@@ -96,17 +96,44 @@ impl Mwc {
     ///
     /// Uses the widening-multiply technique, which avoids the modulo bias of
     /// `next % bound` while staying branch-light (important inside `malloc`).
+    /// For a power-of-two bound `2^k` the result is exactly
+    /// `next_u64() >> (64 - k)` — the shift the partition probe loop uses.
     ///
     /// # Panics
     ///
-    /// Panics if `bound` is zero.
+    /// Panics if `bound` is zero (debug builds only; this runs inside the
+    /// allocation probe loop, and every caller passes a capacity already
+    /// validated positive at construction).
     #[inline]
     pub fn below(&mut self, bound: usize) -> usize {
-        assert!(bound > 0, "bound must be positive");
+        debug_assert!(bound > 0, "bound must be positive");
         // 64x64 -> 128-bit multiply keeps the result uniform for any bound
         // that fits in usize.
         let r = self.next_u64();
         ((u128::from(r) * bound as u128) >> 64) as usize
+    }
+
+    /// Fills `out` with pseudo-random bytes, drawing one 64-bit word per
+    /// eight bytes (replicated mode fills whole objects this way — a word
+    /// per draw instead of calling the generator byte by byte, §4.1/§4.2).
+    ///
+    /// The byte stream is a pure function of the generator state as long as
+    /// the caller chunks on 8-byte boundaries: filling one 64-byte buffer
+    /// or eight 8-byte buffers back to back produces the same bytes (the
+    /// fill paths chunk at the 4 KB page size, a multiple of 8). A trailing
+    /// partial word consumes one full draw and keeps its leading bytes, so
+    /// splitting *inside* a word would draw differently — don't.
+    #[inline]
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        let mut chunks = out.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_ne_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_ne_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
     }
 
     /// Returns a uniform `f64` in `[0, 1)`.
@@ -294,9 +321,51 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)] // `below` hot path carries a debug_assert only
     #[should_panic(expected = "bound must be positive")]
     fn below_zero_bound_panics() {
         Mwc::seeded(1).below(0);
+    }
+
+    #[test]
+    fn below_power_of_two_equals_shift() {
+        // The strength-reduced partition draw relies on this identity.
+        let mut a = Mwc::seeded(0x5EED);
+        let mut b = Mwc::seeded(0x5EED);
+        for k in [1u32, 3, 6, 14, 20, 31, 47, 63] {
+            for _ in 0..256 {
+                let via_below = a.below(1usize << k);
+                let via_shift = (b.next_u64() >> (64 - k)) as usize;
+                assert_eq!(via_below, via_shift, "bound 2^{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_draws_and_chunking() {
+        let mut words = Mwc::seeded(42);
+        let mut filler = Mwc::seeded(42);
+        let mut buf = [0u8; 24];
+        filler.fill_bytes(&mut buf);
+        for chunk in buf.chunks(8) {
+            assert_eq!(chunk, &words.next_u64().to_ne_bytes());
+        }
+        // Chunked fills draw the same stream as one contiguous fill.
+        let mut chunked = Mwc::seeded(42);
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 8];
+        chunked.fill_bytes(&mut a);
+        chunked.fill_bytes(&mut b);
+        assert_eq!(&buf[..16], &a);
+        assert_eq!(&buf[16..], &b);
+        // A trailing partial word consumes one draw and keeps its prefix.
+        let mut tail = Mwc::seeded(7);
+        let expect = tail.next_u64().to_ne_bytes();
+        let mut tail2 = Mwc::seeded(7);
+        let mut small = [0u8; 3];
+        tail2.fill_bytes(&mut small);
+        assert_eq!(small, expect[..3]);
+        assert_eq!(tail2.next_u64(), tail.next_u64(), "exactly one draw used");
     }
 
     #[test]

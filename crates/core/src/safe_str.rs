@@ -16,7 +16,7 @@
 //! slice-based copy routines shared by the simulated heap; the real global
 //! allocator wraps them with raw-pointer entry points.
 
-use crate::config::HeapConfig;
+use crate::config::HeapGeometry;
 use crate::engine::HeapCore;
 
 /// Computes the number of bytes available from `offset` to the end of the
@@ -44,22 +44,21 @@ use crate::engine::HeapCore;
 /// ```
 #[must_use]
 pub fn space_to_object_end(heap: &HeapCore, offset: usize) -> Option<usize> {
-    space_in_object(heap.config(), offset)
+    space_in_object(heap.geometry(), offset)
 }
 
-/// As [`space_to_object_end`], but computed from the heap geometry alone.
+/// As [`space_to_object_end`], but computed from the precomputed heap
+/// geometry alone.
 ///
-/// The bound depends only on the configuration — not on any allocation
-/// state — so the sharded global allocator computes it **without taking any
-/// shard lock**, preserving the paper's two-comparisons-cheap contract for
-/// the string functions even under concurrency.
+/// The bound depends only on the (immutable) geometry — not on any
+/// allocation state — so the sharded global allocator computes it **without
+/// taking any shard lock**, preserving the paper's two-comparisons-cheap
+/// contract for the string functions even under concurrency.
 #[must_use]
-pub fn space_in_object(config: &HeapConfig, offset: usize) -> Option<usize> {
-    // Two comparisons: inside the heap span?
-    if offset >= config.heap_span() {
-        return None;
-    }
-    let slot = crate::engine::slot_at(config, offset)?;
+pub fn space_in_object(geometry: &HeapGeometry, offset: usize) -> Option<usize> {
+    // One comparison (`slot_at` range-checks via a shift) plus the mask:
+    // inside the heap span?
+    let slot = crate::engine::slot_at(geometry, offset)?;
     let size = slot.class.object_size();
     // Mask with (size - 1) to find the object start, subtract twice.
     let object_start = offset & !(size - 1);

@@ -49,9 +49,16 @@ impl FillPattern {
     fn fill_page(self, base: usize, page: &mut [u8; PAGE_SIZE]) {
         match self {
             FillPattern::Zero => {}
-            FillPattern::Random(_) => {
-                for (i, b) in page.iter_mut().enumerate() {
-                    *b = self.byte_at(base + i);
+            FillPattern::Random(seed) => {
+                // One splitmix per 8-byte lane, written as a whole word —
+                // bit-identical to `byte_at` over the page (pages are
+                // 8-aligned, and `byte_at`'s per-byte shift is exactly
+                // little-endian lane order), at an eighth of the hashing.
+                debug_assert_eq!(base % 8, 0, "pages are word-aligned");
+                let first_lane = base as u64 >> 3;
+                for (k, lane_bytes) in page.chunks_exact_mut(8).enumerate() {
+                    let lane = splitmix(seed ^ (first_lane + k as u64));
+                    lane_bytes.copy_from_slice(&lane.to_le_bytes());
                 }
             }
         }

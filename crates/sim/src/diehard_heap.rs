@@ -97,12 +97,17 @@ impl DieHardSimHeap {
     fn fill_random(&mut self, addr: usize, len: usize) -> Result<(), Fault> {
         // "REPLICATED: fill with random values" (Figure 2) — drawn from the
         // heap's own RNG stream so replicas with different seeds diverge.
-        let mut remaining = len;
+        // `Mwc::fill_bytes` draws a word per 8 bytes and the arena is
+        // written a page at a time, not one 8-byte write per draw; the byte
+        // stream (and RNG advancement) is identical to the word-by-word
+        // loop it replaces, so replica layouts and fills are unchanged.
+        let mut buf = [0u8; PAGE_SIZE];
         let mut cursor = addr;
+        let mut remaining = len;
         while remaining > 0 {
-            let word = self.core.rng_mut().next_u64().to_ne_bytes();
-            let n = remaining.min(8);
-            self.arena.write(cursor, &word[..n])?;
+            let n = remaining.min(PAGE_SIZE);
+            self.core.rng_mut().fill_bytes(&mut buf[..n]);
+            self.arena.write(cursor, &buf[..n])?;
             cursor += n;
             remaining -= n;
         }
