@@ -9,15 +9,22 @@
 //! cargo run ... --bin perf_report -- --out path/to/report.json
 //! ```
 //!
+//! When the output path is a `BENCH_<pr>.json` trajectory entry, the report
+//! also diffs the fresh run against the highest-numbered earlier
+//! `BENCH_<k>.json` beside it and prints per-kernel mean deltas, so a perf
+//! PR's win (or regression) is visible in the run log, not just by opening
+//! two JSON files.
+//!
 //! The process exits non-zero when the written report is missing any
 //! registered kernel, so CI can gate on completeness by exit status alone.
 
-use diehard_bench::perf::{missing_kernels, render_json, run_all};
+use diehard_bench::perf::{missing_kernels, parse_means, render_json, run_all, KernelResult};
 use diehard_bench::TextTable;
+use std::path::Path;
 
 fn main() {
     let smoke = diehard_bench::smoke();
-    let out_path = out_arg().unwrap_or_else(|| "BENCH_5.json".to_string());
+    let out_path = out_arg().unwrap_or_else(|| "BENCH_6.json".to_string());
 
     let results = run_all(smoke);
     let json = render_json(&results);
@@ -46,6 +53,8 @@ fn main() {
     );
     println!("{}", table.render());
 
+    print_deltas(&out_path, &results);
+
     // Completeness gate: re-read what actually landed on disk.
     let written = std::fs::read_to_string(&out_path).unwrap_or_default();
     let missing = missing_kernels(&written);
@@ -53,6 +62,75 @@ fn main() {
         eprintln!("perf_report: {out_path} is missing kernels: {missing:?}");
         std::process::exit(1);
     }
+}
+
+/// Diffs the fresh results against the previous trajectory entry (the
+/// highest-numbered `BENCH_<k>.json` beside `out_path` with `k` below this
+/// report's number) and prints per-kernel mean deltas. Silent when there is
+/// no previous entry to diff against.
+fn print_deltas(out_path: &str, results: &[KernelResult]) {
+    let Some((prev_path, prev_json)) = previous_report(out_path) else {
+        return;
+    };
+    let prev: Vec<(String, f64)> = parse_means(&prev_json);
+    let mut table = TextTable::new(vec!["kernel", "previous", "current", "delta"]);
+    let mut rows = 0;
+    for r in results {
+        let Some((_, before)) = prev.iter().find(|(name, _)| name == r.name) else {
+            continue;
+        };
+        let pct = if *before > 0.0 {
+            (r.mean_ns - before) / before * 100.0
+        } else {
+            0.0
+        };
+        table.row(vec![
+            r.name.to_string(),
+            format!("{before:.1} ns/op"),
+            format!("{:.1} ns/op", r.mean_ns),
+            format!("{pct:+.1}%"),
+        ]);
+        rows += 1;
+    }
+    if rows > 0 {
+        println!("delta vs {prev_path}");
+        println!("{}", table.render());
+    }
+}
+
+/// Finds the previous trajectory entry for `out_path`: among the
+/// `BENCH_<k>.json` files in the same directory, the readable one with the
+/// largest `k` strictly below this report's number.
+fn previous_report(out_path: &str) -> Option<(String, String)> {
+    let path = Path::new(out_path);
+    let current = bench_number(path.file_name()?.to_str()?)?;
+    let dir = if path.parent().is_none_or(|p| p.as_os_str().is_empty()) {
+        Path::new(".")
+    } else {
+        path.parent()?
+    };
+    let mut best: Option<(u32, String)> = None;
+    for entry in std::fs::read_dir(dir).ok()? {
+        let entry = entry.ok()?;
+        let name = entry.file_name();
+        let Some(k) = name.to_str().and_then(bench_number) else {
+            continue;
+        };
+        if k < current && best.as_ref().is_none_or(|(b, _)| k > *b) {
+            best = Some((k, entry.path().to_string_lossy().into_owned()));
+        }
+    }
+    let (_, prev_path) = best?;
+    let json = std::fs::read_to_string(&prev_path).ok()?;
+    Some((prev_path, json))
+}
+
+/// `Some(n)` when `name` is exactly `BENCH_<n>.json`.
+fn bench_number(name: &str) -> Option<u32> {
+    name.strip_prefix("BENCH_")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
 }
 
 /// The value following `--out`, if present.

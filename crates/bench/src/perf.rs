@@ -197,6 +197,35 @@ pub fn render_json(results: &[KernelResult]) -> String {
     out
 }
 
+/// Extracts `kernel name → mean_ns` from a rendered (or committed) report,
+/// in file order. Accepts exactly the schema [`render_json`] emits (one
+/// `"name": {"mean_ns": …}` entry per line) and skips anything that does
+/// not parse — so a hand-mangled report degrades to fewer deltas, not a
+/// crash. This is the read half of the `BENCH_<pr>.json` trajectory: it
+/// lets `perf_report` diff a fresh run against the previous PR's committed
+/// numbers without a JSON dependency.
+#[must_use]
+pub fn parse_means(json: &str) -> Vec<(String, f64)> {
+    let mut means = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some(rest) = rest.split_once("\"mean_ns\":").map(|(_, r)| r) else {
+            continue;
+        };
+        let num = rest.trim_start().split([',', '}']).next().unwrap_or("");
+        if let Ok(mean) = num.trim().parse::<f64>() {
+            means.push((name.to_string(), mean));
+        }
+    }
+    means
+}
+
 /// Checks a rendered (or committed) report for every registered kernel,
 /// returning the missing names — the CI gate for the perf trajectory.
 #[must_use]
@@ -245,5 +274,26 @@ mod tests {
     #[test]
     fn unregistered_kernel_is_none() {
         assert!(run_kernel("nonesuch", true).is_none());
+    }
+
+    #[test]
+    fn parse_means_roundtrips_render_json() {
+        let results = run_all(true);
+        let parsed = parse_means(&render_json(&results));
+        assert_eq!(parsed.len(), results.len());
+        for ((name, mean), r) in parsed.iter().zip(&results) {
+            assert_eq!(name, r.name);
+            assert!(
+                (mean - r.mean_ns).abs() < 0.01,
+                "{name}: {mean} vs {}",
+                r.mean_ns
+            );
+        }
+    }
+
+    #[test]
+    fn parse_means_skips_malformed_lines() {
+        let json = "{\n  \"good\": {\"mean_ns\": 12.50, \"iters\": 3},\n  garbage line\n  \"bad\": {\"mean_ns\": not-a-number},\n}\n";
+        assert_eq!(parse_means(json), vec![("good".to_string(), 12.5)]);
     }
 }

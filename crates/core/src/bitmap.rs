@@ -333,6 +333,361 @@ impl AtomicBitmap {
     }
 }
 
+/// Per-slot states a [`SlotStateMap`] distinguishes.
+///
+/// The bit pattern is `reserved:live` within the slot's 2-bit field. `10`
+/// (reserved without live) never occurs: reservations are created by a CAS
+/// from `Free` directly to `11` and destroyed either by the commit clearing
+/// only the reserved bit (`11 → 01`) or by a CAS back to `00`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// `00` — the slot is free.
+    Free,
+    /// `01` — the slot is live (handed to the application).
+    Live,
+    /// `11` — the slot is reserved by a thread-local magazine but not yet
+    /// handed out; invisible to `free`/`is_live`.
+    Reserved,
+}
+
+/// A lock-free map of slot states: **two** bits per object slot, packed 32
+/// slots to an `AtomicU64` word.
+///
+/// This is the metadata structure behind the lock-free allocation fast path.
+/// The paper's one-bit-per-object bitmap (§4.1) is enough under a lock, but
+/// demoting the shard `SpinLock` to the slow path means three states must be
+/// distinguishable in a *single* atomic word — otherwise the free path races
+/// the magazine reservation overlay (a freeing thread could observe
+/// "not reserved", lose the CPU while an erroneous double free releases the
+/// slot and a refill re-reserves it, then clear a bit it no longer owns).
+/// Pairing the live and reserved bits makes every transition a single-word
+/// atomic with no second map to consult:
+///
+/// | transition               | operation                         | used by |
+/// |--------------------------|-----------------------------------|---------|
+/// | `00 → 01` claim          | `fetch_or(live)`, won iff prior 00| alloc fast path |
+/// | `00 → 11` reserve        | CAS loop                          | magazine refill (slow path) |
+/// | `11 → 01` commit         | `fetch_and(!reserved)`            | magazine handout (fast path) |
+/// | `01 → 00` free           | CAS loop, fails on `00`/`11`      | free fast path |
+/// | `11 → 00` release        | CAS loop                          | magazine teardown (slow path) |
+///
+/// The claim is a plain `fetch_or` rather than a CAS loop: OR-ing the live
+/// bit into `01` or `11` is a no-op, so a lost claim cannot corrupt another
+/// slot's state, and the returned prior word decides the winner. One probe
+/// draw therefore maps to exactly one claim attempt — probe accounting under
+/// contention stays identical to the locked path's (§4.2 E[probes]).
+///
+/// Memory ordering: claims and commits publish with release semantics (and
+/// acquire the prior owner's writes), frees release the object's contents to
+/// the next claimant, and reads acquire — the same discipline the old
+/// `AtomicBitmap` overlay used, now on one word.
+#[derive(Debug)]
+pub struct SlotStateMap {
+    words: AtomicStorage,
+    slots: usize,
+}
+
+// SAFETY: `Raw` storage is exclusively owned by this map for its lifetime,
+// and every access goes through atomic operations.
+unsafe impl Send for SlotStateMap {}
+unsafe impl Sync for SlotStateMap {}
+
+/// Even bit positions: one live bit per slot in a word.
+const LIVE_BITS: u64 = 0x5555_5555_5555_5555;
+
+impl SlotStateMap {
+    /// Slots per `AtomicU64` word (two bits each).
+    const PER_WORD: usize = 32;
+
+    /// Creates a map with `slots` slots, all [`SlotState::Free`].
+    #[must_use]
+    pub fn new(slots: usize) -> Self {
+        Self {
+            words: AtomicStorage::Owned(
+                (0..slots.div_ceil(Self::PER_WORD))
+                    .map(|_| AtomicU64::new(0))
+                    .collect(),
+            ),
+            slots,
+        }
+    }
+
+    /// Words of backing storage a map over `slots` slots needs.
+    #[must_use]
+    pub const fn words_needed(slots: usize) -> usize {
+        slots.div_ceil(Self::PER_WORD)
+    }
+
+    /// Creates a map over caller-provided zeroed word storage.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be valid for reads and writes of
+    /// [`words_needed(slots)`](Self::words_needed) u64 words for the lifetime
+    /// of the map, exclusively owned by it, zeroed, and aligned for `u64`.
+    #[must_use]
+    pub unsafe fn from_storage(ptr: *mut u64, slots: usize) -> Self {
+        Self {
+            words: AtomicStorage::Raw {
+                ptr: ptr.cast::<AtomicU64>(),
+                words: Self::words_needed(slots),
+            },
+            slots,
+        }
+    }
+
+    #[inline]
+    fn words(&self) -> &[AtomicU64] {
+        match &self.words {
+            AtomicStorage::Owned(v) => v,
+            // SAFETY: `ptr` is valid for `words` AtomicU64s per the
+            // `from_storage` contract (AtomicU64 is layout-identical to u64).
+            AtomicStorage::Raw { ptr, words } => unsafe {
+                core::slice::from_raw_parts(*ptr, *words)
+            },
+        }
+    }
+
+    /// Number of slots the map covers.
+    #[must_use]
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots
+    }
+
+    /// `true` when the map covers zero slots.
+    #[must_use]
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots == 0
+    }
+
+    #[inline]
+    fn check(&self, index: usize) -> (usize, u32) {
+        assert!(index < self.slots, "slot index {index} out of range");
+        (index / Self::PER_WORD, (index % Self::PER_WORD) as u32 * 2)
+    }
+
+    /// Reads the state of slot `index` (acquire).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[must_use]
+    #[inline]
+    pub fn state(&self, index: usize) -> SlotState {
+        let (word, shift) = self.check(index);
+        match (self.words()[word].load(Ordering::Acquire) >> shift) & 0b11 {
+            0b00 => SlotState::Free,
+            0b01 => SlotState::Live,
+            _ => SlotState::Reserved,
+        }
+    }
+
+    /// `true` when slot `index` is [`SlotState::Live`] — reserved slots are
+    /// *not* live (they have not been handed to the application).
+    #[must_use]
+    #[inline]
+    pub fn is_live(&self, index: usize) -> bool {
+        self.state(index) == SlotState::Live
+    }
+
+    /// `true` when slot `index` is not free (live or reserved) — the
+    /// occupancy the probe loop and 1/M threshold see.
+    #[must_use]
+    #[inline]
+    pub fn is_occupied(&self, index: usize) -> bool {
+        self.state(index) != SlotState::Free
+    }
+
+    /// The allocation fast path's claim: `00 → 01` via one `fetch_or`.
+    /// Returns `true` when this caller won the slot (it was free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn claim_live(&self, index: usize) -> bool {
+        let (word, shift) = self.check(index);
+        // OR-ing the live bit into 01 (live) or 11 (reserved) changes
+        // nothing, so a losing claim is harmless; the prior word decides.
+        let prior = self.words()[word].fetch_or(1u64 << shift, Ordering::AcqRel);
+        (prior >> shift) & 0b11 == 0b00
+    }
+
+    /// The magazine refill's reservation: `00 → 11` via CAS. Returns `true`
+    /// when the reservation was taken (the slot was free).
+    ///
+    /// A CAS (not `fetch_or`) because OR-ing both bits into a live slot
+    /// would silently turn `01` into `11`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn reserve(&self, index: usize) -> bool {
+        self.transition(index, 0b00, 0b11)
+    }
+
+    /// The magazine handout's commit: `11 → 01` via `fetch_and`. The slot
+    /// becomes live without a lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()` (always), or if the slot was not reserved
+    /// (debug builds).
+    #[inline]
+    pub fn commit(&self, index: usize) {
+        let (word, shift) = self.check(index);
+        let prior = self.words()[word].fetch_and(!(1u64 << (shift + 1)), Ordering::AcqRel);
+        debug_assert_eq!(
+            (prior >> shift) & 0b11,
+            0b11,
+            "commit of slot {index} which was not reserved"
+        );
+    }
+
+    /// The free fast path: `01 → 00` via CAS. Returns the state the slot was
+    /// actually in — [`SlotState::Live`] means the free succeeded; `Free`
+    /// (double/invalid free) and `Reserved` (not yet handed out) mean it was
+    /// ignored, per §4.3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn free(&self, index: usize) -> SlotState {
+        let (word, shift) = self.check(index);
+        let words = self.words();
+        let mut cur = words[word].load(Ordering::Acquire);
+        loop {
+            match (cur >> shift) & 0b11 {
+                0b00 => return SlotState::Free,
+                0b01 => {}
+                _ => return SlotState::Reserved,
+            }
+            match words[word].compare_exchange_weak(
+                cur,
+                cur & !(0b11u64 << shift),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return SlotState::Live,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The magazine teardown's release: `11 → 00` via CAS. Returns `true`
+    /// when the reservation was released.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn release_reservation(&self, index: usize) -> bool {
+        self.transition(index, 0b11, 0b00)
+    }
+
+    /// CAS loop taking slot `index` from 2-bit state `from` to `to`;
+    /// `false` when the slot is observed in any other state.
+    #[inline]
+    fn transition(&self, index: usize, from: u64, to: u64) -> bool {
+        let (word, shift) = self.check(index);
+        let words = self.words();
+        let mut cur = words[word].load(Ordering::Acquire);
+        loop {
+            if (cur >> shift) & 0b11 != from {
+                return false;
+            }
+            let next = (cur & !(0b11u64 << shift)) | (to << shift);
+            match words[word].compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Number of occupied (live **or** reserved) slots. Per-word reads are
+    /// atomic but the sum is not a snapshot — exact only at quiescence.
+    #[must_use]
+    pub fn occupied_count(&self) -> usize {
+        self.words()
+            .iter()
+            .map(|w| (w.load(Ordering::Relaxed) & LIVE_BITS).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of reserved slots (same quiescence caveat).
+    #[must_use]
+    pub fn reserved_count(&self) -> usize {
+        self.words()
+            .iter()
+            .map(|w| (w.load(Ordering::Relaxed) & !LIVE_BITS).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of live slots (same quiescence caveat).
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.occupied_count() - self.reserved_count()
+    }
+
+    /// Iterates the indices of occupied (live or reserved) slots, in order.
+    /// Each word is read once; the iteration is not a snapshot.
+    pub fn iter_occupied(&self) -> IterOccupied<'_> {
+        IterOccupied {
+            words: self.words(),
+            word_idx: 0,
+            current: self
+                .words()
+                .first()
+                .map(|w| w.load(Ordering::Relaxed) & LIVE_BITS)
+                .unwrap_or(0),
+            slots: self.slots,
+        }
+    }
+
+    /// Iterates the indices of *live* slots only (reserved slots skipped).
+    pub fn iter_live(&self) -> impl Iterator<Item = usize> + '_ {
+        self.iter_occupied()
+            .filter(move |&i| self.state(i) == SlotState::Live)
+    }
+}
+
+/// Iterator over occupied slot indices, from [`SlotStateMap::iter_occupied`].
+#[derive(Debug)]
+pub struct IterOccupied<'a> {
+    words: &'a [AtomicU64],
+    word_idx: usize,
+    current: u64,
+    slots: usize,
+}
+
+impl Iterator for IterOccupied<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let idx = self.word_idx * SlotStateMap::PER_WORD + tz / 2;
+                if idx < self.slots {
+                    return Some(idx);
+                }
+                return None;
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx].load(Ordering::Relaxed) & LIVE_BITS;
+        }
+    }
+}
+
 /// Iterator over set-bit indices, produced by [`Bitmap::iter_ones`].
 #[derive(Debug)]
 pub struct IterOnes<'a> {
@@ -508,6 +863,175 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn atomic_bitmap_out_of_range_panics() {
         AtomicBitmap::new(10).set(10);
+    }
+
+    #[test]
+    fn slot_state_transitions() {
+        let map = SlotStateMap::new(100);
+        assert_eq!(map.len(), 100);
+        assert!(!map.is_empty());
+        // Free → claim → Live.
+        assert_eq!(map.state(5), SlotState::Free);
+        assert!(map.claim_live(5));
+        assert_eq!(map.state(5), SlotState::Live);
+        assert!(map.is_live(5) && map.is_occupied(5));
+        // Claiming a live slot loses without corrupting it.
+        assert!(!map.claim_live(5));
+        assert_eq!(map.state(5), SlotState::Live);
+        // Free → reserve → Reserved (occupied but not live).
+        assert!(map.reserve(6));
+        assert_eq!(map.state(6), SlotState::Reserved);
+        assert!(!map.is_live(6) && map.is_occupied(6));
+        // Reserved slots can be neither claimed nor re-reserved nor freed.
+        assert!(!map.claim_live(6));
+        assert!(!map.reserve(6));
+        assert_eq!(map.free(6), SlotState::Reserved);
+        assert_eq!(map.state(6), SlotState::Reserved);
+        // Commit hands the reservation out: Reserved → Live.
+        map.commit(6);
+        assert_eq!(map.state(6), SlotState::Live);
+        // Free only succeeds on a live slot, exactly once.
+        assert_eq!(map.free(6), SlotState::Live);
+        assert_eq!(map.state(6), SlotState::Free);
+        assert_eq!(map.free(6), SlotState::Free);
+        // Release only succeeds on a reserved slot.
+        assert!(map.reserve(7));
+        assert!(map.release_reservation(7));
+        assert_eq!(map.state(7), SlotState::Free);
+        assert!(!map.release_reservation(7));
+        assert!(map.claim_live(7));
+        assert!(!map.release_reservation(7));
+        assert_eq!(map.state(7), SlotState::Live);
+    }
+
+    #[test]
+    fn slot_state_counts_and_iteration() {
+        let map = SlotStateMap::new(130);
+        for i in [0usize, 31, 32, 33, 129] {
+            assert!(map.claim_live(i));
+        }
+        for i in [1usize, 64] {
+            assert!(map.reserve(i));
+        }
+        assert_eq!(map.occupied_count(), 7);
+        assert_eq!(map.reserved_count(), 2);
+        assert_eq!(map.live_count(), 5);
+        let occupied: Vec<usize> = map.iter_occupied().collect();
+        assert_eq!(occupied, vec![0, 1, 31, 32, 33, 64, 129]);
+        let live: Vec<usize> = map.iter_live().collect();
+        assert_eq!(live, vec![0, 31, 32, 33, 129]);
+    }
+
+    #[test]
+    fn slot_state_map_over_raw_storage() {
+        let mut backing = vec![0u64; SlotStateMap::words_needed(100)];
+        // SAFETY: `backing` outlives `map`, is zeroed, and is not otherwise
+        // accessed while `map` lives.
+        let map = unsafe { SlotStateMap::from_storage(backing.as_mut_ptr(), 100) };
+        assert!(map.claim_live(40));
+        assert!(map.is_live(40));
+        assert_eq!(map.occupied_count(), 1);
+        drop(map);
+        assert_ne!(backing[1], 0, "slot 40's pair lives in word 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_state_map_out_of_range_panics() {
+        SlotStateMap::new(10).claim_live(10);
+    }
+
+    /// The targeted two-thread claim race: every round, both threads race a
+    /// `claim_live` on the *same* slot. Exactly one must win, and the loser's
+    /// failed claim must leave the winner's state intact.
+    #[test]
+    fn two_thread_claim_race_has_exactly_one_winner() {
+        use std::sync::atomic::{AtomicUsize, Ordering as O};
+        use std::sync::{Arc, Barrier};
+        const ROUNDS: usize = 2000;
+        let map = Arc::new(SlotStateMap::new(ROUNDS));
+        let barrier = Arc::new(Barrier::new(2));
+        let wins = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let map = Arc::clone(&map);
+                let barrier = Arc::clone(&barrier);
+                let wins = Arc::clone(&wins);
+                s.spawn(move || {
+                    for slot in 0..ROUNDS {
+                        barrier.wait();
+                        if map.claim_live(slot) {
+                            wins[t].fetch_add(1, O::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let (a, b) = (wins[0].load(O::Relaxed), wins[1].load(O::Relaxed));
+        assert_eq!(a + b, ROUNDS, "every contested slot has exactly one winner");
+        assert_eq!(map.occupied_count(), ROUNDS);
+        for slot in 0..ROUNDS {
+            assert_eq!(map.state(slot), SlotState::Live, "slot {slot}");
+        }
+    }
+
+    /// Free racing reserve on the same slot must never corrupt the state:
+    /// the free either beats the reservation (slot freed, then reserved) or
+    /// observes it and is ignored — the ABA the paired encoding closes.
+    #[test]
+    fn free_vs_reserve_race_keeps_state_consistent() {
+        use std::sync::{Arc, Barrier};
+        const ROUNDS: usize = 2000;
+        let map = Arc::new(SlotStateMap::new(ROUNDS));
+        for slot in 0..ROUNDS {
+            assert!(map.claim_live(slot));
+        }
+        let barrier = Arc::new(Barrier::new(2));
+        std::thread::scope(|s| {
+            let freer = {
+                let map = Arc::clone(&map);
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    let mut freed = 0usize;
+                    for slot in 0..ROUNDS {
+                        barrier.wait();
+                        if map.free(slot) == SlotState::Live {
+                            freed += 1;
+                        }
+                    }
+                    freed
+                })
+            };
+            let reserver = {
+                let map = Arc::clone(&map);
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    let mut reserved = 0usize;
+                    for slot in 0..ROUNDS {
+                        barrier.wait();
+                        // Emulates a racing refill: free the slot first (an
+                        // erroneous double free may have won), then try to
+                        // re-reserve it.
+                        let _ = map.free(slot);
+                        if map.reserve(slot) {
+                            reserved += 1;
+                        }
+                    }
+                    reserved
+                })
+            };
+            let freed = freer.join().expect("freer");
+            let reserved = reserver.join().expect("reserver");
+            // Whatever the interleaving, the end state of every slot is
+            // either Free (both frees lost to nothing; reserve lost to a
+            // pending live state — impossible here) or Reserved.
+            assert_eq!(map.reserved_count(), reserved);
+            assert!(freed <= ROUNDS);
+            for slot in 0..ROUNDS {
+                assert_ne!(map.state(slot), SlotState::Live, "slot {slot} leaked");
+            }
+            assert_eq!(map.occupied_count(), reserved);
+        });
     }
 
     proptest! {

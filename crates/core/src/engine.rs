@@ -8,7 +8,7 @@
 //! share one implementation of the paper's placement and validation logic.
 
 use crate::config::{ConfigError, FillPolicy, HeapConfig, HeapGeometry};
-use crate::partition::Partition;
+use crate::partition::{AtomicPartition, Partition};
 use crate::rng::{stream_seed, Mwc};
 use crate::size_class::{SizeClass, NUM_CLASSES};
 use core::sync::atomic::{AtomicU64, Ordering};
@@ -236,6 +236,59 @@ pub(crate) unsafe fn build_partitions_from_storage(
             )
         };
         cursor = unsafe { cursor.add(cap.div_ceil(64)) };
+        p
+    })
+}
+
+/// As [`build_partitions`] but producing lock-free [`AtomicPartition`]
+/// shards. Each class's [`crate::rng::AtomicMwc`] is seeded from the same
+/// `stream_seed(seed, class)` as the locked builders, so serialized
+/// histories replay the locked layout bit for bit.
+#[must_use]
+pub(crate) fn build_atomic_partitions(
+    geometry: &HeapGeometry,
+    seed: u64,
+) -> [AtomicPartition; NUM_CLASSES] {
+    core::array::from_fn(|i| {
+        let c = SizeClass::from_index(i);
+        AtomicPartition::new(
+            c,
+            geometry.capacity(c),
+            geometry.threshold(c),
+            stream_seed(seed, i as u64),
+        )
+    })
+}
+
+/// As [`build_atomic_partitions`], but carving the slot-state maps (two bits
+/// per slot, 32 slots per word) out of caller-provided storage.
+///
+/// # Safety
+///
+/// `metadata_words` must point to at least
+/// [`ShardedHeap::bitmap_words_needed`](crate::sharded::ShardedHeap::bitmap_words_needed)
+/// zeroed `u64`s, valid and exclusively owned for the partitions' lifetime.
+pub(crate) unsafe fn build_atomic_partitions_from_storage(
+    geometry: &HeapGeometry,
+    seed: u64,
+    metadata_words: *mut u64,
+) -> [AtomicPartition; NUM_CLASSES] {
+    let mut cursor = metadata_words;
+    core::array::from_fn(|i| {
+        let c = SizeClass::from_index(i);
+        let cap = geometry.capacity(c);
+        // SAFETY: the caller provides enough zeroed words for the sum of
+        // all class maps; we carve them off sequentially.
+        let p = unsafe {
+            AtomicPartition::from_storage(
+                c,
+                cap,
+                geometry.threshold(c),
+                stream_seed(seed, i as u64),
+                cursor,
+            )
+        };
+        cursor = unsafe { cursor.add(AtomicPartition::words_needed(cap)) };
         p
     })
 }

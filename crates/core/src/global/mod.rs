@@ -16,12 +16,14 @@
 //! guard pages on both ends, validated (and silently ignored) erroneous
 //! frees, and seeding from `/dev/urandom`.
 //!
-//! Locking is **per size class**: after a one-time initialization, the
-//! header (heap base, page size, configuration) is read lock-free, each of
-//! the twelve regions sits behind its own shard lock (inside
-//! [`ShardedHeap`]), and the large-object validity tables have a separate
-//! lock. Concurrent allocations in different size classes never contend,
-//! and a free locks only the shard its address resolves to.
+//! The per-operation paths are **lock-free**: after a one-time
+//! initialization, the header (heap base, page size, configuration) is read
+//! without synchronization, and small-object `alloc`/`free` run entirely on
+//! atomics — a probe/CAS loop over the class's paired slot-state map, with
+//! a ticket counter enforcing the `1/M` cap. Each size class keeps one
+//! *maintenance* `SpinLock` for batch work only (magazine refills, free
+//! flushes, reservation teardown); the large-object validity tables have a
+//! separate lock of their own.
 //!
 //! Environment knobs (read once, at first allocation; ignored when the
 //! allocator was built with [`DieHard::with_config`]):
@@ -31,14 +33,15 @@
 //!   paper's 384 MB heap).
 //! * `DIEHARD_M` — integer expansion factor `M` (default 2).
 //!
-//! ## Unsafe-surface audit (2026-07, stable toolchain, sharded + magazines)
+//! ## Unsafe-surface audit (2026-08, stable toolchain, lock-free fast path)
 //!
 //! This module, [`sys`], and [`tls`] are the crate's `unsafe` *syscall and
 //! TLS* surface, which is why the subtree sits behind the off-by-default
 //! `global` cargo feature; the allocation-free synchronization primitives it
-//! builds on live ungated in [`crate::sync`], and the magazine algorithm
-//! itself (including its atomic reserved-overlay reasoning) lives ungated in
-//! [`crate::magazine`]. Findings, kept current as the module changes:
+//! builds on live ungated in [`crate::sync`], and the lock-free slot-state
+//! machine itself lives ungated in [`crate::bitmap`] /
+//! [`crate::partition`] / [`crate::magazine`]. Findings, kept current as
+//! the module changes:
 //!
 //! * **No `static mut` anywhere.** Allocator state is a once-initialized
 //!   [`OnceCell`]`<GlobalState>`: one `Acquire` load proves the header
@@ -46,16 +49,22 @@
 //!   immutable and read without any lock. All *mutable* state is interior-
 //!   mutable behind locks — the pattern stable Rust recommends over
 //!   `static mut` (which trips `static_mut_refs` on current toolchains).
-//! * **Per-shard exclusivity replaces the old single-lock argument.** Every
-//!   allocation bitmap, fullness counter, and RNG stream is owned by exactly
-//!   one [`Partition`](crate::partition::Partition) behind exactly one
-//!   [`SpinLock`] (the twelve shards of the embedded [`ShardedHeap`]); the
-//!   large-object tables sit behind their own `SpinLock`. Soundness needs no
-//!   cross-shard ordering discipline because no operation ever takes two of
-//!   these locks at once: `alloc` locks the one shard serving the request's
-//!   size class, and `free` resolves its address to at most one shard (or
-//!   the large tables) with pure arithmetic *before* locking. Heap-wide
-//!   statistics are relaxed atomics and take no lock at all.
+//! * **Atomics replace the old per-shard exclusivity argument.** Every
+//!   slot's lifecycle lives in one 2-bit cell of its class's
+//!   [`SlotStateMap`](crate::bitmap::SlotStateMap), and every transition is
+//!   a single CAS or read-modify-write on that cell: claiming a free slot,
+//!   committing a reservation, and freeing are all linearizable at one
+//!   atomic instruction, so two threads can never both own a slot and a
+//!   free can never clear a slot it does not own (the paired encoding makes
+//!   the CAS fail instead). The `1/M` cap is a ticket `fetch_add` that backs
+//!   out on overshoot, and the per-class RNG packs its whole state in one
+//!   `AtomicU64` CAS ([`AtomicMwc`](crate::rng::AtomicMwc)) — no torn draws.
+//!   The surviving locks are slow-path only: one maintenance `SpinLock` per
+//!   class serializing *batches* (refill, flush, teardown) against each
+//!   other — never taken by per-op traffic — plus the large-object table
+//!   lock. No operation ever takes two locks at once; a free resolves its
+//!   address with pure arithmetic *before* touching any shared state.
+//!   Heap-wide statistics are relaxed atomics and take no lock at all.
 //! * **Raw-pointer state.** `GlobalState` owns raw `mmap` regions; its
 //!   `unsafe impl Send + Sync` is sound because `heap_base`/`page` are
 //!   written once before the `OnceCell` publishes (Release/Acquire) and
@@ -67,8 +76,8 @@
 //! * **Lazily-initialized, never self-allocating.** Exactly one thread runs
 //!   initialization (losers of the `OnceCell` race spin without parking —
 //!   parking may allocate and re-enter the allocator being initialized);
-//!   metadata (bitmaps, reserved overlays, and the large-object validity
-//!   tables) lives in a dedicated mapping, so initialization cannot recurse.
+//!   metadata (the slot-state maps and the large-object validity tables)
+//!   lives in a dedicated mapping, so initialization cannot recurse.
 //!   A failed initialization (OOM, invalid config) is terminal: later calls
 //!   return null instead of retrying `mmap` storms.
 //! * **Thread-local magazines never allocate and never dangle.** The
@@ -84,12 +93,13 @@
 //!   `DieHard` value must not be moved after its first allocation (the
 //!   registry pins its interior address); statics never move, and test
 //!   instances move only while uninitialized.
-//! * **The magazine fast path is the one lock-free *write* to shared
-//!   heap state**: handing out a pre-reserved slot clears its bit in the
-//!   class's `AtomicBitmap` overlay (release) and bumps the atomic alloc
-//!   counter. Every other overlay access happens under the owning shard's
-//!   lock, and the reserved/live state machine (free → reserved → live →
-//!   free) is documented and tested in [`crate::magazine`].
+//! * **Per-op traffic never spins.** An uncached `alloc` or `free` — and a
+//!   magazine handout — completes without acquiring any lock: a thread
+//!   preempted mid-operation cannot wedge another thread's allocation, which
+//!   the old shard-`SpinLock` design could not promise. The reserved/live
+//!   state machine (free → reserved → live → free, one paired-bit cell per
+//!   slot) is documented and tested in [`crate::bitmap`] and
+//!   [`crate::magazine`].
 
 mod sys;
 mod tls;

@@ -1,12 +1,12 @@
-//! Thread-local allocation magazines in front of the sharded heap.
+//! Thread-local allocation magazines in front of the lock-free sharded heap.
 //!
-//! PR 2 sharded the heap per size class, but two threads allocating the
-//! *same* class still serialize on that class's one `SpinLock<Partition>`.
-//! This module adds the classic magazine layer (Bonwick's vmem/slab per-CPU
-//! caches, adapted to DieHard's randomized placement): each thread holds,
-//! per size class, a small **magazine** of pre-reserved slots plus a bounded
-//! **free buffer**, so the hot paths touch the shard lock only once per
-//! batch instead of once per operation.
+//! PR 2 sharded the heap per size class and PR 6 made the per-op paths
+//! lock-free, but a thread still pays one CAS-contended probe sequence per
+//! allocation. This module adds the classic magazine layer (Bonwick's
+//! vmem/slab per-CPU caches, adapted to DieHard's randomized placement):
+//! each thread holds, per size class, a small **magazine** of pre-reserved
+//! slots plus a bounded **free buffer**, so the hot paths touch shared cache
+//! lines once per batch instead of once per operation.
 //!
 //! # Preserving the paper's guarantees
 //!
@@ -16,16 +16,17 @@
 //!
 //! * **Uniform placement.** A refill does not carve a deterministic run of
 //!   slots; it samples `K` slots by running the partition's own MWC probe
-//!   loop (`Partition::alloc`) under a single shard-lock acquisition. Each
-//!   reserved slot is therefore a uniform draw over the free slots, from
-//!   the same per-class RNG stream the uncached heap would have used — for
-//!   one thread performing only allocations, the magazine-served sequence
-//!   is *bit-identical* to [`ShardedHeap`]'s for the same master seed
-//!   (handout is FIFO in draw order).
-//! * **The `1/M` occupancy cap.** Reserved slots are marked in the
-//!   partition's allocation bitmap and count toward `inUse`, so the
-//!   threshold check bounds *live + reserved* — strictly conservative: the
-//!   truly live fraction is always at or below the paper's cap.
+//!   loop ([`crate::partition::AtomicPartition::reserve_batch`]) under a single
+//!   acquisition of the class's *maintenance* lock. Each reserved slot is
+//!   therefore a uniform draw over the free slots, from the same per-class
+//!   RNG stream the uncached heap would have used — for one thread
+//!   performing only allocations, the magazine-served sequence is
+//!   *bit-identical* to [`ShardedHeap`]'s for the same master seed (handout
+//!   is FIFO in draw order).
+//! * **The `1/M` occupancy cap.** Reserved slots take a regular ticket
+//!   against the partition's `inUse`, so the threshold check bounds
+//!   *live + reserved* — strictly conservative: the truly live fraction is
+//!   always at or below the paper's cap.
 //! * **No randomized-reuse shortcut.** The free buffer never hands a
 //!   buffered slot back to the local thread; it flushes to the owning shard,
 //!   where the slot rejoins the uniform probe space. Immediate deterministic
@@ -36,37 +37,38 @@
 //!
 //! A slot a magazine holds but has not handed out is **not live**: no
 //! pointer to it has ever been returned, so `free_at` must ignore it and
-//! `is_live_at` must report `false` (and heap statistics must not count
-//! it as an allocation). Each class therefore has an [`AtomicBitmap`]
-//! *reserved overlay* beside the partition bitmap:
+//! `is_live_at` must report `false` (and heap statistics must not count it
+//! as an allocation). Both states live in the partition's paired-bit
+//! [`crate::bitmap::SlotStateMap`] — the separate atomic reserved overlay
+//! this layer carried before the lock-free fast path is gone, because a
+//! two-map encoding cannot make the lock-free free path race-free (a freeing
+//! thread could check the overlay, lose the CPU while the slot is freed and
+//! re-reserved, then clear a reservation it no longer owns). With the paired
+//! encoding every transition is one atomic on one word:
 //!
-//! | partition bit | overlay bit | state                                |
-//! |---------------|-------------|--------------------------------------|
-//! | 0             | 0           | free                                 |
-//! | 1             | 1           | reserved (magazine-held, not live)   |
-//! | 1             | 0           | live                                 |
-//!
-//! Free→reserved happens under the shard lock (refill); reserved→live is a
-//! single lock-free atomic clear on the owning thread (handout — the fast
-//! path the whole layer exists for); live→free happens under the shard lock
-//! (free-buffer flush, or a direct `free_at`). The overlay is atomic
-//! precisely because the handout transition takes no lock; every other
-//! reader checks it while holding the shard lock.
+//! * free→reserved (`00 → 11`): a CAS inside [`AtomicPartition::reserve_batch`]
+//!   during refill, under the class maintenance lock;
+//! * reserved→live (`11 → 01`): one lock-free `fetch_and` on the owning
+//!   thread (the handout — the fast path the whole layer exists for);
+//! * live→free (`01 → 00`): one CAS, from the lock-free `free_at` or a
+//!   free-buffer flush; a reserved slot makes the CAS fail and the free is
+//!   ignored without ever consulting a second map.
 //!
 //! # Accounting
 //!
-//! [`AtomicHeapStats`] stays exact: a handout records one alloc (the moment
-//! the application actually receives memory), a refill that returns empty
-//! records one exhaustion per denied request, and a free-buffer flush
-//! records its batch of frees/ignored-frees under the shard lock it already
-//! holds. Thread exit (guard drop) flushes buffered frees and returns every
-//! unhanded reservation to its shard — zero leaked reservations, no
-//! spurious stats.
+//! [`crate::engine::AtomicHeapStats`] stays exact: a handout records one
+//! alloc (the moment the application actually receives memory), a refill
+//! that returns empty records one exhaustion per denied request, and a
+//! free-buffer flush records its batch of frees/ignored-frees as two atomic
+//! adds. Probe accounting is unchanged by batching: `reserve_batch` counts
+//! draws exactly like `alloc`, so §4.2's E[probes] statistics aggregate
+//! refill and direct traffic identically. Thread exit (guard drop) flushes
+//! buffered frees and returns every unhanded reservation to its shard —
+//! zero leaked reservations, no spurious stats.
 
-use crate::bitmap::AtomicBitmap;
 use crate::config::{ConfigError, HeapConfig, HeapGeometry};
 use crate::engine::{locate_free, slot_at, slot_offset, FreeOutcome, HeapStats, Slot};
-use crate::partition::Partition;
+use crate::partition::AtomicPartition;
 use crate::sharded::ShardedHeap;
 use crate::size_class::{SizeClass, NUM_CLASSES};
 
@@ -87,11 +89,12 @@ fn refill_batch(threshold: usize) -> usize {
 
 /// A thread-safe DieHard heap that supports thread-local magazine caching.
 ///
-/// Structurally this is a [`ShardedHeap`] plus one reserved overlay per
-/// class. All operations take `&self`; threads that want the cached fast
+/// Structurally this is now just a [`ShardedHeap`] — reservation state lives
+/// inside the shards' paired-bit slot maps — plus the refill/flush batch
+/// logic. All operations take `&self`; threads that want the cached fast
 /// path create a [`MagazineCache`] via [`thread_cache`](Self::thread_cache),
-/// while uncached (`alloc`/`free_at`) calls remain available and interleave
-/// correctly with cached traffic.
+/// while uncached (`alloc`/`free_at`) calls remain available, are lock-free,
+/// and interleave correctly with cached traffic.
 ///
 /// # Examples
 ///
@@ -112,7 +115,6 @@ fn refill_batch(threshold: usize) -> usize {
 #[derive(Debug)]
 pub struct MagazineHeap {
     heap: ShardedHeap,
-    reserved: [AtomicBitmap; NUM_CLASSES],
 }
 
 impl MagazineHeap {
@@ -123,17 +125,14 @@ impl MagazineHeap {
     ///
     /// Returns [`ConfigError`] when the configuration is invalid.
     pub fn new(config: HeapConfig, seed: u64) -> Result<Self, ConfigError> {
-        let heap = ShardedHeap::new(config, seed)?;
-        let reserved = core::array::from_fn(|i| {
-            AtomicBitmap::new(heap.config().capacity(SizeClass::from_index(i)))
-        });
-        Ok(Self { heap, reserved })
+        Ok(Self {
+            heap: ShardedHeap::new(config, seed)?,
+        })
     }
 
-    /// As [`new`](Self::new), but hosting all metadata (allocation bitmaps
-    /// *and* reserved overlays) in caller-provided storage so construction
-    /// performs no heap allocation — required when DieHard itself is the
-    /// process's global allocator.
+    /// As [`new`](Self::new), but hosting all metadata in caller-provided
+    /// storage so construction performs no heap allocation — required when
+    /// DieHard itself is the process's global allocator.
     ///
     /// # Safety
     ///
@@ -149,31 +148,20 @@ impl MagazineHeap {
         seed: u64,
         words: *mut u64,
     ) -> Result<Self, ConfigError> {
-        let base_words = ShardedHeap::bitmap_words_needed(&config);
-        // SAFETY: the first half of the arena is the allocation bitmaps
-        // (forwarded caller contract).
-        let heap = unsafe { ShardedHeap::from_raw_parts(config, seed, words) }?;
-        // SAFETY: the second half is the reserved overlays, carved
-        // sequentially per class.
-        let mut cursor = unsafe { words.add(base_words) };
-        let reserved = core::array::from_fn(|i| {
-            let cap = heap.config().capacity(SizeClass::from_index(i));
-            // SAFETY: the caller provides `2 × base_words` zeroed words; the
-            // per-class overlay word counts sum to exactly `base_words`.
-            let bm = unsafe { AtomicBitmap::from_storage(cursor, cap) };
-            cursor = unsafe { cursor.add(cap.div_ceil(64)) };
-            bm
-        });
-        Ok(Self { heap, reserved })
+        // SAFETY: forwarded caller contract.
+        Ok(Self {
+            heap: unsafe { ShardedHeap::from_raw_parts(config, seed, words) }?,
+        })
     }
 
     /// Number of `u64` words of metadata storage
-    /// [`from_raw_parts`](Self::from_raw_parts) requires for `config`:
-    /// twice [`ShardedHeap::bitmap_words_needed`] (allocation bitmaps plus
-    /// the reserved overlays).
+    /// [`from_raw_parts`](Self::from_raw_parts) requires for `config` —
+    /// exactly [`ShardedHeap::bitmap_words_needed`]: the paired slot-state
+    /// maps already encode reservations, so the magazine layer adds **no**
+    /// metadata of its own (the old separate overlay doubled this).
     #[must_use]
     pub fn metadata_words_needed(config: &HeapConfig) -> usize {
-        2 * ShardedHeap::bitmap_words_needed(config)
+        ShardedHeap::bitmap_words_needed(config)
     }
 
     /// The heap's configuration (lock-free; immutable).
@@ -226,54 +214,25 @@ impl MagazineHeap {
         }
     }
 
-    /// Uncached allocation: identical to [`ShardedHeap::alloc`] (the probe
-    /// loop skips reserved slots because their partition bits are set).
+    /// Uncached allocation: identical to [`ShardedHeap::alloc`] — lock-free;
+    /// the probe loop skips reserved slots because their claim loses.
     pub fn alloc(&self, size: usize) -> Option<Slot> {
         self.heap.alloc(size)
     }
 
-    /// Uncached `DieHardFree` (§4.3): validates and frees the object at
-    /// `offset`, ignoring frees of reserved-but-unhanded slots (they are not
-    /// live — no pointer to them was ever returned).
+    /// Uncached `DieHardFree` (§4.3), lock-free: validates and frees the
+    /// object at `offset`. A reserved-but-unhanded slot makes the free CAS
+    /// observe `Reserved` and the request is ignored (it is not live — no
+    /// pointer to it was ever returned).
     pub fn free_at(&self, offset: usize) -> FreeOutcome {
-        let slot = match locate_free(self.geometry(), offset) {
-            Ok(slot) => slot,
-            Err(outcome) => {
-                if outcome == FreeOutcome::MisalignedOffset {
-                    self.heap.stats_ref().record_ignored_free();
-                }
-                return outcome;
-            }
-        };
-        let c = slot.class;
-        let mut shard = self.heap.shard(c).lock();
-        if self.reserved[c.index()].get(slot.index) {
-            drop(shard);
-            self.heap.stats_ref().record_ignored_free();
-            return FreeOutcome::NotAllocated;
-        }
-        let freed = shard.free(slot.index);
-        drop(shard);
-        if freed {
-            self.heap.stats_ref().record_free();
-            FreeOutcome::Freed(slot)
-        } else {
-            self.heap.stats_ref().record_ignored_free();
-            FreeOutcome::NotAllocated
-        }
+        self.heap.free_at(offset)
     }
 
-    /// Whether the object at `offset` is live. Reserved-but-unhanded slots
-    /// report `false`.
+    /// Whether the object at `offset` is live — one atomic load.
+    /// Reserved-but-unhanded slots report `false`.
     #[must_use]
     pub fn is_live_at(&self, offset: usize) -> bool {
-        match slot_at(self.geometry(), offset) {
-            Some(slot) => {
-                let live = self.heap.shard(slot.class).lock().is_live(slot.index);
-                live && !self.reserved[slot.class.index()].get(slot.index)
-            }
-            None => false,
-        }
+        self.heap.is_live_at(offset)
     }
 
     /// Total live objects: partition occupancy minus magazine reservations.
@@ -283,8 +242,9 @@ impl MagazineHeap {
     pub fn live_objects(&self) -> usize {
         SizeClass::all()
             .map(|c| {
-                let in_use = self.heap.shard(c).lock().in_use();
-                in_use - self.reserved[c.index()].count_ones().min(in_use)
+                let p = self.heap.shard(c);
+                let in_use = p.in_use();
+                in_use - p.reserved_count().min(in_use)
             })
             .sum()
     }
@@ -293,63 +253,58 @@ impl MagazineHeap {
     /// (quiescence caveat as above). Zero once every cache has flushed.
     #[must_use]
     pub fn reserved_slots(&self) -> usize {
-        self.reserved.iter().map(AtomicBitmap::count_ones).sum()
+        SizeClass::all()
+            .map(|c| self.heap.shard(c).reserved_count())
+            .sum()
     }
 
     /// Cumulative probe statistics summed across every shard:
     /// `(allocations, total probes)`. Magazine refills run the partition's
-    /// own probe loop, so reservation draws count here exactly like direct
-    /// allocations — the §4.2 expectation applies to the cached stack
-    /// unchanged (reserved slots hold occupancy at or below the `1/M` cap).
+    /// own probe loop ([`AtomicPartition::reserve_batch`]), so reservation
+    /// draws count here exactly like direct allocations — the §4.2
+    /// expectation applies to the cached stack unchanged (reserved slots
+    /// hold occupancy at or below the `1/M` cap).
     #[must_use]
     pub fn probe_stats(&self) -> (u64, u64) {
         self.heap.probe_stats()
     }
 
-    /// Runs `f` against the (locked) partition serving `class` — shard-local
+    /// Runs `f` against the partition serving `class` — shard-local
     /// diagnostics, e.g. layout statistics for the sim harness's A/B runs.
-    /// Note the partition bitmap includes reserved slots; flush caches first
-    /// for live-only statistics.
-    pub fn with_partition<R>(&self, class: SizeClass, f: impl FnOnce(&Partition) -> R) -> R {
+    /// Note the slot-state map includes reserved slots (occupied, not
+    /// live); flush caches first for live-only statistics.
+    pub fn with_partition<R>(&self, class: SizeClass, f: impl FnOnce(&AtomicPartition) -> R) -> R {
         self.heap.with_partition(class, f)
     }
 
     // ---- cache back end --------------------------------------------------
 
     /// Refills `out` with up to one batch of reserved slots for `class`,
-    /// drawn by the partition's own probe loop under one lock acquisition.
-    /// Returns the number of slots reserved (0 when at the `1/M` cap).
+    /// drawn by the partition's own probe loop under one acquisition of the
+    /// class **maintenance** lock (the slow path — per-op traffic never
+    /// waits on it; the lock only serializes refills against flushes and
+    /// teardowns so batches do not interleave draws). Returns the number of
+    /// slots reserved (0 when at the `1/M` cap).
     fn refill(&self, class: SizeClass, out: &mut [usize; MAG_SLOTS]) -> usize {
-        let overlay = &self.reserved[class.index()];
-        let mut shard = self.heap.shard(class).lock();
+        let shard = self.heap.shard(class);
+        let _batch = self.heap.maintenance_lock(class).lock();
         let want = refill_batch(shard.threshold());
-        let mut n = 0;
-        while n < want {
-            match shard.alloc() {
-                Some(index) => {
-                    // Setting the overlay bit while still holding the shard
-                    // lock makes free→reserved atomic with respect to every
-                    // lock-holding reader.
-                    overlay.set(index);
-                    out[n] = index;
-                    n += 1;
-                }
-                None => break,
-            }
-        }
-        n
+        shard.reserve_batch(&mut out[..want])
     }
 
-    /// The lock-free reserved→live handout transition.
+    /// The lock-free reserved→live handout transition: one `fetch_and` in
+    /// the slot-state map plus the alloc counter.
     #[inline]
     fn commit(&self, class: SizeClass, index: usize) {
-        self.reserved[class.index()].clear(index);
+        self.heap.shard(class).commit(index);
         self.heap.stats_ref().record_alloc();
     }
 
-    /// Releases a batch of buffered frees for `class` under one lock
-    /// acquisition. With `force` false the flush is opportunistic: a
-    /// contended shard leaves the buffer untouched.
+    /// Releases a batch of buffered frees for `class` under one maintenance
+    /// lock acquisition. With `force` false the flush is opportunistic: a
+    /// contended lock leaves the buffer untouched. (Each individual free is
+    /// itself a lock-free CAS — the lock only keeps maintenance batches
+    /// from interleaving.)
     fn flush_frees(&self, class: SizeClass, frees: &mut [usize; FREE_SLOTS], len: &mut usize) {
         self.flush_frees_inner(class, frees, len, true);
     }
@@ -368,9 +323,8 @@ impl MagazineHeap {
         if *len == 0 {
             return;
         }
-        let overlay = &self.reserved[class.index()];
-        let lock = self.heap.shard(class);
-        let mut shard = if force {
+        let lock = self.heap.maintenance_lock(class);
+        let guard = if force {
             lock.lock()
         } else {
             match lock.try_lock() {
@@ -378,21 +332,13 @@ impl MagazineHeap {
                 None => return,
             }
         };
-        let mut freed = 0u64;
-        let mut ignored = 0u64;
-        for &index in frees[..*len].iter() {
-            // A reserved slot is not live: the free targets an address the
-            // application never received, so it is ignored — and must not
-            // release a reservation another magazine holds.
-            if overlay.get(index) {
-                ignored += 1;
-            } else if shard.free(index) {
-                freed += 1;
-            } else {
-                ignored += 1;
-            }
-        }
-        drop(shard);
+        // The paired slot map resolves all three cases per slot in one CAS:
+        // a live slot is freed; a free slot (double/invalid free) and a
+        // reserved slot (an address the application never received — which
+        // must not release a reservation another magazine holds) are both
+        // ignored. The ticket return is one batched decrement.
+        let (freed, ignored) = self.heap.shard(class).free_batch(&frees[..*len]);
+        drop(guard);
         *len = 0;
         let stats = self.heap.stats_ref();
         stats.record_frees(freed);
@@ -400,16 +346,16 @@ impl MagazineHeap {
     }
 
     /// Returns unhanded reservations to their shard (no stats: they were
-    /// never allocations).
+    /// never allocations). Holds the maintenance lock so teardown cannot
+    /// interleave with a racing refill's batch.
     fn return_reservations(&self, class: SizeClass, slots: &[usize]) {
         if slots.is_empty() {
             return;
         }
-        let overlay = &self.reserved[class.index()];
-        let mut shard = self.heap.shard(class).lock();
+        let shard = self.heap.shard(class);
+        let _batch = self.heap.maintenance_lock(class).lock();
         for &index in slots {
-            overlay.clear(index);
-            let was_reserved = shard.free(index);
+            let was_reserved = shard.release_reservation(index);
             debug_assert!(was_reserved, "returned slot {index} was not reserved");
         }
     }
@@ -635,7 +581,9 @@ mod tests {
         assert!(h.is_live_at(handed));
 
         let reserved_idx = h
-            .with_partition(slot.class, |p| p.live_slots().find(|&i| i != slot.index))
+            .with_partition(slot.class, |p| {
+                p.occupied_slots().find(|&i| i != slot.index)
+            })
             .expect("a reserved slot exists");
         let reserved_off = h.offset_of(Slot {
             class: slot.class,

@@ -8,9 +8,10 @@
 //! independently-lockable *shard* of the heap: no shared RNG (or any other
 //! shared mutable state) couples allocations in different size classes.
 
-use crate::bitmap::Bitmap;
-use crate::rng::Mwc;
+use crate::bitmap::{Bitmap, SlotState, SlotStateMap};
+use crate::rng::{AtomicMwc, Mwc};
 use crate::size_class::SizeClass;
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// One size-class region of the DieHard heap.
 ///
@@ -263,6 +264,394 @@ impl Partition {
     }
 }
 
+/// A lock-free [`Partition`]: the same size-class region, probed and claimed
+/// entirely with atomics so allocation and free never take a lock.
+///
+/// This is the per-shard type behind [`crate::sharded::ShardedHeap`]'s fast
+/// path. Slot state lives in a paired-bit [`SlotStateMap`], probe indices
+/// come from a CAS-advanced [`AtomicMwc`] on the same stream a locked
+/// [`Partition`] would draw, and the `1/M` cap is enforced by a ticket on an
+/// atomic `in_use` counter. The determinism contract:
+///
+/// * **Single-threaded alloc-only sequences are bit-identical to
+///   [`Partition`]** for the same seed — the RNG stream, the shift draw, and
+///   the win/lose outcome of each claim are all the same.
+/// * **Under contention the placement *sequence* may diverge** from any
+///   serial execution (two threads' draws interleave one RNG stream, and a
+///   lost claim redraws), but every placement is still a uniformly random
+///   free slot and all accounting stays exact. This is the pinned
+///   contended-retry divergence rule: determinism is per-thread-serialized
+///   history, not cross-thread.
+///
+/// Probe accounting matches the locked path exactly: one RNG draw is one
+/// probe, whether the claim then loses to an already-occupied slot (locked
+/// path: `try_set` false) or to a racing claimant (CAS path only). Both
+/// show up identically in `probe_stats`, keeping the §4.2
+/// E[probes] = 1/(1 − 1/M) assertions honest.
+///
+/// # Why the probe loop terminates
+///
+/// A probing thread holds a ticket, so `in_use ≤ threshold` among successful
+/// holders, and every occupied slot's owner holds a ticket, so
+/// `occupied ≤ in_use ≤ threshold < capacity`: at least
+/// `capacity − threshold` slots stay free while anyone probes, and each
+/// probe hits a free slot with probability ≥ `1 − 1/M`.
+#[derive(Debug)]
+pub struct AtomicPartition {
+    class: SizeClass,
+    map: SlotStateMap,
+    capacity: usize,
+    threshold: usize,
+    /// Slots accounted as occupied (live + reserved), maintained as a
+    /// *ticket*: alloc increments before claiming a slot, free decrements
+    /// after releasing one, so the counter transiently overcounts — never
+    /// undercounts — real occupancy. The conservative direction: the `1/M`
+    /// cap can deny an allocation a racing free was about to make room for,
+    /// but can never admit one past the cap.
+    in_use: AtomicUsize,
+    rng: AtomicMwc,
+    /// Same strength-reduced draw as [`Partition::draw_shift`].
+    draw_shift: u32,
+    probes: AtomicU64,
+    allocs: AtomicU64,
+}
+
+impl AtomicPartition {
+    /// Creates an empty lock-free partition; same parameters and panics as
+    /// [`Partition::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold > capacity` or `capacity == 0`.
+    #[must_use]
+    pub fn new(class: SizeClass, capacity: usize, threshold: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "partition capacity must be positive");
+        assert!(
+            threshold <= capacity,
+            "threshold {threshold} exceeds capacity {capacity}"
+        );
+        Self {
+            class,
+            map: SlotStateMap::new(capacity),
+            capacity,
+            threshold,
+            in_use: AtomicUsize::new(0),
+            rng: AtomicMwc::seeded(seed),
+            draw_shift: draw_shift_for(capacity),
+            probes: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+        }
+    }
+
+    /// As [`new`](Self::new) but over caller-provided zeroed storage of
+    /// [`Self::words_needed`]`(capacity)` u64 words.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`SlotStateMap::from_storage`].
+    #[must_use]
+    pub unsafe fn from_storage(
+        class: SizeClass,
+        capacity: usize,
+        threshold: usize,
+        seed: u64,
+        words: *mut u64,
+    ) -> Self {
+        assert!(capacity > 0, "partition capacity must be positive");
+        assert!(
+            threshold <= capacity,
+            "threshold {threshold} exceeds capacity {capacity}"
+        );
+        Self {
+            class,
+            // SAFETY: forwarded caller contract.
+            map: unsafe { SlotStateMap::from_storage(words, capacity) },
+            capacity,
+            threshold,
+            in_use: AtomicUsize::new(0),
+            rng: AtomicMwc::seeded(seed),
+            draw_shift: draw_shift_for(capacity),
+            probes: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+        }
+    }
+
+    /// Words of metadata storage a partition of `capacity` slots needs
+    /// (two bits per slot).
+    #[must_use]
+    pub const fn words_needed(capacity: usize) -> usize {
+        SlotStateMap::words_needed(capacity)
+    }
+
+    /// The size class this partition serves.
+    #[must_use]
+    pub fn class(&self) -> SizeClass {
+        self.class
+    }
+
+    /// Total slots in the region.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Maximum simultaneously-occupied slots (`capacity / M`).
+    #[must_use]
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Currently occupied slots — live plus magazine-reserved (the paper's
+    /// `inUse[c]`, with reservations counting conservatively toward the cap).
+    #[must_use]
+    #[inline]
+    pub fn in_use(&self) -> usize {
+        self.in_use.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of the region currently occupied.
+    #[must_use]
+    pub fn fullness(&self) -> f64 {
+        self.in_use() as f64 / self.capacity as f64
+    }
+
+    /// `true` when the region has hit its `1/M` cap.
+    #[must_use]
+    #[inline]
+    pub fn at_threshold(&self) -> bool {
+        self.in_use() >= self.threshold
+    }
+
+    /// Draws one probe index from the shared RNG stream.
+    #[inline]
+    fn draw(&self) -> usize {
+        if self.draw_shift != 0 {
+            (self.rng.next_u64() >> self.draw_shift) as usize
+        } else {
+            self.rng.below(self.capacity)
+        }
+    }
+
+    /// Takes a ticket against the `1/M` cap; `false` means at-threshold and
+    /// the ticket was returned.
+    #[inline]
+    fn take_ticket(&self) -> bool {
+        if self.in_use.fetch_add(1, Ordering::Relaxed) >= self.threshold {
+            self.in_use.fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// The lock-free `DieHardMalloc` fast path: take a ticket, then probe
+    /// random slots with `fetch_or` claims until one is won. `None` when the
+    /// region is at its threshold ("At threshold: no more memory").
+    #[inline]
+    pub fn alloc(&self) -> Option<usize> {
+        self.probe_claim(|index| self.map.claim_live(index))
+    }
+
+    /// The magazine refill's lock-free twin of [`alloc`](Self::alloc):
+    /// claims the slot as *reserved* (`00 → 11`) instead of live. Probe and
+    /// allocation accounting are identical, so refills keep the same
+    /// E[probes] statistics as direct allocations.
+    #[inline]
+    pub fn reserve_one(&self) -> Option<usize> {
+        self.probe_claim(|index| self.map.reserve(index))
+    }
+
+    #[inline]
+    fn probe_claim(&self, claim: impl Fn(usize) -> bool) -> Option<usize> {
+        if !self.take_ticket() {
+            return None;
+        }
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        let mut probes = 0u64;
+        loop {
+            probes += 1;
+            let index = self.draw();
+            if claim(index) {
+                // One deferred add per allocation, not per probe: same
+                // totals as the locked path's per-probe increment.
+                self.probes.fetch_add(probes, Ordering::Relaxed);
+                return Some(index);
+            }
+        }
+    }
+
+    /// Reserves up to `out.len()` slots with **batched accounting**: one
+    /// ticket `fetch_add` covers the whole request (clamped to the `1/M`
+    /// cap, the overshoot returned in one `fetch_sub`) and the probe/alloc
+    /// counters are updated once at the end — the magazine refill's bulk
+    /// twin of [`reserve_one`](Self::reserve_one). Each slot is still an
+    /// independent uniform draw from the shared stream through the same
+    /// probe loop, so placement distribution, draw order, and probe/alloc
+    /// totals are identical to `out.len()` sequential `reserve_one` calls;
+    /// only the number of atomic read-modify-writes shrinks. Returns how
+    /// many slots were reserved (0 at the cap); `out[..n]` holds them in
+    /// draw order.
+    pub fn reserve_batch(&self, out: &mut [usize]) -> usize {
+        let want = out.len();
+        if want == 0 {
+            return 0;
+        }
+        let prev = self.in_use.fetch_add(want, Ordering::Relaxed);
+        let granted = if prev >= self.threshold {
+            0
+        } else {
+            want.min(self.threshold - prev)
+        };
+        if granted < want {
+            self.in_use.fetch_sub(want - granted, Ordering::Relaxed);
+        }
+        if granted == 0 {
+            return 0;
+        }
+        let mut probes = 0u64;
+        for slot in &mut out[..granted] {
+            loop {
+                probes += 1;
+                let index = self.draw();
+                if self.map.reserve(index) {
+                    *slot = index;
+                    break;
+                }
+            }
+        }
+        self.probes.fetch_add(probes, Ordering::Relaxed);
+        self.allocs.fetch_add(granted as u64, Ordering::Relaxed);
+        granted
+    }
+
+    /// Frees a batch of slots with one ticket return — the magazine
+    /// free-buffer flush's bulk twin of [`free`](Self::free). Every slot
+    /// still resolves through its own validating CAS (live → freed; free or
+    /// reserved → ignored, §4.3), but the `in_use` decrement happens once
+    /// for the whole batch. Clear-then-decrement keeps the conservative
+    /// transient overcount of the single-slot path. Returns
+    /// `(freed, ignored)`.
+    pub fn free_batch(&self, indices: &[usize]) -> (u64, u64) {
+        let mut freed = 0u64;
+        for &index in indices {
+            if self.map.free(index) == SlotState::Live {
+                freed += 1;
+            }
+        }
+        if freed > 0 {
+            self.in_use.fetch_sub(freed as usize, Ordering::Relaxed);
+        }
+        (freed, indices.len() as u64 - freed)
+    }
+
+    /// Hands a reserved slot to the application (`11 → 01`), lock-free. The
+    /// ticket taken at reservation time simply becomes the live slot's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity` (always), or if the slot was not
+    /// reserved (debug builds).
+    #[inline]
+    pub fn commit(&self, index: usize) {
+        self.map.commit(index);
+    }
+
+    /// Returns an unhanded reservation (`11 → 00`) and its ticket; `true`
+    /// when this call released it.
+    pub fn release_reservation(&self, index: usize) -> bool {
+        if self.map.release_reservation(index) {
+            self.in_use.fetch_sub(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The lock-free `DieHardFree` fast path. Returns the state the slot was
+    /// in: [`SlotState::Live`] means it was freed (and the ticket returned);
+    /// `Free` and `Reserved` mean the request was ignored (§4.3 — a double,
+    /// invalid, or premature free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity` — the enclosing heap validates range
+    /// and alignment before calling in, so this indicates a heap bug.
+    #[inline]
+    pub fn free(&self, index: usize) -> SlotState {
+        let was = self.map.free(index);
+        if was == SlotState::Live {
+            // Clear-then-decrement: between the two, `in_use` overcounts,
+            // which only ever errs toward denying an allocation.
+            self.in_use.fetch_sub(1, Ordering::Relaxed);
+        }
+        was
+    }
+
+    /// Whether `index` is currently live (reserved slots are not).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    #[must_use]
+    #[inline]
+    pub fn is_live(&self, index: usize) -> bool {
+        self.map.is_live(index)
+    }
+
+    /// Whether `index` is occupied (live or reserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    #[must_use]
+    #[inline]
+    pub fn is_occupied(&self, index: usize) -> bool {
+        self.map.is_occupied(index)
+    }
+
+    /// Iterates the indices of occupied slots (live or reserved) — the
+    /// placement set the separation statistics are computed over, matching
+    /// the locked stack where reservations also set the partition bit.
+    pub fn occupied_slots(&self) -> impl Iterator<Item = usize> + '_ {
+        self.map.iter_occupied()
+    }
+
+    /// Iterates the indices of live slots only.
+    pub fn live_slots(&self) -> impl Iterator<Item = usize> + '_ {
+        self.map.iter_live()
+    }
+
+    /// Number of magazine-reserved (occupied but not live) slots.
+    #[must_use]
+    pub fn reserved_count(&self) -> usize {
+        self.map.reserved_count()
+    }
+
+    /// Mean free gap between consecutive occupied slots; see
+    /// [`Partition::mean_live_gap`]. Computed over occupied slots so the
+    /// statistic is unchanged from the locked stack (where a reservation
+    /// also set the placement bit).
+    #[must_use]
+    pub fn mean_live_gap(&self) -> Option<f64> {
+        let occupied: Vec<usize> = self.map.iter_occupied().collect();
+        if occupied.len() < 2 {
+            return None;
+        }
+        let gaps: usize = occupied.windows(2).map(|w| w[1] - w[0] - 1).sum();
+        Some(gaps as f64 / (occupied.len() - 1) as f64)
+    }
+
+    /// Lifetime probe statistics: `(allocations, total probes)`. Reads are
+    /// relaxed; exact at quiescence (each successful allocation's probes are
+    /// added as one batch).
+    #[must_use]
+    pub fn probe_stats(&self) -> (u64, u64) {
+        (
+            self.allocs.load(Ordering::Relaxed),
+            self.probes.load(Ordering::Relaxed),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +793,147 @@ mod tests {
     #[should_panic(expected = "exceeds capacity")]
     fn new_rejects_threshold_above_capacity() {
         part(8, 9);
+    }
+
+    fn atomic_seeded(cap: usize, thresh: usize, seed: u64) -> AtomicPartition {
+        AtomicPartition::new(SizeClass::from_index(0), cap, thresh, seed)
+    }
+
+    #[test]
+    fn atomic_matches_locked_partition_serially() {
+        // The determinism contract: single-threaded, the lock-free partition
+        // replays the locked one bit for bit — placements, accounting, and
+        // probe statistics all identical for the same seed.
+        let mut locked = part_seeded(4096, 2048, 0xA70A1C);
+        let atomic = atomic_seeded(4096, 2048, 0xA70A1C);
+        let mut victim_rng = Mwc::seeded(99);
+        let mut live: Vec<usize> = Vec::new();
+        for step in 0..20_000 {
+            if live.is_empty() || victim_rng.chance(0.6) {
+                let a = locked.alloc();
+                let b = atomic.alloc();
+                assert_eq!(a, b, "placement diverged at step {step}");
+                if let Some(idx) = a {
+                    live.push(idx);
+                }
+            } else {
+                let victim = live.swap_remove(victim_rng.below(live.len()));
+                assert!(locked.free(victim));
+                assert_eq!(atomic.free(victim), SlotState::Live);
+            }
+            assert_eq!(locked.in_use(), atomic.in_use());
+        }
+        assert_eq!(locked.probe_stats(), atomic.probe_stats());
+        let a: Vec<usize> = locked.live_slots().collect();
+        let b: Vec<usize> = atomic.occupied_slots().collect();
+        assert_eq!(a, b);
+        assert_eq!(locked.mean_live_gap(), atomic.mean_live_gap());
+    }
+
+    #[test]
+    fn atomic_free_validation() {
+        let p = atomic_seeded(64, 32, 5);
+        let idx = p.alloc().expect("below threshold");
+        assert!(p.is_live(idx));
+        assert_eq!(p.free(idx), SlotState::Live);
+        assert!(!p.is_live(idx));
+        assert_eq!(p.free(idx), SlotState::Free, "double free ignored");
+        assert_eq!(p.in_use(), 0, "accounting unchanged by double free");
+        let never = (idx + 1) % 64;
+        assert_eq!(p.free(never), SlotState::Free, "invalid free ignored");
+    }
+
+    #[test]
+    fn atomic_reserve_commit_release_lifecycle() {
+        let p = atomic_seeded(64, 32, 6);
+        let r = p.reserve_one().expect("below threshold");
+        assert!(!p.is_live(r), "reserved is not live");
+        assert!(p.is_occupied(r));
+        assert_eq!(p.in_use(), 1, "reservations count toward 1/M");
+        assert_eq!(p.free(r), SlotState::Reserved, "free of reserved ignored");
+        p.commit(r);
+        assert!(p.is_live(r));
+        assert_eq!(p.free(r), SlotState::Live);
+        assert_eq!(p.in_use(), 0);
+        // Release path: reservation returned without ever going live.
+        let r2 = p.reserve_one().unwrap();
+        assert!(p.release_reservation(r2));
+        assert!(!p.release_reservation(r2));
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.occupied_slots().count(), 0);
+    }
+
+    #[test]
+    fn reserve_batch_matches_sequential_reserve_one() {
+        // Same seed, two partitions: one batched request must produce the
+        // same slots in the same draw order, with identical ticket and
+        // probe/alloc accounting, as sequential single reservations.
+        let one = atomic_seeded(128, 64, 0xBA7C);
+        let batch = atomic_seeded(128, 64, 0xBA7C);
+        let singles: Vec<usize> = (0..8).map(|_| one.reserve_one().unwrap()).collect();
+        let mut out = [usize::MAX; 8];
+        assert_eq!(batch.reserve_batch(&mut out), 8);
+        assert_eq!(out.to_vec(), singles);
+        assert_eq!(batch.in_use(), one.in_use());
+        assert_eq!(batch.probe_stats(), one.probe_stats());
+    }
+
+    #[test]
+    fn reserve_batch_clamps_to_threshold_and_frees_batch_reconcile() {
+        let p = atomic_seeded(64, 5, 0x0B47);
+        let mut out = [usize::MAX; 8];
+        assert_eq!(p.reserve_batch(&mut out), 5, "clamped at the 1/M cap");
+        assert_eq!(p.in_use(), 5, "overshoot tickets returned");
+        assert_eq!(p.reserve_batch(&mut out), 0, "at threshold");
+        assert_eq!(p.in_use(), 5);
+        for &i in &out[..5] {
+            p.commit(i);
+        }
+        // Batch free: 5 live slots, one double (ignored), one never
+        // allocated (ignored).
+        let never = (0..64).find(|i| !p.is_occupied(*i)).unwrap();
+        let mut to_free: Vec<usize> = out[..5].to_vec();
+        to_free.push(out[0]);
+        to_free.push(never);
+        assert_eq!(p.free_batch(&to_free), (5, 2));
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.occupied_slots().count(), 0);
+    }
+
+    #[test]
+    fn atomic_threshold_ticket_is_exact_under_contention() {
+        // 4 threads hammer a small region far past its cap; the ticket
+        // protocol must never admit more than `threshold` occupants and must
+        // reconcile exactly after a full drain.
+        use std::sync::Arc;
+        let p = Arc::new(atomic_seeded(256, 128, 0xCA5));
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    let mut rng = Mwc::seeded(t as u64 + 1);
+                    let mut mine: Vec<usize> = Vec::new();
+                    for _ in 0..5_000 {
+                        if mine.is_empty() || rng.chance(0.55) {
+                            if let Some(idx) = p.alloc() {
+                                assert!(p.in_use() <= p.threshold(), "cap breached");
+                                mine.push(idx);
+                            }
+                        } else {
+                            let victim = mine.swap_remove(rng.below(mine.len()));
+                            assert_eq!(p.free(victim), SlotState::Live);
+                        }
+                    }
+                    for idx in mine {
+                        assert_eq!(p.free(idx), SlotState::Live);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.in_use(), 0, "tickets reconcile after drain");
+        assert_eq!(p.occupied_slots().count(), 0);
+        let (allocs, probes) = p.probe_stats();
+        assert!(probes >= allocs, "each allocation costs at least one probe");
     }
 
     proptest! {

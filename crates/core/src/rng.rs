@@ -40,6 +40,20 @@ pub struct Mwc {
 const DEFAULT_Z: u32 = 362_436_069;
 const DEFAULT_W: u32 = 521_288_629;
 
+/// Words generated per state write-back in [`Mwc::fill_bytes`] (512 bytes —
+/// a balance between stack footprint and amortizing the batch overhead).
+const FILL_BATCH: usize = 64;
+
+/// One step of the two-lag MWC recurrence — the single definition every
+/// draw path shares (`next_u32`, batched fills, and the atomic generator's
+/// local advance), so their streams are bit-identical by construction.
+#[inline(always)]
+fn mwc_step(z: &mut u32, w: &mut u32) -> u32 {
+    *z = 36_969u32.wrapping_mul(*z & 0xFFFF).wrapping_add(*z >> 16);
+    *w = 18_000u32.wrapping_mul(*w & 0xFFFF).wrapping_add(*w >> 16);
+    (*z << 16).wrapping_add(*w)
+}
+
 impl Mwc {
     /// Creates a generator from a single 64-bit seed.
     ///
@@ -77,13 +91,7 @@ impl Mwc {
     /// Returns the next 32-bit pseudo-random value.
     #[inline]
     pub fn next_u32(&mut self) -> u32 {
-        self.z = 36_969u32
-            .wrapping_mul(self.z & 0xFFFF)
-            .wrapping_add(self.z >> 16);
-        self.w = 18_000u32
-            .wrapping_mul(self.w & 0xFFFF)
-            .wrapping_add(self.w >> 16);
-        (self.z << 16).wrapping_add(self.w)
+        mwc_step(&mut self.z, &mut self.w)
     }
 
     /// Returns the next 64-bit pseudo-random value (two MWC draws).
@@ -125,15 +133,44 @@ impl Mwc {
     /// splitting *inside* a word would draw differently — don't.
     #[inline]
     pub fn fill_bytes(&mut self, out: &mut [u8]) {
-        let mut chunks = out.chunks_exact_mut(8);
+        let mut words = [0u64; FILL_BATCH];
+        let mut chunks = out.chunks_exact_mut(8 * FILL_BATCH);
         for chunk in &mut chunks {
-            chunk.copy_from_slice(&self.next_u64().to_ne_bytes());
+            self.fill_words(&mut words);
+            for (dst, word) in chunk.chunks_exact_mut(8).zip(&words) {
+                dst.copy_from_slice(&word.to_ne_bytes());
+            }
         }
-        let rem = chunks.into_remainder();
+        let rest = chunks.into_remainder();
+        let full = rest.len() / 8;
+        self.fill_words(&mut words[..full]);
+        let mut tail = rest.chunks_exact_mut(8);
+        for (dst, word) in (&mut tail).zip(&words) {
+            dst.copy_from_slice(&word.to_ne_bytes());
+        }
+        let rem = tail.into_remainder();
         if !rem.is_empty() {
             let word = self.next_u64().to_ne_bytes();
             rem.copy_from_slice(&word[..rem.len()]);
         }
+    }
+
+    /// Fills `out` with consecutive [`next_u64`](Self::next_u64) draws in
+    /// one batch: the generator state is hoisted into locals for the whole
+    /// slice and written back once, so the loop body is pure register
+    /// arithmetic — one state load/store pair per batch instead of per
+    /// draw. The word stream is bit-identical to calling `next_u64` in a
+    /// loop (both run the same [`mwc_step`]).
+    #[inline]
+    pub fn fill_words(&mut self, out: &mut [u64]) {
+        let (mut z, mut w) = (self.z, self.w);
+        for slot in out {
+            let hi = mwc_step(&mut z, &mut w);
+            let lo = mwc_step(&mut z, &mut w);
+            *slot = (u64::from(hi) << 32) | u64::from(lo);
+        }
+        self.z = z;
+        self.w = w;
     }
 
     /// Returns a uniform `f64` in `[0, 1)`.
@@ -166,6 +203,90 @@ impl Default for Mwc {
             z: DEFAULT_Z,
             w: DEFAULT_W,
         }
+    }
+}
+
+/// A shared-state [`Mwc`] whose two 32-bit lags live packed in one
+/// `AtomicU64`, advanced by compare-and-swap.
+///
+/// The lock-free partition probe loop draws from this generator with `&self`
+/// from any thread. A draw loads the packed state, computes the next two MWC
+/// steps locally, and publishes them with a single CAS:
+///
+/// * **single-threaded, the stream is bit-identical to [`Mwc`]** — every
+///   successful draw advances the state exactly as two `next_u32` calls
+///   would, which is what keeps alloc-only placement sequences identical to
+///   the locked heap for the same seed;
+/// * **under contention, draws are serialized by the CAS** — each successful
+///   `next_u64` returns a distinct consecutive pair from the one sequential
+///   MWC stream (losers retry on the updated state), so concurrent threads
+///   interleave the stream rather than duplicating values.
+///
+/// All state transitions use `Relaxed` ordering: the generator carries no
+/// payload other than its own lags, and slot claims are ordered separately
+/// by the bitmap's own atomics.
+#[derive(Debug)]
+pub struct AtomicMwc {
+    /// `z` in the high 32 bits, `w` in the low 32 bits.
+    state: core::sync::atomic::AtomicU64,
+}
+
+impl AtomicMwc {
+    /// Creates a generator from a single 64-bit seed, with the same
+    /// zero-half replacement as [`Mwc::seeded`] (so `AtomicMwc::seeded(s)`
+    /// and `Mwc::seeded(s)` start from identical lags).
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        let m = Mwc::seeded(seed);
+        Self {
+            state: core::sync::atomic::AtomicU64::new(pack(m.z, m.w)),
+        }
+    }
+
+    /// Returns the next 64-bit value (two MWC steps), identical to
+    /// [`Mwc::next_u64`] on the same state.
+    #[inline]
+    pub fn next_u64(&self) -> u64 {
+        use core::sync::atomic::Ordering::Relaxed;
+        let mut cur = self.state.load(Relaxed);
+        loop {
+            let mut m = unpack(cur);
+            let out = m.next_u64();
+            match self
+                .state
+                .compare_exchange_weak(cur, pack(m.z, m.w), Relaxed, Relaxed)
+            {
+                Ok(_) => return out,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Returns a uniformly distributed index in `0..bound` via the same
+    /// widening multiply as [`Mwc::below`] (used for the rare non-power-of-two
+    /// capacities; power-of-two probes use the shift on `next_u64` directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero (debug builds only).
+    #[inline]
+    pub fn below(&self, bound: usize) -> usize {
+        debug_assert!(bound > 0, "bound must be positive");
+        let r = self.next_u64();
+        ((u128::from(r) * bound as u128) >> 64) as usize
+    }
+}
+
+#[inline]
+fn pack(z: u32, w: u32) -> u64 {
+    (u64::from(z) << 32) | u64::from(w)
+}
+
+#[inline]
+fn unpack(state: u64) -> Mwc {
+    Mwc {
+        z: (state >> 32) as u32,
+        w: state as u32,
     }
 }
 
@@ -447,6 +568,53 @@ mod tests {
         }
         // Different masters shift every stream.
         assert_ne!(stream_seed(1, 0), stream_seed(2, 0));
+    }
+
+    #[test]
+    fn atomic_mwc_matches_sequential_stream() {
+        // Single-threaded, the CAS generator is bit-identical to Mwc — the
+        // property the lock-free heap's determinism contract rests on.
+        let mut seq = Mwc::seeded(0xD1E_4A8D);
+        let atomic = AtomicMwc::seeded(0xD1E_4A8D);
+        for _ in 0..1000 {
+            assert_eq!(atomic.next_u64(), seq.next_u64());
+        }
+        for bound in [1usize, 3, 1024, 4095] {
+            assert_eq!(atomic.below(bound), seq.below(bound));
+        }
+    }
+
+    #[test]
+    fn atomic_mwc_interleaves_one_stream_across_threads() {
+        // Concurrent draws must partition the single sequential stream:
+        // every value drawn by any thread appears in the sequential stream,
+        // and no value is drawn twice.
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        let atomic = Arc::new(AtomicMwc::seeded(0xC0FFEE));
+        const PER_THREAD: usize = 2000;
+        const THREADS: usize = 4;
+        let mut drawn: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let rng = Arc::clone(&atomic);
+                    s.spawn(move || (0..PER_THREAD).map(|_| rng.next_u64()).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("drawer thread"))
+                .collect()
+        });
+        let mut seq = Mwc::seeded(0xC0FFEE);
+        let expected: HashSet<u64> = (0..THREADS * PER_THREAD).map(|_| seq.next_u64()).collect();
+        drawn.sort_unstable();
+        let before = drawn.len();
+        drawn.dedup();
+        assert_eq!(drawn.len(), before, "a draw was duplicated");
+        for v in &drawn {
+            assert!(expected.contains(v), "draw {v:#x} not in the MWC stream");
+        }
     }
 
     #[test]

@@ -18,13 +18,14 @@
 //!   replicas on the spot ("a replica that has generated anomalous output
 //!   is no longer useful");
 //! * captures each replica's stderr into a bounded (≤ [`CHUNK`]) buffer —
-//!   draining past the cap so a chatty replica never blocks — and reports
-//!   the winning replica's capture so the launcher can forward it;
+//!   draining past the cap so a chatty replica never blocks;
 //! * after the streams end, reaps every replica (stderr still drained
 //!   throughout, so a replica blocked on diagnostics can exit), treats
-//!   **signal deaths** as crashes (removed from the live set), and votes
-//!   the survivors' exit statuses as a final ballot so the launcher can
-//!   forward the agreed code.
+//!   **signal deaths** as crashes (removed from the live set), then runs
+//!   two more ballots over the survivors: the captured **stderr** (a
+//!   corrupted diagnostic stream is a divergence like any other, and the
+//!   agreed capture is forwarded to the launcher) and finally the **exit
+//!   statuses**, so the launcher can forward the agreed code.
 //!
 //! Peak voter memory is `O(replicas × CHUNK)` regardless of output length;
 //! [`StreamOutcome::peak_buffered`] reports the observed high-water mark so
@@ -78,11 +79,12 @@ pub struct StreamOutcome {
     /// stdout chunk and stderr capture buffers plus the streamed-input
     /// window) — bounded by `(2 × replicas + 1) × CHUNK` by construction.
     pub peak_buffered: usize,
-    /// The winning replica's captured standard error (first ≤ [`CHUNK`]
-    /// bytes — the same chunk discipline as stdout voting). Empty when the
-    /// run diverged or no replica survived; stderr is *not* voted (that is
-    /// the remaining half of the stderr open item), only captured and
-    /// forwarded.
+    /// The quorum-agreed standard error (first ≤ [`CHUNK`] bytes — the
+    /// same chunk discipline as stdout voting). After the streams end the
+    /// replicas' captures are voted as a ballot: a minority stderr loses
+    /// its replica its vote, and no strict plurality means the run
+    /// [`diverged`](Self::diverged). Empty when the run diverged or no
+    /// replica survived.
     pub stderr: Vec<u8>,
     /// Bytes of the winning replica's stderr beyond the [`CHUNK`] capture
     /// cap. They were read and discarded — never left in the pipe, so a
@@ -678,10 +680,28 @@ impl Engine {
             }
         }
 
+        // Stderr ballot: each survivor's complete captured diagnostics.
+        // A memory error that only corrupts what a replica *reports* (an
+        // assertion message, a differing warning) is a divergence every bit
+        // as much as corrupted stdout; a minority stderr loses its replica
+        // its vote before the exit ballot below. Capture truncation is
+        // deterministic (same cap per replica), so identical diagnostics
+        // truncate identically and still agree.
+        let mut exit_code = None;
+        if !diverged && !self.live_indices().is_empty() {
+            let ballots: Vec<Option<&[u8]>> = self
+                .reps
+                .iter()
+                .map(|r| Some(r.err_buf.as_slice()))
+                .collect();
+            if matches!(self.voter.vote(&ballots), ChunkVote::Divergence) {
+                diverged = true;
+            }
+        }
+
         // Final ballot: the exit status itself. A command that legitimately
         // exits nonzero in every replica (grep with no matches) agrees with
         // itself and its status is forwarded, not treated as a crash.
-        let mut exit_code = None;
         if !diverged && !self.live_indices().is_empty() {
             let ballots: Vec<Option<&[u8]>> = codes.iter().map(|c| Some(&c[..])).collect();
             match self.voter.vote(&ballots) {
@@ -694,10 +714,10 @@ impl Engine {
             }
         }
 
-        // Forward the winning replica's captured stderr: any member of the
-        // surviving quorum carries the agreed run's diagnostics (the lowest
-        // live index is deterministic). A diverged or fully-crashed run has
-        // no winner and forwards nothing.
+        // Forward the winning replica's captured stderr: after the stderr
+        // ballot, every member of the surviving quorum carries the *agreed*
+        // diagnostics (the lowest live index is deterministic). A diverged
+        // or fully-crashed run has no winner and forwards nothing.
         let (stderr, stderr_dropped) = if diverged {
             (Vec::new(), 0)
         } else {

@@ -124,18 +124,62 @@ fn replicated_server_trace_round_trips() {
 }
 
 #[test]
-fn winning_replica_stderr_is_captured() {
+fn agreed_stderr_is_voted_and_forwarded() {
+    let cfg = LaunchConfig::new(
+        3,
+        sh("echo shared-diagnostic >&2; echo payload"),
+        Vec::new(),
+    );
+    let exit = run_replicated(&cfg).unwrap();
+    assert!(!exit.diverged);
+    assert_eq!(exit.output, b"payload\n");
+    // The replicas' identical captures form a unanimous stderr ballot and
+    // exactly one copy is forwarded.
+    assert_eq!(exit.stderr, b"shared-diagnostic\n");
+    assert!(exit.killed.is_empty());
+}
+
+#[test]
+fn stderr_divergence_fails_the_run_despite_unanimous_stdout() {
+    // Byte-identical stdout and exit statuses, but every replica reports
+    // different diagnostics: a memory error that only corrupts what a
+    // replica *says* is still a divergence, and the stderr ballot (three
+    // singleton groups, no strict plurality) must catch it.
     let mut cfg = LaunchConfig::new(
         3,
-        sh("echo \"diag from $DIEHARD_SEED\" >&2; echo payload"),
+        sh("echo payload; echo \"diag from $DIEHARD_SEED\" >&2"),
         Vec::new(),
     );
     cfg.seeds = vec![1, 2, 3];
     let exit = run_replicated(&cfg).unwrap();
+    assert!(exit.diverged, "per-replica stderr must fail the vote");
+    assert_eq!(exit.output, b"payload\n", "agreed stdout streamed first");
+    assert!(exit.stderr.is_empty(), "a diverged run forwards no stderr");
+    assert_eq!(exit.exit_code, None, "no quorum, no agreed status");
+}
+
+#[test]
+fn minority_stderr_loses_its_replica_the_exit_ballot() {
+    // Two replicas agree on their diagnostics; the rogue third differs on
+    // stderr *only*. The quorum's stderr and status win; the rogue is
+    // outvoted at the stderr ballot.
+    let mut cfg = LaunchConfig::new(
+        3,
+        sh(r#"echo payload
+              if [ "$DIEHARD_SEED" = "7" ]; then
+                  echo ROGUE-DIAGNOSTIC >&2
+              else
+                  echo steady-diagnostic >&2
+              fi"#),
+        Vec::new(),
+    );
+    cfg.seeds = vec![1, 7, 2];
+    let exit = run_replicated(&cfg).unwrap();
     assert!(!exit.diverged);
     assert_eq!(exit.output, b"payload\n");
-    // All replicas agree on stdout; the winner is the lowest live index.
-    assert_eq!(exit.stderr, b"diag from 1\n");
+    assert_eq!(exit.killed, vec![1], "minority stderr loses its vote");
+    assert_eq!(exit.stderr, b"steady-diagnostic\n");
+    assert_eq!(exit.exit_code, Some(0));
 }
 
 #[test]
