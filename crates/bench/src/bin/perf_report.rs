@@ -7,7 +7,13 @@
 //! cargo run --release -p diehard-bench --bin perf_report            # full
 //! cargo run --release -p diehard-bench --bin perf_report -- --smoke # CI
 //! cargo run ... --bin perf_report -- --out path/to/report.json
+//! cargo run ... --bin perf_report -- --gate alloc_churn_mixed=13.6
 //! ```
+//!
+//! `--gate <kernel>=<max_ns>` (repeatable) bounds a kernel's measured mean:
+//! the process exits non-zero when the mean exceeds the bound, so CI can
+//! pin hot-path regressions by exit status. An unknown kernel name in a
+//! gate is itself an error — a typo must fail loudly, not pass silently.
 //!
 //! When the output path is a `BENCH_<pr>.json` trajectory entry, the report
 //! also diffs the fresh run against the highest-numbered earlier
@@ -24,7 +30,8 @@ use std::path::Path;
 
 fn main() {
     let smoke = diehard_bench::smoke();
-    let out_path = out_arg().unwrap_or_else(|| "BENCH_6.json".to_string());
+    let out_path = out_arg().unwrap_or_else(|| "BENCH_7.json".to_string());
+    let gates = gate_args();
 
     let results = run_all(smoke);
     let json = render_json(&results);
@@ -60,6 +67,33 @@ fn main() {
     let missing = missing_kernels(&written);
     if !missing.is_empty() {
         eprintln!("perf_report: {out_path} is missing kernels: {missing:?}");
+        std::process::exit(1);
+    }
+
+    // Regression gates: each --gate bounds one kernel's measured mean.
+    let mut gate_failed = false;
+    for (kernel, max_ns) in &gates {
+        match results.iter().find(|r| r.name == kernel) {
+            Some(r) if r.mean_ns > *max_ns => {
+                eprintln!(
+                    "perf_report: gate FAILED: {kernel} mean {:.2} ns/op > {max_ns} ns/op",
+                    r.mean_ns
+                );
+                gate_failed = true;
+            }
+            Some(r) => {
+                println!(
+                    "gate ok: {kernel} mean {:.2} ns/op <= {max_ns} ns/op",
+                    r.mean_ns
+                );
+            }
+            None => {
+                eprintln!("perf_report: gate names unknown kernel: {kernel}");
+                gate_failed = true;
+            }
+        }
+    }
+    if gate_failed {
         std::process::exit(1);
     }
 }
@@ -142,4 +176,31 @@ fn out_arg() -> Option<String> {
         }
     }
     None
+}
+
+/// All `--gate <kernel>=<max_ns>` bounds, in argument order. A malformed
+/// gate expression aborts immediately — mistyped CI gates must not pass by
+/// being unparseable.
+fn gate_args() -> Vec<(String, f64)> {
+    let mut gates = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a != "--gate" {
+            continue;
+        }
+        let expr = args.next().unwrap_or_default();
+        let parsed = expr
+            .split_once('=')
+            .and_then(|(k, v)| v.trim().parse::<f64>().ok().map(|v| (k.trim(), v)));
+        match parsed {
+            Some((kernel, max_ns)) if !kernel.is_empty() && max_ns > 0.0 => {
+                gates.push((kernel.to_string(), max_ns));
+            }
+            _ => {
+                eprintln!("perf_report: malformed --gate {expr:?} (want <kernel>=<max_ns>)");
+                std::process::exit(1);
+            }
+        }
+    }
+    gates
 }

@@ -17,6 +17,7 @@
 use diehard_core::config::{FillPolicy, HeapConfig};
 use diehard_core::partition::Partition;
 use diehard_core::rng::Mwc;
+use diehard_core::sharded::ShardedHeap;
 use diehard_core::size_class::SizeClass;
 use diehard_sim::{DieHardSimHeap, SimAllocator};
 use std::hint::black_box;
@@ -28,6 +29,8 @@ pub const KERNELS: &[&str] = &[
     "probe_steady_half_full",
     "fill_none",
     "fill_random",
+    "grow_under_churn",
+    "hugepage_fill",
 ];
 
 /// One kernel's timing summary (nanoseconds per operation across samples).
@@ -157,6 +160,70 @@ fn fill_kernel(name: &'static str, fill: FillPolicy, smoke: bool) -> KernelResul
     })
 }
 
+/// Elastic growth under allocation pressure: one op = one 8-byte
+/// allocation against a concurrent heap born at 1/64 of its maximum
+/// capacity, so the timed loop crosses every doubling of the smallest
+/// class on its way to the full-size `1/M` threshold. Each sample builds
+/// a fresh heap (seed varied per sample) — the growth protocol runs
+/// *inside* the measurement, so this number prices the lock-free read
+/// path plus the maintenance-locked doublings, not just steady state.
+fn grow_under_churn(smoke: bool) -> KernelResult {
+    let (warmup, samples, region) = if smoke {
+        (1, 3, 1usize << 16)
+    } else {
+        (2, 25, 1usize << 18)
+    };
+    let config = HeapConfig::default().with_region_bytes(region);
+    let ops = config.threshold(SizeClass::from_index(0)) as u64;
+    let mut seed = 0x6_2011u64;
+    measure("grow_under_churn", warmup, samples, ops, move || {
+        seed += 1;
+        let heap = ShardedHeap::new_elastic(config.clone(), seed, 6).unwrap();
+        for _ in 0..ops {
+            let slot = heap.try_alloc(8).placed().expect("below the 1/M cap");
+            black_box(slot);
+        }
+    })
+}
+
+/// Huge-page commit cost: one op = first-touch of one 4 KB page inside a
+/// fresh anonymous mapping advised with `MADV_HUGEPAGE` — the
+/// mmap/madvise/fault sequence the global allocator issues for its arena
+/// and each large object. The advice is best-effort: on kernels without
+/// transparent huge pages this degrades to (and measures) ordinary 4 KB
+/// faults, so the number is meaningful either way.
+fn hugepage_fill(smoke: bool) -> KernelResult {
+    let (warmup, samples, len) = if smoke {
+        (0, 2, 4usize << 20)
+    } else {
+        (1, 10, 32usize << 20)
+    };
+    const PAGE: usize = 4096;
+    let ops = (len / PAGE) as u64;
+    measure("hugepage_fill", warmup, samples, ops, move || {
+        // SAFETY: a fresh, exclusively-owned anonymous mapping of `len`
+        // bytes; madvise is non-destructive advice; every touched offset is
+        // inside the mapping; munmap releases the same range mmap returned.
+        unsafe {
+            let ptr = libc::mmap(
+                core::ptr::null_mut(),
+                len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            assert!(ptr != libc::MAP_FAILED, "anonymous mmap failed");
+            let _ = libc::madvise(ptr, len, libc::MADV_HUGEPAGE);
+            let bytes = ptr.cast::<u8>();
+            for off in (0..len).step_by(PAGE) {
+                bytes.add(off).write_volatile(1);
+            }
+            libc::munmap(ptr, len);
+        }
+    })
+}
+
 /// Runs every registered kernel, in registry order.
 #[must_use]
 pub fn run_all(smoke: bool) -> Vec<KernelResult> {
@@ -174,6 +241,8 @@ pub fn run_kernel(name: &str, smoke: bool) -> Option<KernelResult> {
         "probe_steady_half_full" => Some(probe_steady_half_full(smoke)),
         "fill_none" => Some(fill_kernel("fill_none", FillPolicy::None, smoke)),
         "fill_random" => Some(fill_kernel("fill_random", FillPolicy::Random, smoke)),
+        "grow_under_churn" => Some(grow_under_churn(smoke)),
+        "hugepage_fill" => Some(hugepage_fill(smoke)),
         _ => None,
     }
 }
@@ -269,6 +338,8 @@ mod tests {
         assert!(missing.contains(&"probe_steady_half_full"));
         assert!(missing.contains(&"fill_none"));
         assert!(missing.contains(&"fill_random"));
+        assert!(missing.contains(&"grow_under_churn"));
+        assert!(missing.contains(&"hugepage_fill"));
     }
 
     #[test]

@@ -19,6 +19,10 @@ use crate::size_class::SizeClass;
 /// Default fraction of the maximum capacity each region starts at.
 pub const DEFAULT_INITIAL_FRACTION: usize = 64;
 
+/// `log2` of [`DEFAULT_INITIAL_FRACTION`], the form
+/// [`HeapGeometry::new_elastic`] consumes.
+pub const DEFAULT_INITIAL_FRACTION_LOG2: u32 = DEFAULT_INITIAL_FRACTION.trailing_zeros();
+
 /// A DieHard heap whose regions grow on demand (future-work variant, §9).
 ///
 /// # Examples
@@ -44,23 +48,27 @@ pub struct AdaptiveHeap {
 
 impl AdaptiveHeap {
     /// Creates an adaptive heap; every region starts at `1/64` of its
-    /// maximum slot count (at least enough for one object at the cap).
+    /// maximum slot count (at least enough for one object at the cap,
+    /// rounded up to a power of two). Power-of-two starts matter: they keep
+    /// the partitions on the strength-reduced shift probe draw through
+    /// every doubling instead of falling back to the widening-multiply
+    /// `below`, and they make single-threaded adaptive histories
+    /// bit-identical to an elastic [`crate::sharded::ShardedHeap`] started
+    /// at the same fraction.
     ///
     /// # Errors
     ///
     /// Returns [`ConfigError`] when the configuration is invalid.
     pub fn new(config: HeapConfig, seed: u64) -> Result<Self, ConfigError> {
-        let geometry = HeapGeometry::new(config)?;
-        let config = geometry.config();
+        let geometry = HeapGeometry::new_elastic(config, DEFAULT_INITIAL_FRACTION_LOG2)?;
         let partitions = SizeClass::all()
             .map(|c| {
-                let max_cap = geometry.capacity(c);
-                let min_start = (config.multiplier.ceil() as usize).max(2);
-                let start = (max_cap / DEFAULT_INITIAL_FRACTION)
-                    .max(min_start)
-                    .min(max_cap);
-                let threshold = config.threshold_for(start).max(1);
-                Partition::new(c, start, threshold, stream_seed(seed, c.index() as u64))
+                Partition::new(
+                    c,
+                    geometry.initial_capacity(c),
+                    geometry.initial_threshold(c),
+                    stream_seed(seed, c.index() as u64),
+                )
             })
             .collect();
         Ok(Self {
@@ -161,6 +169,29 @@ mod tests {
         let max = h.config().capacity(c0);
         assert!(h.committed_slots(c0) <= max / DEFAULT_INITIAL_FRACTION + 2);
         assert!(h.committed_bytes() < HeapConfig::default().heap_span() / 16);
+    }
+
+    #[test]
+    fn start_capacities_are_pow2_for_the_shift_draw() {
+        // A non-dyadic multiplier used to produce non-pow2 starts (e.g. a
+        // minimum of 3 slots), dropping those partitions onto the slower
+        // `below` fallback draw. Every start — and therefore every doubling
+        // of it — must now be a power of two.
+        for cfg in [
+            HeapConfig::default(),
+            HeapConfig::default().with_multiplier(3.0),
+            HeapConfig::default().with_multiplier(4.0 / 3.0),
+        ] {
+            let h = AdaptiveHeap::new(cfg, 9).unwrap();
+            for c in SizeClass::all() {
+                assert!(
+                    h.committed_slots(c).is_power_of_two(),
+                    "class {} starts at non-pow2 {}",
+                    c.index(),
+                    h.committed_slots(c)
+                );
+            }
+        }
     }
 
     #[test]

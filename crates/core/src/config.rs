@@ -230,24 +230,65 @@ pub struct HeapGeometry {
     heap_span: usize,
     capacity: [usize; NUM_CLASSES],
     threshold: [usize; NUM_CLASSES],
+    initial_capacity: [usize; NUM_CLASSES],
+    initial_threshold: [usize; NUM_CLASSES],
 }
 
 impl HeapGeometry {
     /// Validates `config` and precomputes its shift/mask geometry.
     ///
+    /// The resulting heap is *fixed-size*: the initial per-class capacity
+    /// equals the maximum, so partitions never grow.
+    ///
     /// # Errors
     ///
     /// Returns [`ConfigError`] when the configuration is invalid.
     pub fn new(config: HeapConfig) -> Result<Self, ConfigError> {
+        Self::build(config, 0)
+    }
+
+    /// As [`new`](Self::new), but the heap starts *elastic*: each class
+    /// begins at `1 / 2^initial_fraction_log2` of its maximum capacity
+    /// (clamped to a power of two that can hold at least one live object
+    /// under `1/M`) and doubles on demand up to the maximum. Because every
+    /// start capacity is a power of two, the partitions keep the
+    /// shift-only probe draw through every doubling; the slot layout is
+    /// computed against the *maximum* capacity, so indices, offsets, and
+    /// `slot_at`/`locate_free` arithmetic are growth-stable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is invalid.
+    pub fn new_elastic(
+        config: HeapConfig,
+        initial_fraction_log2: u32,
+    ) -> Result<Self, ConfigError> {
+        Self::build(config, initial_fraction_log2)
+    }
+
+    fn build(config: HeapConfig, initial_fraction_log2: u32) -> Result<Self, ConfigError> {
         config.validate()?;
         let region_shift = config.region_bytes.trailing_zeros();
         let mut capacity = [0usize; NUM_CLASSES];
         let mut threshold = [0usize; NUM_CLASSES];
+        let mut initial_capacity = [0usize; NUM_CLASSES];
+        let mut initial_threshold = [0usize; NUM_CLASSES];
+        // Smallest useful start: one live slot under 1/M, rounded up to a
+        // power of two so the shift draw applies from the first allocation.
+        let min_start = (config.multiplier.ceil() as usize)
+            .max(2)
+            .next_power_of_two();
         for c in SizeClass::all() {
             let cap = config.capacity(c);
             debug_assert!(cap.is_power_of_two(), "pow2 region / pow2 class");
             capacity[c.index()] = cap;
             threshold[c.index()] = config.threshold(c);
+            let start = (cap >> initial_fraction_log2.min(63))
+                .max(min_start)
+                .min(cap);
+            debug_assert!(start.is_power_of_two(), "pow2 max / pow2 fraction");
+            initial_capacity[c.index()] = start;
+            initial_threshold[c.index()] = config.threshold_for(start).max(1);
         }
         Ok(Self {
             region_shift,
@@ -255,6 +296,8 @@ impl HeapGeometry {
             heap_span: config.heap_span(),
             capacity,
             threshold,
+            initial_capacity,
+            initial_threshold,
             config,
         })
     }
@@ -319,6 +362,24 @@ impl HeapGeometry {
     #[inline]
     pub fn threshold(&self, class: SizeClass) -> usize {
         self.threshold[class.index()]
+    }
+
+    /// The slot count `class`'s region starts with — equal to
+    /// [`capacity`](Self::capacity) for fixed geometries ([`new`](Self::new)),
+    /// a smaller power of two for elastic ones
+    /// ([`new_elastic`](Self::new_elastic)).
+    #[must_use]
+    #[inline]
+    pub fn initial_capacity(&self, class: SizeClass) -> usize {
+        self.initial_capacity[class.index()]
+    }
+
+    /// The `1/M` threshold matching [`initial_capacity`](Self::initial_capacity)
+    /// (at least 1, so an elastic start can always serve a first allocation).
+    #[must_use]
+    #[inline]
+    pub fn initial_threshold(&self, class: SizeClass) -> usize {
+        self.initial_threshold[class.index()]
     }
 
     /// Random-fill policy for detecting uninitialized reads.
@@ -540,6 +601,36 @@ mod tests {
         }
         // Construction validates.
         assert!(HeapGeometry::new(HeapConfig::new().with_region_bytes(12_345)).is_err());
+    }
+
+    #[test]
+    fn elastic_geometry_starts_small_and_pow2() {
+        let cfg = HeapConfig::new(); // 1 MB regions, M = 2
+        let geom = HeapGeometry::new_elastic(cfg.clone(), 6).unwrap();
+        for c in SizeClass::all() {
+            let start = geom.initial_capacity(c);
+            let max = geom.capacity(c);
+            assert!(start.is_power_of_two(), "start {start} must stay pow2");
+            assert!(start <= max);
+            assert!(start >= 2, "start can hold one live slot under 1/M");
+            assert!(geom.initial_threshold(c) >= 1);
+            assert!(geom.initial_threshold(c) <= start);
+            // 1/64 of max, clamped from below for the smallest classes.
+            assert_eq!(start, (max / 64).max(2).min(max));
+        }
+        // Fixed geometry: initial == maximum, thresholds identical.
+        let fixed = HeapGeometry::new(cfg).unwrap();
+        for c in SizeClass::all() {
+            assert_eq!(fixed.initial_capacity(c), fixed.capacity(c));
+            assert_eq!(fixed.initial_threshold(c), fixed.threshold(c));
+        }
+        // Non-dyadic multiplier: the start is still a power of two (the
+        // point of the elastic geometry — the shift draw never degrades).
+        let odd = HeapConfig::new().with_multiplier(3.0);
+        let geom = HeapGeometry::new_elastic(odd, 10).unwrap();
+        for c in SizeClass::all() {
+            assert!(geom.initial_capacity(c).is_power_of_two());
+        }
     }
 
     #[test]

@@ -60,6 +60,39 @@ impl FreeOutcome {
     }
 }
 
+/// The result of a small-object allocation attempt on a heap that can grow.
+///
+/// Fixed heaps only ever report `Placed` or the terminal condition; elastic
+/// heaps ([`ShardedHeap::new_elastic`](crate::sharded::ShardedHeap::new_elastic))
+/// distinguish *why* a request was not placed so the caller can route
+/// around exhaustion instead of treating it as OOM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocOutcome {
+    /// The object was placed at this slot.
+    Placed(Slot),
+    /// Every growth step is exhausted: the class sits at its maximum
+    /// capacity *and* its final `1/M` cap. The caller should spill the
+    /// request elsewhere (the global allocator falls through to its
+    /// large-object `mmap` path) rather than crash — the paper returns
+    /// `NULL` here; elastic heaps return a routable signal instead.
+    Spill,
+    /// The request is not small-object shaped (zero or above 16 KB); no
+    /// class exists for it and no stats are recorded.
+    Unsupported,
+}
+
+impl AllocOutcome {
+    /// The placed slot, if any — collapses the elastic outcome back to the
+    /// fixed heaps' `Option` API.
+    #[must_use]
+    pub fn placed(self) -> Option<Slot> {
+        match self {
+            AllocOutcome::Placed(slot) => Some(slot),
+            AllocOutcome::Spill | AllocOutcome::Unsupported => None,
+        }
+    }
+}
+
 /// Running counters for one heap, used by the experiment harnesses.
 ///
 /// This is the *snapshot* type; heaps accumulate into [`AtomicHeapStats`]
@@ -243,7 +276,9 @@ pub(crate) unsafe fn build_partitions_from_storage(
 /// As [`build_partitions`] but producing lock-free [`AtomicPartition`]
 /// shards. Each class's [`crate::rng::AtomicMwc`] is seeded from the same
 /// `stream_seed(seed, class)` as the locked builders, so serialized
-/// histories replay the locked layout bit for bit.
+/// histories replay the locked layout bit for bit. Shards start at the
+/// geometry's *initial* capacity (== the maximum for fixed geometries) with
+/// their slot maps sized for the maximum, so elastic growth never relayouts.
 #[must_use]
 pub(crate) fn build_atomic_partitions(
     geometry: &HeapGeometry,
@@ -251,10 +286,11 @@ pub(crate) fn build_atomic_partitions(
 ) -> [AtomicPartition; NUM_CLASSES] {
     core::array::from_fn(|i| {
         let c = SizeClass::from_index(i);
-        AtomicPartition::new(
+        AtomicPartition::new_elastic(
             c,
             geometry.capacity(c),
-            geometry.threshold(c),
+            geometry.initial_capacity(c),
+            geometry.initial_threshold(c),
             stream_seed(seed, i as u64),
         )
     })
@@ -278,12 +314,14 @@ pub(crate) unsafe fn build_atomic_partitions_from_storage(
         let c = SizeClass::from_index(i);
         let cap = geometry.capacity(c);
         // SAFETY: the caller provides enough zeroed words for the sum of
-        // all class maps; we carve them off sequentially.
+        // all class maps (sized at maximum capacity, growth-stable); we
+        // carve them off sequentially.
         let p = unsafe {
-            AtomicPartition::from_storage(
+            AtomicPartition::from_storage_elastic(
                 c,
                 cap,
-                geometry.threshold(c),
+                geometry.initial_capacity(c),
+                geometry.initial_threshold(c),
                 stream_seed(seed, i as u64),
                 cursor,
             )

@@ -32,6 +32,14 @@
 //! * `DIEHARD_REGION_MB` — per-class region megabytes (default 32, i.e. the
 //!   paper's 384 MB heap).
 //! * `DIEHARD_M` — integer expansion factor `M` (default 2).
+//! * `DIEHARD_GROW` — elastic mode (§9's adaptive growth, concurrent):
+//!   each class's *active* capacity starts at `1/2^value` of its configured
+//!   maximum (e.g. `6` → 1/64) and doubles under `1/M`-cap pressure.
+//!   Offsets never move — the full virtual span is reserved up front and
+//!   only the probing range widens. A class denied at its *maximum*
+//!   capacity spills the request to a dedicated guard-paged mapping
+//!   instead of returning null. Unset (the default) keeps the fixed-size
+//!   behavior: regions are born at full capacity and exhaustion is null.
 //!
 //! ## Unsafe-surface audit (2026-08, stable toolchain, lock-free fast path)
 //!
@@ -100,6 +108,22 @@
 //!   state machine (free → reserved → live → free, one paired-bit cell per
 //!   slot) is documented and tested in [`crate::bitmap`] and
 //!   [`crate::magazine`].
+//! * **`madvise(MADV_HUGEPAGE)` is advice, not a new obligation.** The one
+//!   new syscall this revision adds ([`sys::advise_hugepages`], issued on
+//!   the small-object span at init and on each large-object mapping) is
+//!   non-destructive by specification: it can neither unmap, move, nor
+//!   zero the range, so its failure mode is "nothing happens" and the
+//!   result is ignored. It runs before the state is published (init) or
+//!   before the pointer escapes (large path) — never on memory another
+//!   thread can observe mid-change.
+//! * **Elastic growth adds no new unsafety.** Growing a class rewrites two
+//!   atomics (`capacity`, the packed shift/threshold word) under the class
+//!   maintenance lock; the slot-state maps and the heap span are sized for
+//!   the *maximum* capacity from initialization, so no metadata or object
+//!   memory is ever remapped, and every pointer handed out before a growth
+//!   remains valid (same offset arithmetic) after it. The spill path is
+//!   the pre-existing large-object allocator, reached with the same
+//!   arguments an oversized request would use.
 
 mod sys;
 mod tls;
@@ -107,7 +131,7 @@ mod tls;
 pub use crate::sync::{OnceCell, SpinGuard, SpinLock};
 
 use crate::config::HeapConfig;
-use crate::engine::HeapStats;
+use crate::engine::{AllocOutcome, HeapStats};
 use crate::large::LargeTable;
 use crate::magazine::MagazineHeap;
 use crate::rng::entropy_seed;
@@ -152,6 +176,10 @@ struct GlobalState {
     /// address inside the `OnceCell`), then on, or off when the registry is
     /// full (the heap runs uncached — correct, just unbatched).
     mag_state: AtomicU8,
+    /// Whether the heap is elastic: classes grow on demand and a denial at
+    /// the maximum capacity spills to a dedicated mapping instead of
+    /// returning null. Written once at init, then read-only.
+    elastic: bool,
     large: SpinLock<LargeObjects>,
 }
 
@@ -183,6 +211,7 @@ pub struct DieHard {
     state: OnceCell<GlobalState>,
     fixed_seed: Option<u64>,
     fixed_config: Option<HeapConfig>,
+    fixed_grow: Option<u32>,
 }
 
 impl DieHard {
@@ -193,6 +222,7 @@ impl DieHard {
             state: OnceCell::new(),
             fixed_seed: None,
             fixed_config: None,
+            fixed_grow: None,
         }
     }
 
@@ -204,6 +234,7 @@ impl DieHard {
             state: OnceCell::new(),
             fixed_seed: Some(seed),
             fixed_config: None,
+            fixed_grow: None,
         }
     }
 
@@ -221,6 +252,28 @@ impl DieHard {
             state: OnceCell::new(),
             fixed_seed: Some(seed),
             fixed_config: Some(config),
+            fixed_grow: None,
+        }
+    }
+
+    /// As [`with_config`](Self::with_config) but **elastic**: every class
+    /// starts at `1/2^initial_fraction_log2` of its configured maximum
+    /// capacity, doubles under `1/M`-cap pressure, and — once denied at the
+    /// maximum — spills the request to a dedicated guard-paged mapping
+    /// instead of returning null. The `DIEHARD_GROW` environment knob is
+    /// this constructor's env-driven equivalent for allocators built with
+    /// [`new`](Self::new).
+    #[must_use]
+    pub const fn with_elastic_config(
+        config: HeapConfig,
+        seed: u64,
+        initial_fraction_log2: u32,
+    ) -> Self {
+        Self {
+            state: OnceCell::new(),
+            fixed_seed: Some(seed),
+            fixed_config: Some(config),
+            fixed_grow: Some(initial_fraction_log2),
         }
     }
 
@@ -379,6 +432,16 @@ impl DieHard {
             .fixed_seed
             .or_else(|| sys::env_u64("DIEHARD_SEED\0"))
             .unwrap_or_else(entropy_seed);
+        // Elastic mode: an explicit constructor choice wins; env-configured
+        // allocators honor DIEHARD_GROW, config-fixed ones ignore the
+        // environment entirely (same isolation contract as the other knobs).
+        let grow = self.fixed_grow.or_else(|| {
+            if self.fixed_config.is_some() {
+                None
+            } else {
+                sys::env_u64("DIEHARD_GROW\0").map(|g| g as u32)
+            }
+        });
 
         let page = sys::page_size();
         let span = config.heap_span();
@@ -396,12 +459,26 @@ impl DieHard {
             return None;
         }
 
+        // The span is reserved at full (maximum) size either way — elastic
+        // growth only widens the probing range, so huge-page advice on the
+        // whole arena is valid for the heap's entire lifetime. Best-effort;
+        // issued before the state is published.
+        sys::advise_hugepages(heap_base, span);
+
         let bitmap_words = meta.cast::<u64>();
         // SAFETY: the meta arena provides `words` zeroed u64s (allocation
         // bitmaps + reserved overlays) followed by four table arrays of
         // `table_cap` usizes each; mmap'd memory is zeroed and exclusively
         // ours.
-        let heap = match unsafe { MagazineHeap::from_raw_parts(config, seed, bitmap_words) } {
+        let heap = match grow {
+            // SAFETY: as above — the elastic variant has the identical
+            // metadata footprint (slot maps are max-capacity-sized).
+            Some(fraction) => unsafe {
+                MagazineHeap::from_raw_parts_elastic(config, seed, bitmap_words, fraction)
+            },
+            None => unsafe { MagazineHeap::from_raw_parts(config, seed, bitmap_words) },
+        };
+        let heap = match heap {
             Ok(heap) => heap,
             Err(_) => {
                 // SAFETY: both mappings were just created with these lengths
@@ -429,6 +506,7 @@ impl DieHard {
             page,
             id: tls::allocate_id(),
             mag_state: AtomicU8::new(MAG_UNDECIDED),
+            elastic: grow.is_some(),
             large: SpinLock::new(LargeObjects { base, len }),
         })
     }
@@ -534,6 +612,9 @@ impl DieHard {
             let tail = user_addr + user_len;
             sys::protect_none(tail as *mut u8, base as usize + total - tail);
         }
+        // Huge-page advice on the user range only (the guards must stay
+        // 4 KB mappings); self-gated below 2 MB, best-effort above.
+        sys::advise_hugepages(user, user_len);
         let mut large = state.large.lock();
         if !large.len.insert(user_addr, total) {
             drop(large);
@@ -587,18 +668,25 @@ unsafe impl GlobalAlloc for DieHard {
         if need <= crate::size_class::MAX_OBJECT_SIZE {
             // Fast path: pop a pre-reserved random slot from this thread's
             // magazine (no lock); refills batch the shard lock.
-            let slot = if Self::magazines_on(state) {
-                tls::with_cache(state, |mags, state| mags.alloc(&state.heap, need))
+            let outcome = if Self::magazines_on(state) {
+                tls::with_cache(state, |mags, state| mags.try_alloc(&state.heap, need))
             } else {
-                state.heap.alloc(need)
+                state.heap.try_alloc(need)
             };
-            match slot {
-                Some(slot) => {
+            match outcome {
+                AllocOutcome::Placed(slot) => {
                     let off = state.heap.offset_of(slot);
                     // SAFETY: `off` lies within the reserved heap span.
                     unsafe { state.heap_base.add(off) }
                 }
-                None => ptr::null_mut(),
+                // An elastic class denied at its *maximum* capacity spills
+                // to a dedicated guard-paged mapping rather than failing:
+                // the pointer frees through the same large-object table an
+                // oversized request would use.
+                AllocOutcome::Spill if state.elastic => {
+                    Self::alloc_large(state, layout.size().max(1), layout.align())
+                }
+                AllocOutcome::Spill | AllocOutcome::Unsupported => ptr::null_mut(),
             }
         } else {
             Self::alloc_large(state, layout.size(), layout.align())
@@ -750,6 +838,35 @@ mod tests {
             }
         }
         assert_eq!(got, 32, "1/M cap must bound live objects");
+    }
+
+    /// The elastic acceptance scenario end-to-end: a heap born at 1/64 of
+    /// its maximum absorbs a beyond-maximum workload with no OOM — the
+    /// first 32 requests grow the 16 KB class 2 → 64 and place inside the
+    /// span, the rest spill to dedicated guard-paged mappings — and every
+    /// pointer, placed or spilled, frees cleanly through the same API.
+    #[test]
+    fn elastic_heap_grows_then_spills_to_dedicated_mappings() {
+        let heap = DieHard::with_elastic_config(HeapConfig::default(), 0xE1A571C, 6);
+        let mut ptrs = Vec::new();
+        for i in 0..40usize {
+            let p = heap.malloc(16 * 1024);
+            assert!(!p.is_null(), "request {i} must spill, not fail");
+            // SAFETY: live 16 KB object (placed or spilled).
+            unsafe {
+                *p = i as u8;
+                *p.add(16 * 1024 - 1) = i as u8;
+            }
+            ptrs.push(p);
+        }
+        let stats = heap.stats();
+        assert_eq!(stats.allocs, 32, "the 1/M cap at full size places 32");
+        assert_eq!(stats.exhausted, 8, "the remaining 8 spilled");
+        for p in ptrs {
+            heap.free(p);
+        }
+        assert_eq!(heap.live_objects(), 0);
+        assert_eq!(heap.stats().frees, 32, "spilled frees release mappings");
     }
 
     #[test]

@@ -52,6 +52,21 @@ pub unsafe fn unmap(ptr: *mut u8, len: usize) {
     }
 }
 
+/// Advises the kernel to back `[ptr, ptr + len)` with transparent huge
+/// pages (`MADV_HUGEPAGE`). Best-effort and non-destructive: failure (old
+/// kernel, THP disabled, unaligned range) changes nothing about the
+/// mapping's contents or validity, so the result is deliberately ignored.
+/// Self-gates on ranges shorter than one 2 MB huge page — advice there is
+/// pure syscall overhead.
+pub fn advise_hugepages(ptr: *mut u8, len: usize) {
+    if ptr.is_null() || len < (2 << 20) {
+        return;
+    }
+    // SAFETY: non-destructive advice on a mapping the caller owns; madvise
+    // never invalidates the range.
+    let _ = unsafe { libc::madvise(ptr.cast::<libc::c_void>(), len, libc::MADV_HUGEPAGE) };
+}
+
 /// Revokes all access to `[ptr, ptr + len)`, turning it into a guard region
 /// ("guard pages without read or write access", §4.1).
 ///
@@ -117,6 +132,25 @@ mod tests {
             assert_eq!(*ptr, 0);
             *ptr = 0xAB;
             assert_eq!(*ptr, 0xAB);
+            unmap(ptr, len);
+        }
+    }
+
+    #[test]
+    fn hugepage_advice_is_harmless() {
+        // Under the 2 MB gate: no syscall, trivially fine (null included).
+        advise_hugepages(core::ptr::null_mut(), 1 << 30);
+        advise_hugepages(4096 as *mut u8, 4096);
+        // At size: advice must leave a live mapping fully usable.
+        let len = 4 << 20;
+        let ptr = map_reserve(len);
+        assert!(!ptr.is_null());
+        advise_hugepages(ptr, len);
+        // SAFETY: `ptr` maps `len` zeroed writable bytes.
+        unsafe {
+            *ptr = 0xCD;
+            *ptr.add(len - 1) = 0xEF;
+            assert_eq!(*ptr, 0xCD);
             unmap(ptr, len);
         }
     }

@@ -75,7 +75,7 @@ pub mod sync;
 pub mod global;
 
 pub use config::{FillPolicy, HeapConfig, HeapGeometry};
-pub use engine::{AtomicHeapStats, FreeOutcome, HeapCore, HeapStats, Slot};
+pub use engine::{AllocOutcome, AtomicHeapStats, FreeOutcome, HeapCore, HeapStats, Slot};
 pub use magazine::{MagazineCache, MagazineHeap, ThreadMagazines};
 pub use rng::Mwc;
 pub use sharded::ShardedHeap;

@@ -67,7 +67,9 @@
 //! zero leaked reservations, no spurious stats.
 
 use crate::config::{ConfigError, HeapConfig, HeapGeometry};
-use crate::engine::{locate_free, slot_at, slot_offset, FreeOutcome, HeapStats, Slot};
+use crate::engine::{
+    locate_free, slot_at, slot_offset, AllocOutcome, FreeOutcome, HeapStats, Slot,
+};
 use crate::partition::AtomicPartition;
 use crate::sharded::ShardedHeap;
 use crate::size_class::{SizeClass, NUM_CLASSES};
@@ -130,6 +132,26 @@ impl MagazineHeap {
         })
     }
 
+    /// As [`new`](Self::new), but elastic: each class starts at
+    /// `1 / 2^initial_fraction_log2` of its maximum capacity and doubles
+    /// under `1/M`-cap pressure (see [`ShardedHeap::new_elastic`]). Refills
+    /// participate in growth: an at-cap refill grows the class under the
+    /// maintenance lock it already holds, and only a denial at the maximum
+    /// capacity surfaces as [`AllocOutcome::Spill`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is invalid.
+    pub fn new_elastic(
+        config: HeapConfig,
+        seed: u64,
+        initial_fraction_log2: u32,
+    ) -> Result<Self, ConfigError> {
+        Ok(Self {
+            heap: ShardedHeap::new_elastic(config, seed, initial_fraction_log2)?,
+        })
+    }
+
     /// As [`new`](Self::new), but hosting all metadata in caller-provided
     /// storage so construction performs no heap allocation — required when
     /// DieHard itself is the process's global allocator.
@@ -151,6 +173,31 @@ impl MagazineHeap {
         // SAFETY: forwarded caller contract.
         Ok(Self {
             heap: unsafe { ShardedHeap::from_raw_parts(config, seed, words) }?,
+        })
+    }
+
+    /// As [`from_raw_parts`](Self::from_raw_parts) but elastic (see
+    /// [`new_elastic`](Self::new_elastic)). The metadata footprint is
+    /// identical — slot maps are always sized for the maximum capacity.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`from_raw_parts`](Self::from_raw_parts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is invalid.
+    pub unsafe fn from_raw_parts_elastic(
+        config: HeapConfig,
+        seed: u64,
+        words: *mut u64,
+        initial_fraction_log2: u32,
+    ) -> Result<Self, ConfigError> {
+        // SAFETY: forwarded caller contract.
+        Ok(Self {
+            heap: unsafe {
+                ShardedHeap::from_raw_parts_elastic(config, seed, words, initial_fraction_log2)
+            }?,
         })
     }
 
@@ -220,6 +267,21 @@ impl MagazineHeap {
         self.heap.alloc(size)
     }
 
+    /// Uncached [`alloc`](Self::alloc) with the elastic outcome surfaced
+    /// (see [`ShardedHeap::try_alloc`]): a denial grows the class when the
+    /// heap is elastic and below its maximum, and only a denial at the
+    /// maximum capacity returns [`AllocOutcome::Spill`].
+    pub fn try_alloc(&self, size: usize) -> AllocOutcome {
+        self.heap.try_alloc(size)
+    }
+
+    /// Number of completed per-class doublings since construction, whether
+    /// triggered by uncached allocations or magazine refills.
+    #[must_use]
+    pub fn growth_events(&self) -> u64 {
+        self.heap.growth_events()
+    }
+
     /// Uncached `DieHardFree` (§4.3), lock-free: validates and frees the
     /// object at `offset`. A reserved-but-unhanded slot makes the free CAS
     /// observe `Reserved` and the request is ignored (it is not live — no
@@ -285,11 +347,22 @@ impl MagazineHeap {
     /// waits on it; the lock only serializes refills against flushes and
     /// teardowns so batches do not interleave draws). Returns the number of
     /// slots reserved (0 when at the `1/M` cap).
+    /// On an elastic heap an at-cap refill grows the class before giving
+    /// up. `grow_class_locked` is called directly because this thread
+    /// already holds the maintenance lock — re-entering through the public
+    /// grow path would deadlock on the non-reentrant `SpinLock`. A `0` here
+    /// therefore means the class is at its *maximum* capacity and full: the
+    /// caller's denial is a genuine spill, not growth pressure.
     fn refill(&self, class: SizeClass, out: &mut [usize; MAG_SLOTS]) -> usize {
         let shard = self.heap.shard(class);
         let _batch = self.heap.maintenance_lock(class).lock();
-        let want = refill_batch(shard.threshold());
-        shard.reserve_batch(&mut out[..want])
+        loop {
+            let want = refill_batch(shard.threshold());
+            let got = shard.reserve_batch(&mut out[..want]);
+            if got > 0 || !self.heap.grow_class_locked(class) {
+                return got;
+            }
+        }
     }
 
     /// The lock-free reserved→live handout transition: one `fetch_and` in
@@ -431,13 +504,26 @@ impl ThreadMagazines {
     /// cap — each denied request records one exhaustion, like the uncached
     /// path.
     pub fn alloc(&mut self, heap: &MagazineHeap, size: usize) -> Option<Slot> {
-        let class = SizeClass::for_size(size)?;
+        self.try_alloc(heap, size).placed()
+    }
+
+    /// [`alloc`](Self::alloc) with the elastic outcome surfaced:
+    /// zero/oversized requests are [`AllocOutcome::Unsupported`] (nothing
+    /// recorded — the large-object path's business), while an empty refill
+    /// is [`AllocOutcome::Spill`]. On an elastic heap the refill has already
+    /// grown the class to its maximum before reporting empty, so `Spill`
+    /// always means "the `1/M` cap at full size", exactly like the uncached
+    /// [`MagazineHeap::try_alloc`].
+    pub fn try_alloc(&mut self, heap: &MagazineHeap, size: usize) -> AllocOutcome {
+        let Some(class) = SizeClass::for_size(size) else {
+            return AllocOutcome::Unsupported;
+        };
         let cache = &mut self.classes[class.index()];
         if cache.len == 0 {
             let drawn = heap.refill(class, &mut cache.mag);
             if drawn == 0 {
                 heap.heap.stats_ref().record_exhausted();
-                return None;
+                return AllocOutcome::Spill;
             }
             cache.head = 0;
             cache.len = drawn;
@@ -446,7 +532,7 @@ impl ThreadMagazines {
         cache.head += 1;
         cache.len -= 1;
         heap.commit(class, index);
-        Some(Slot { class, index })
+        AllocOutcome::Placed(Slot { class, index })
     }
 
     /// Frees the object at `offset` through this thread's buffer. The
@@ -519,6 +605,12 @@ impl MagazineCache<'_> {
     /// (see [`ThreadMagazines::alloc`]).
     pub fn alloc(&mut self, size: usize) -> Option<Slot> {
         self.mags.alloc(self.heap, size)
+    }
+
+    /// Allocates with the elastic outcome surfaced
+    /// (see [`ThreadMagazines::try_alloc`]).
+    pub fn try_alloc(&mut self, size: usize) -> AllocOutcome {
+        self.mags.try_alloc(self.heap, size)
     }
 
     /// Frees the object at `offset` through the buffer
@@ -704,6 +796,45 @@ mod tests {
         let stats = h.stats();
         assert_eq!(stats.allocs, 1);
         assert_eq!(stats.exhausted, 2);
+    }
+
+    /// Elastic refills grow the class under the maintenance lock they
+    /// already hold: the cached stack absorbs a max-capacity workload from
+    /// a 1/64 start and spills — not crashes — past the final `1/M` cap.
+    #[test]
+    fn elastic_refills_grow_then_spill() {
+        let h = MagazineHeap::new_elastic(HeapConfig::default(), 0x1A57, 6).unwrap();
+        let mut cache = h.thread_cache();
+        // 16 KB class: max capacity 64 (threshold 32), starting at 2.
+        let mut placed = 0usize;
+        loop {
+            match cache.try_alloc(16 * 1024) {
+                AllocOutcome::Placed(_) => placed += 1,
+                AllocOutcome::Spill => break,
+                AllocOutcome::Unsupported => panic!("16 KB is a supported class"),
+            }
+        }
+        assert_eq!(placed, 32, "full-size 1/M allowance served");
+        assert!(h.growth_events() >= 5, "2 -> 64 takes five doublings");
+        assert_eq!(cache.try_alloc(16 * 1024), AllocOutcome::Spill);
+        assert_eq!(cache.try_alloc(0), AllocOutcome::Unsupported);
+        let stats = h.stats();
+        assert_eq!(stats.allocs, 32);
+        assert_eq!(stats.exhausted, 2, "each denied request counted once");
+    }
+
+    /// Single-threaded alloc-only histories are bit-identical between the
+    /// elastic magazine stack and the elastic sharded heap: refills grow at
+    /// exactly the same pressure points and growth consumes no RNG draws.
+    #[test]
+    fn elastic_alloc_sequence_matches_elastic_sharded() {
+        let mag = MagazineHeap::new_elastic(HeapConfig::default(), 0xE1A5, 6).unwrap();
+        let sharded = ShardedHeap::new_elastic(HeapConfig::default(), 0xE1A5, 6).unwrap();
+        let mut cache = mag.thread_cache();
+        for i in 0..2000usize {
+            let req = 1 + (i * 37) % 1024;
+            assert_eq!(cache.alloc(req), sharded.alloc(req), "request {i}");
+        }
     }
 
     #[test]

@@ -295,51 +295,111 @@ impl Partition {
 /// holders, and every occupied slot's owner holds a ticket, so
 /// `occupied ≤ in_use ≤ threshold < capacity`: at least
 /// `capacity − threshold` slots stay free while anyone probes, and each
-/// probe hits a free slot with probability ≥ `1 − 1/M`.
+/// probe hits a free slot with probability ≥ `1 − 1/M`. Growth only widens
+/// that margin: the probe loop re-reads the packed active word every
+/// iteration, so a concurrent doubling (which can raise the threshold past
+/// the *old* capacity) immediately widens the draw range too — probing a
+/// stale, now-fillable range can never persist for more than one draw.
+///
+/// # Elastic growth
+///
+/// An elastic partition ([`new_elastic`](Self::new_elastic)) sizes its slot
+/// map for `max_capacity` up front but starts serving a smaller
+/// power-of-two *active* capacity. [`grow_to`](Self::grow_to) — called with
+/// the enclosing heap's per-class maintenance lock held, so writes are
+/// serialized — publishes a larger capacity with two relaxed stores; readers
+/// need no lock. Two packed words make lock-free reads tear-proof:
+///
+/// * `active` = `draw_shift << 58 | threshold`: one load yields a mutually
+///   consistent (draw range, `1/M` cap) pair. Shift `0` is the non-pow2
+///   sentinel (falls back to [`AtomicMwc::below`]); elastic capacities are
+///   always pow2, so the hot path never takes it.
+/// * `tickets` = `allocs << 32 | in_use`: the `1/M` ticket and the telemetry
+///   allocation counter advance in **one** `fetch_add` (the ROADMAP's
+///   one-RMW dial; the alloc counter narrows to 32 bits, wrapping mod 2³²).
 #[derive(Debug)]
 pub struct AtomicPartition {
     class: SizeClass,
+    /// Slot states for the *maximum* capacity: growth never moves a slot,
+    /// so indices, offsets, and live state are stable across doublings.
     map: SlotStateMap,
-    capacity: usize,
-    threshold: usize,
-    /// Slots accounted as occupied (live + reserved), maintained as a
-    /// *ticket*: alloc increments before claiming a slot, free decrements
-    /// after releasing one, so the counter transiently overcounts — never
-    /// undercounts — real occupancy. The conservative direction: the `1/M`
-    /// cap can deny an allocation a racing free was about to make room for,
-    /// but can never admit one past the cap.
-    in_use: AtomicUsize,
+    max_capacity: usize,
+    /// Currently active slot count (≤ `max_capacity`); written only under
+    /// the enclosing heap's maintenance lock, read lock-free.
+    capacity: AtomicUsize,
+    /// Packed `draw_shift << 58 | threshold`; see the type docs.
+    active: AtomicU64,
+    /// Packed `allocs << 32 | in_use`. The low half is the occupancy
+    /// *ticket*: alloc adds [`TICKET`] (one RMW bumps both halves) before
+    /// claiming a slot and backs the whole ticket out on denial, free
+    /// decrements the low half after releasing a slot — so `in_use`
+    /// transiently overcounts, never undercounts, real occupancy. The
+    /// conservative direction: the `1/M` cap can deny an allocation a racing
+    /// free was about to make room for, but can never admit one past the cap.
+    tickets: AtomicU64,
     rng: AtomicMwc,
-    /// Same strength-reduced draw as [`Partition::draw_shift`].
-    draw_shift: u32,
     probes: AtomicU64,
-    allocs: AtomicU64,
+}
+
+/// Bit position of the packed draw shift inside `active`.
+const ACTIVE_SHIFT_BITS: u32 = 58;
+/// Low 58 bits of `active`: the `1/M` threshold.
+const ACTIVE_THRESHOLD_MASK: u64 = (1 << ACTIVE_SHIFT_BITS) - 1;
+/// Bit position of the packed alloc counter inside `tickets`.
+const TICKET_ALLOC_SHIFT: u32 = 32;
+/// Low 32 bits of `tickets`: the occupancy ticket (`in_use`).
+const TICKET_IN_USE_MASK: u64 = u32::MAX as u64;
+/// One allocation ticket: bumps `in_use` and `allocs` in a single RMW.
+const TICKET: u64 = 1 | (1 << TICKET_ALLOC_SHIFT);
+
+/// Packs a draw shift and threshold into one `active` word.
+#[inline]
+fn pack_active(draw_shift: u32, threshold: usize) -> u64 {
+    ((draw_shift as u64) << ACTIVE_SHIFT_BITS) | threshold as u64
 }
 
 impl AtomicPartition {
     /// Creates an empty lock-free partition; same parameters and panics as
-    /// [`Partition::new`].
+    /// [`Partition::new`]. The partition is *fixed-size*: it never grows.
     ///
     /// # Panics
     ///
     /// Panics if `threshold > capacity` or `capacity == 0`.
     #[must_use]
     pub fn new(class: SizeClass, capacity: usize, threshold: usize, seed: u64) -> Self {
-        assert!(capacity > 0, "partition capacity must be positive");
-        assert!(
-            threshold <= capacity,
-            "threshold {threshold} exceeds capacity {capacity}"
-        );
+        Self::new_elastic(class, capacity, capacity, threshold, seed)
+    }
+
+    /// Creates an empty *elastic* partition: the slot map covers
+    /// `max_capacity`, but only `initial_capacity` slots are active until
+    /// [`grow_to`](Self::grow_to) widens the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_capacity == 0`, `initial_capacity > max_capacity`,
+    /// `initial_threshold > initial_capacity`, or `max_capacity` does not
+    /// fit the 32-bit packed ticket word.
+    #[must_use]
+    pub fn new_elastic(
+        class: SizeClass,
+        max_capacity: usize,
+        initial_capacity: usize,
+        initial_threshold: usize,
+        seed: u64,
+    ) -> Self {
+        Self::check_geometry(max_capacity, initial_capacity, initial_threshold);
         Self {
             class,
-            map: SlotStateMap::new(capacity),
-            capacity,
-            threshold,
-            in_use: AtomicUsize::new(0),
+            map: SlotStateMap::new(max_capacity),
+            max_capacity,
+            capacity: AtomicUsize::new(initial_capacity),
+            active: AtomicU64::new(pack_active(
+                draw_shift_for(initial_capacity),
+                initial_threshold,
+            )),
+            tickets: AtomicU64::new(0),
             rng: AtomicMwc::seeded(seed),
-            draw_shift: draw_shift_for(capacity),
             probes: AtomicU64::new(0),
-            allocs: AtomicU64::new(0),
         }
     }
 
@@ -357,30 +417,103 @@ impl AtomicPartition {
         seed: u64,
         words: *mut u64,
     ) -> Self {
-        assert!(capacity > 0, "partition capacity must be positive");
-        assert!(
-            threshold <= capacity,
-            "threshold {threshold} exceeds capacity {capacity}"
-        );
+        // SAFETY: forwarded caller contract.
+        unsafe { Self::from_storage_elastic(class, capacity, capacity, threshold, seed, words) }
+    }
+
+    /// As [`new_elastic`](Self::new_elastic) but over caller-provided zeroed
+    /// storage of [`Self::words_needed`]`(max_capacity)` u64 words — the
+    /// slot map is always sized for the maximum, so the metadata footprint
+    /// is identical for fixed and elastic partitions.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`SlotStateMap::from_storage`].
+    #[must_use]
+    pub unsafe fn from_storage_elastic(
+        class: SizeClass,
+        max_capacity: usize,
+        initial_capacity: usize,
+        initial_threshold: usize,
+        seed: u64,
+        words: *mut u64,
+    ) -> Self {
+        Self::check_geometry(max_capacity, initial_capacity, initial_threshold);
         Self {
             class,
             // SAFETY: forwarded caller contract.
-            map: unsafe { SlotStateMap::from_storage(words, capacity) },
-            capacity,
-            threshold,
-            in_use: AtomicUsize::new(0),
+            map: unsafe { SlotStateMap::from_storage(words, max_capacity) },
+            max_capacity,
+            capacity: AtomicUsize::new(initial_capacity),
+            active: AtomicU64::new(pack_active(
+                draw_shift_for(initial_capacity),
+                initial_threshold,
+            )),
+            tickets: AtomicU64::new(0),
             rng: AtomicMwc::seeded(seed),
-            draw_shift: draw_shift_for(capacity),
             probes: AtomicU64::new(0),
-            allocs: AtomicU64::new(0),
         }
     }
 
+    fn check_geometry(max_capacity: usize, initial_capacity: usize, initial_threshold: usize) {
+        assert!(initial_capacity > 0, "partition capacity must be positive");
+        assert!(
+            initial_capacity <= max_capacity,
+            "initial capacity {initial_capacity} exceeds maximum {max_capacity}"
+        );
+        assert!(
+            initial_threshold <= initial_capacity,
+            "threshold {initial_threshold} exceeds capacity {initial_capacity}"
+        );
+        assert!(
+            (max_capacity as u64) <= TICKET_IN_USE_MASK >> 1,
+            "max capacity {max_capacity} overflows the packed 32-bit ticket word"
+        );
+    }
+
     /// Words of metadata storage a partition of `capacity` slots needs
-    /// (two bits per slot).
+    /// (two bits per slot). Elastic partitions size storage for their
+    /// *maximum* capacity.
     #[must_use]
     pub const fn words_needed(capacity: usize) -> usize {
         SlotStateMap::words_needed(capacity)
+    }
+
+    /// Publishes a larger active capacity and threshold, lock-free for
+    /// readers. The caller must serialize writers (the enclosing heap holds
+    /// its per-class maintenance lock). Existing live and reserved slots
+    /// keep their indices — the map was sized for `max_capacity` up front.
+    ///
+    /// The two relaxed stores (capacity, then the packed active word) are
+    /// individually consistent for concurrent allocators: an old `active`
+    /// with the new capacity just probes the old range under the old cap,
+    /// and the probe loop re-reads `active` every draw, so the new range
+    /// becomes visible within one iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_capacity` shrinks the partition, exceeds
+    /// `max_capacity`, or `new_threshold > new_capacity`.
+    pub fn grow_to(&self, new_capacity: usize, new_threshold: usize) {
+        let current = self.capacity.load(Ordering::Relaxed);
+        assert!(
+            new_capacity >= current,
+            "cannot shrink partition from {current} to {new_capacity}"
+        );
+        assert!(
+            new_capacity <= self.max_capacity,
+            "capacity {new_capacity} exceeds maximum {}",
+            self.max_capacity
+        );
+        assert!(
+            new_threshold <= new_capacity,
+            "threshold {new_threshold} exceeds capacity {new_capacity}"
+        );
+        self.capacity.store(new_capacity, Ordering::Relaxed);
+        self.active.store(
+            pack_active(draw_shift_for(new_capacity), new_threshold),
+            Ordering::Relaxed,
+        );
     }
 
     /// The size class this partition serves.
@@ -389,16 +522,24 @@ impl AtomicPartition {
         self.class
     }
 
-    /// Total slots in the region.
+    /// Currently active slots in the region (grows toward
+    /// [`max_capacity`](Self::max_capacity)).
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// The capacity ceiling the slot map was sized for; fixed partitions
+    /// sit at it from construction.
+    #[must_use]
+    pub fn max_capacity(&self) -> usize {
+        self.max_capacity
     }
 
     /// Maximum simultaneously-occupied slots (`capacity / M`).
     #[must_use]
     pub fn threshold(&self) -> usize {
-        self.threshold
+        (self.active.load(Ordering::Relaxed) & ACTIVE_THRESHOLD_MASK) as usize
     }
 
     /// Currently occupied slots — live plus magazine-reserved (the paper's
@@ -406,38 +547,44 @@ impl AtomicPartition {
     #[must_use]
     #[inline]
     pub fn in_use(&self) -> usize {
-        self.in_use.load(Ordering::Relaxed)
+        (self.tickets.load(Ordering::Relaxed) & TICKET_IN_USE_MASK) as usize
     }
 
     /// Fraction of the region currently occupied.
     #[must_use]
     pub fn fullness(&self) -> f64 {
-        self.in_use() as f64 / self.capacity as f64
+        self.in_use() as f64 / self.capacity() as f64
     }
 
     /// `true` when the region has hit its `1/M` cap.
     #[must_use]
     #[inline]
     pub fn at_threshold(&self) -> bool {
-        self.in_use() >= self.threshold
+        self.in_use() >= self.threshold()
     }
 
-    /// Draws one probe index from the shared RNG stream.
+    /// Draws one probe index for the range described by a loaded `active`
+    /// word (the packed shift keeps the draw and the threshold mutually
+    /// consistent without locking).
     #[inline]
-    fn draw(&self) -> usize {
-        if self.draw_shift != 0 {
-            (self.rng.next_u64() >> self.draw_shift) as usize
+    fn draw(&self, active: u64) -> usize {
+        let shift = (active >> ACTIVE_SHIFT_BITS) as u32;
+        if shift != 0 {
+            (self.rng.next_u64() >> shift) as usize
         } else {
-            self.rng.below(self.capacity)
+            self.rng.below(self.capacity.load(Ordering::Relaxed))
         }
     }
 
     /// Takes a ticket against the `1/M` cap; `false` means at-threshold and
-    /// the ticket was returned.
+    /// the ticket was returned. One `fetch_add` advances both the occupancy
+    /// ticket and the telemetry alloc counter; denial backs both out.
     #[inline]
     fn take_ticket(&self) -> bool {
-        if self.in_use.fetch_add(1, Ordering::Relaxed) >= self.threshold {
-            self.in_use.fetch_sub(1, Ordering::Relaxed);
+        let threshold = (self.active.load(Ordering::Relaxed) & ACTIVE_THRESHOLD_MASK) as usize;
+        let prev = self.tickets.fetch_add(TICKET, Ordering::Relaxed);
+        if (prev & TICKET_IN_USE_MASK) as usize >= threshold {
+            self.tickets.fetch_sub(TICKET, Ordering::Relaxed);
             return false;
         }
         true
@@ -465,11 +612,16 @@ impl AtomicPartition {
         if !self.take_ticket() {
             return None;
         }
-        self.allocs.fetch_add(1, Ordering::Relaxed);
         let mut probes = 0u64;
         loop {
             probes += 1;
-            let index = self.draw();
+            // Re-read the packed active word every draw: a concurrent grow
+            // can raise the threshold past the *old* capacity, and probing
+            // only the stale range could then spin on a full region. The
+            // relaxed reload of a rarely-written line is free next to the
+            // draw itself, and single-threaded it always reads the same
+            // word — determinism is untouched.
+            let index = self.draw(self.active.load(Ordering::Relaxed));
             if claim(index) {
                 // One deferred add per allocation, not per probe: same
                 // totals as the locked path's per-probe increment.
@@ -495,14 +647,23 @@ impl AtomicPartition {
         if want == 0 {
             return 0;
         }
-        let prev = self.in_use.fetch_add(want, Ordering::Relaxed);
-        let granted = if prev >= self.threshold {
+        let threshold = (self.active.load(Ordering::Relaxed) & ACTIVE_THRESHOLD_MASK) as usize;
+        // One bulk ticket covers the batch's occupancy *and* its alloc
+        // telemetry; returning the ungranted part of both in one RMW nets
+        // `allocs += granted`, exactly as sequential tickets would.
+        let bulk = ((want as u64) << TICKET_ALLOC_SHIFT) | want as u64;
+        let prev = (self.tickets.fetch_add(bulk, Ordering::Relaxed) & TICKET_IN_USE_MASK) as usize;
+        let granted = if prev >= threshold {
             0
         } else {
-            want.min(self.threshold - prev)
+            want.min(threshold - prev)
         };
         if granted < want {
-            self.in_use.fetch_sub(want - granted, Ordering::Relaxed);
+            let ungranted = (want - granted) as u64;
+            self.tickets.fetch_sub(
+                (ungranted << TICKET_ALLOC_SHIFT) | ungranted,
+                Ordering::Relaxed,
+            );
         }
         if granted == 0 {
             return 0;
@@ -511,7 +672,7 @@ impl AtomicPartition {
         for slot in &mut out[..granted] {
             loop {
                 probes += 1;
-                let index = self.draw();
+                let index = self.draw(self.active.load(Ordering::Relaxed));
                 if self.map.reserve(index) {
                     *slot = index;
                     break;
@@ -519,7 +680,6 @@ impl AtomicPartition {
             }
         }
         self.probes.fetch_add(probes, Ordering::Relaxed);
-        self.allocs.fetch_add(granted as u64, Ordering::Relaxed);
         granted
     }
 
@@ -538,7 +698,9 @@ impl AtomicPartition {
             }
         }
         if freed > 0 {
-            self.in_use.fetch_sub(freed as usize, Ordering::Relaxed);
+            // Low half only: frees return occupancy tickets, never alloc
+            // telemetry.
+            self.tickets.fetch_sub(freed, Ordering::Relaxed);
         }
         (freed, indices.len() as u64 - freed)
     }
@@ -559,7 +721,7 @@ impl AtomicPartition {
     /// when this call released it.
     pub fn release_reservation(&self, index: usize) -> bool {
         if self.map.release_reservation(index) {
-            self.in_use.fetch_sub(1, Ordering::Relaxed);
+            self.tickets.fetch_sub(1, Ordering::Relaxed);
             true
         } else {
             false
@@ -580,8 +742,10 @@ impl AtomicPartition {
         let was = self.map.free(index);
         if was == SlotState::Live {
             // Clear-then-decrement: between the two, `in_use` overcounts,
-            // which only ever errs toward denying an allocation.
-            self.in_use.fetch_sub(1, Ordering::Relaxed);
+            // which only ever errs toward denying an allocation. A live slot
+            // guarantees the low half is ≥ 1, so the subtraction cannot
+            // borrow into the packed alloc counter.
+            self.tickets.fetch_sub(1, Ordering::Relaxed);
         }
         was
     }
@@ -642,11 +806,13 @@ impl AtomicPartition {
 
     /// Lifetime probe statistics: `(allocations, total probes)`. Reads are
     /// relaxed; exact at quiescence (each successful allocation's probes are
-    /// added as one batch).
+    /// added as one batch). The allocation count lives in the high half of
+    /// the packed ticket word, so it is 32-bit telemetry (wraps mod 2³²) —
+    /// the price of the one-RMW ticket fast path.
     #[must_use]
     pub fn probe_stats(&self) -> (u64, u64) {
         (
-            self.allocs.load(Ordering::Relaxed),
+            self.tickets.load(Ordering::Relaxed) >> TICKET_ALLOC_SHIFT,
             self.probes.load(Ordering::Relaxed),
         )
     }
@@ -934,6 +1100,68 @@ mod tests {
         assert_eq!(p.occupied_slots().count(), 0);
         let (allocs, probes) = p.probe_stats();
         assert!(probes >= allocs, "each allocation costs at least one probe");
+    }
+
+    #[test]
+    fn elastic_partition_grows_in_place() {
+        let p = AtomicPartition::new_elastic(SizeClass::from_index(0), 64, 8, 4, 0xE1A);
+        assert_eq!(p.capacity(), 8);
+        assert_eq!(p.max_capacity(), 64);
+        assert_eq!(p.threshold(), 4);
+        let mut held = Vec::new();
+        for _ in 0..4 {
+            let idx = p.alloc().expect("below threshold");
+            assert!(idx < 8, "draws confined to the active range");
+            held.push(idx);
+        }
+        assert_eq!(p.alloc(), None, "at the initial 1/M cap");
+        p.grow_to(16, 8);
+        assert_eq!(p.capacity(), 16);
+        assert_eq!(p.threshold(), 8);
+        for &idx in &held {
+            assert!(p.is_live(idx), "growth never moves a live slot");
+        }
+        for _ in 0..4 {
+            let idx = p.alloc().expect("grown capacity is allocatable");
+            assert!(idx < 16);
+            held.push(idx);
+        }
+        assert_eq!(p.alloc(), None, "at the grown 1/M cap");
+        let (allocs, probes) = p.probe_stats();
+        assert_eq!(allocs, 8, "denied tickets leave no alloc telemetry");
+        assert!(probes >= allocs);
+        for idx in held {
+            assert_eq!(p.free(idx), SlotState::Live);
+        }
+        assert_eq!(p.in_use(), 0, "tickets reconcile across growth");
+    }
+
+    #[test]
+    fn elastic_partition_matches_fixed_twin_at_full_size() {
+        // An elastic partition grown to max before any traffic draws the
+        // exact sequence of a fixed partition: growth itself consumes no
+        // RNG state.
+        let fixed = atomic_seeded(256, 128, 0x90F7);
+        let elastic = AtomicPartition::new_elastic(SizeClass::from_index(0), 256, 4, 2, 0x90F7);
+        elastic.grow_to(256, 128);
+        for _ in 0..128 {
+            assert_eq!(fixed.alloc(), elastic.alloc());
+        }
+        assert_eq!(fixed.probe_stats(), elastic.probe_stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn atomic_grow_rejects_shrinking() {
+        let p = AtomicPartition::new_elastic(SizeClass::from_index(0), 64, 32, 16, 1);
+        p.grow_to(16, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds maximum")]
+    fn atomic_grow_rejects_overflowing_the_map() {
+        let p = AtomicPartition::new_elastic(SizeClass::from_index(0), 64, 32, 16, 1);
+        p.grow_to(128, 64);
     }
 
     proptest! {

@@ -39,11 +39,12 @@ use crate::bitmap::SlotState;
 use crate::config::{ConfigError, HeapConfig, HeapGeometry};
 use crate::engine::{
     build_atomic_partitions, build_atomic_partitions_from_storage, locate_free, slot_at,
-    slot_offset, AtomicHeapStats, FreeOutcome, HeapStats, Slot,
+    slot_offset, AllocOutcome, AtomicHeapStats, FreeOutcome, HeapStats, Slot,
 };
 use crate::partition::AtomicPartition;
 use crate::size_class::{SizeClass, NUM_CLASSES};
 use crate::sync::SpinLock;
+use core::sync::atomic::{AtomicU64, Ordering};
 
 /// A thread-safe DieHard heap whose alloc and free paths are lock-free; one
 /// maintenance lock per size class guards slow-path batches only.
@@ -77,6 +78,9 @@ pub struct ShardedHeap {
     /// them correct against in-flight maintenance.
     maintenance: [SpinLock<()>; NUM_CLASSES],
     stats: AtomicHeapStats,
+    /// Number of completed per-class doublings (elastic heaps; always 0 on
+    /// fixed heaps).
+    growths: AtomicU64,
 }
 
 impl ShardedHeap {
@@ -87,13 +91,39 @@ impl ShardedHeap {
     ///
     /// Returns [`ConfigError`] when the configuration is invalid.
     pub fn new(config: HeapConfig, seed: u64) -> Result<Self, ConfigError> {
-        let geometry = HeapGeometry::new(config)?;
+        Self::from_geometry(HeapGeometry::new(config)?, seed)
+    }
+
+    /// Creates an *elastic* sharded heap: each class starts at
+    /// `1 / 2^initial_fraction_log2` of its maximum capacity and doubles
+    /// lock-free-readably under `1/M`-cap pressure until the maximum, after
+    /// which [`try_alloc`](Self::try_alloc) reports
+    /// [`AllocOutcome::Spill`] instead of hard-failing. Slot layout is
+    /// computed against the maximum capacity from day one, so growth moves
+    /// no object and changes no offset arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is invalid.
+    pub fn new_elastic(
+        config: HeapConfig,
+        seed: u64,
+        initial_fraction_log2: u32,
+    ) -> Result<Self, ConfigError> {
+        Self::from_geometry(
+            HeapGeometry::new_elastic(config, initial_fraction_log2)?,
+            seed,
+        )
+    }
+
+    fn from_geometry(geometry: HeapGeometry, seed: u64) -> Result<Self, ConfigError> {
         let shards = build_atomic_partitions(&geometry, seed);
         Ok(Self {
             geometry,
             shards,
             maintenance: core::array::from_fn(|_| SpinLock::new(())),
             stats: AtomicHeapStats::new(),
+            growths: AtomicU64::new(0),
         })
     }
 
@@ -118,12 +148,45 @@ impl ShardedHeap {
     ) -> Result<Self, ConfigError> {
         let geometry = HeapGeometry::new(config)?;
         // SAFETY: forwarded caller contract.
+        unsafe { Self::from_geometry_raw(geometry, seed, bitmap_words) }
+    }
+
+    /// As [`from_raw_parts`] but elastic (see [`new_elastic`](Self::new_elastic)).
+    /// The metadata footprint is identical — slot maps are always sized for
+    /// the maximum capacity — so
+    /// [`bitmap_words_needed`](Self::bitmap_words_needed) applies unchanged.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`from_raw_parts`](Self::from_raw_parts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is invalid.
+    pub unsafe fn from_raw_parts_elastic(
+        config: HeapConfig,
+        seed: u64,
+        bitmap_words: *mut u64,
+        initial_fraction_log2: u32,
+    ) -> Result<Self, ConfigError> {
+        let geometry = HeapGeometry::new_elastic(config, initial_fraction_log2)?;
+        // SAFETY: forwarded caller contract.
+        unsafe { Self::from_geometry_raw(geometry, seed, bitmap_words) }
+    }
+
+    unsafe fn from_geometry_raw(
+        geometry: HeapGeometry,
+        seed: u64,
+        bitmap_words: *mut u64,
+    ) -> Result<Self, ConfigError> {
+        // SAFETY: forwarded caller contract.
         let shards = unsafe { build_atomic_partitions_from_storage(&geometry, seed, bitmap_words) };
         Ok(Self {
             geometry,
             shards,
             maintenance: core::array::from_fn(|_| SpinLock::new(())),
             stats: AtomicHeapStats::new(),
+            growths: AtomicU64::new(0),
         })
     }
 
@@ -168,19 +231,81 @@ impl ShardedHeap {
     /// the `1/M` cap, then probe draws claimed by `fetch_or`, no lock in any
     /// branch. Returns `None` when the request is zero, larger than 16 KB
     /// (large-object path), or the class region is at its `1/M` cap.
+    ///
+    /// On an elastic heap a denial first grows the class (see
+    /// [`try_alloc`](Self::try_alloc)); only a denial at the *maximum*
+    /// capacity becomes `None`.
     #[inline]
     pub fn alloc(&self, size: usize) -> Option<Slot> {
-        let class = SizeClass::for_size(size)?;
-        match self.shards[class.index()].alloc() {
-            Some(index) => {
+        self.try_alloc(size).placed()
+    }
+
+    /// [`alloc`](Self::alloc) with the elastic outcome surfaced: a denial at
+    /// the `1/M` cap grows the class (doubling, under the class's
+    /// maintenance lock) and retries, until a denial at the maximum capacity
+    /// returns [`AllocOutcome::Spill`] — the routable "spill elsewhere"
+    /// signal, recorded as an exhaustion in the heap stats. On fixed heaps
+    /// the growth check is one relaxed load (capacity is already maximal),
+    /// so the fast path is unchanged.
+    #[inline]
+    pub fn try_alloc(&self, size: usize) -> AllocOutcome {
+        let Some(class) = SizeClass::for_size(size) else {
+            return AllocOutcome::Unsupported;
+        };
+        loop {
+            if let Some(index) = self.shards[class.index()].alloc() {
                 self.stats.record_alloc();
-                Some(Slot { class, index })
+                return AllocOutcome::Placed(Slot { class, index });
             }
-            None => {
+            if !self.grow_class(class) {
                 self.stats.record_exhausted();
-                None
+                return AllocOutcome::Spill;
             }
         }
+    }
+
+    /// Number of completed per-class doublings since construction.
+    #[must_use]
+    pub fn growth_events(&self) -> u64 {
+        self.growths.load(Ordering::Relaxed)
+    }
+
+    /// Attempts one growth step for `class`; `false` means the class is
+    /// already at its maximum capacity (time to spill), `true` means the
+    /// caller should retry its allocation — either this call doubled the
+    /// active capacity or a racing free already made room.
+    fn grow_class(&self, class: SizeClass) -> bool {
+        let shard = &self.shards[class.index()];
+        if shard.capacity() >= self.geometry.capacity(class) {
+            return false;
+        }
+        let _guard = self.maintenance[class.index()].lock();
+        self.grow_class_locked(class)
+    }
+
+    /// The body of [`grow_class`] for callers that already hold `class`'s
+    /// maintenance lock (the magazine refill path — re-locking would
+    /// deadlock on the non-reentrant `SpinLock`). Doubles the active
+    /// capacity with the exact-integer `1/M` threshold for the new size;
+    /// skips the doubling (but still reports "retry") when a racing free
+    /// dropped the shard below its cap while we waited for the lock.
+    pub(crate) fn grow_class_locked(&self, class: SizeClass) -> bool {
+        let shard = &self.shards[class.index()];
+        let capacity = shard.capacity();
+        let max = self.geometry.capacity(class);
+        if capacity >= max {
+            return false;
+        }
+        if !shard.at_threshold() {
+            // A concurrent free (or a finished grower) made room between
+            // our denial and the lock: retry without spending a doubling.
+            return true;
+        }
+        let new_capacity = (capacity * 2).min(max);
+        let new_threshold = self.geometry.config().threshold_for(new_capacity).max(1);
+        shard.grow_to(new_capacity, new_threshold);
+        self.growths.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Byte offset of `slot` within the heap span (pure arithmetic, no
@@ -465,6 +590,48 @@ mod tests {
             got, expected,
             "class-0 placements diverged under cross-class noise"
         );
+    }
+
+    #[test]
+    fn elastic_heap_grows_then_spills_gracefully() {
+        // 16 KB class: max capacity 64, elastic start 2 (threshold 1). The
+        // heap must absorb the full fixed-size workload (32 slots under
+        // M = 2) by doubling, then report Spill — not a crash — past the
+        // final cap.
+        let h = ShardedHeap::new_elastic(HeapConfig::default(), 0x57A7, 6).unwrap();
+        let mut placed = 0u64;
+        let spilled = loop {
+            match h.try_alloc(16 * 1024) {
+                AllocOutcome::Placed(slot) => {
+                    assert!(slot.index < 64);
+                    placed += 1;
+                }
+                AllocOutcome::Spill => break true,
+                AllocOutcome::Unsupported => unreachable!("16 KB is a small object"),
+            }
+        };
+        assert!(spilled);
+        assert_eq!(placed, 32, "same capacity as a fixed heap after growth");
+        assert_eq!(h.growth_events(), 5, "2 → 4 → 8 → 16 → 32 → 64");
+        assert_eq!(h.stats().exhausted, 1, "growth denials are not exhaustion");
+        assert_eq!(h.stats().allocs, 32);
+        // Outcomes are stable and routable, and zero-size stays unsupported
+        // with no stats recorded.
+        assert_eq!(h.try_alloc(16 * 1024), AllocOutcome::Spill);
+        assert_eq!(h.try_alloc(0), AllocOutcome::Unsupported);
+        assert_eq!(h.stats().exhausted, 2);
+    }
+
+    #[test]
+    fn fixed_heap_never_grows() {
+        let h = heap(0xF1);
+        let mut last = None;
+        while let Some(slot) = h.alloc(16 * 1024) {
+            last = Some(slot);
+        }
+        assert!(last.is_some());
+        assert_eq!(h.growth_events(), 0);
+        assert_eq!(h.try_alloc(16 * 1024), AllocOutcome::Spill);
     }
 
     proptest! {

@@ -90,6 +90,10 @@ pub const MAP_NORESERVE: c_int = 0x4000;
 /// `mmap(2)` error sentinel: `(void *) -1`.
 pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
 
+/// `madvise(2)` advice: back this mapping with transparent huge pages
+/// (Linux value).
+pub const MADV_HUGEPAGE: c_int = 14;
+
 extern "C" {
     /// `open(2)`.
     pub fn open(path: *const c_char, flags: c_int, ...) -> c_int;
@@ -114,6 +118,8 @@ extern "C" {
     pub fn munmap(addr: *mut c_void, length: size_t) -> c_int;
     /// `mprotect(2)`.
     pub fn mprotect(addr: *mut c_void, length: size_t, prot: c_int) -> c_int;
+    /// `madvise(2)`.
+    pub fn madvise(addr: *mut c_void, length: size_t, advice: c_int) -> c_int;
     /// `poll(2)`.
     pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
     /// `fcntl(2)` (variadic: `F_SETFL` takes the flags as a third argument).
