@@ -1,13 +1,14 @@
 //! Replication-cost bench (§7.2.3 companion): one program, k ∈ {1, 3, 16}
 //! replicas, serial vs parallel execution of the replica set, the voting
-//! machinery in isolation, and the §5 subprocess engine streaming
+//! machinery in isolation, the §5 subprocess engine streaming
 //! multi-megabyte voted output — a stream length the old buffer-everything
 //! voter held entirely in memory (replicas × stream bytes) and the
-//! event-driven engine bounds at replicas × 4 KB.
+//! event-driven engine bounds at replicas × 4 KB — and the TCP proxy
+//! front end multiplexing concurrent voted sessions over one reactor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use diehard_core::config::HeapConfig;
-use diehard_replicate::{run_replicated, LaunchConfig};
+use diehard_replicate::{run_replicated, LaunchConfig, CHUNK};
 use diehard_runtime::ReplicaSet;
 use diehard_workloads::{profile_by_name, server};
 
@@ -114,6 +115,7 @@ fn bench_replica_scaling(c: &mut Criterion) {
             input: Vec::new(),
             seeds: Vec::new(),
             preload: None,
+            chunk: CHUNK,
         };
         group.bench_with_input(BenchmarkId::new("replicas", replicas), &cfg, |b, cfg| {
             b.iter(|| {
@@ -154,12 +156,79 @@ fn bench_streamed_server_trace(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_proxy_grid(c: &mut Criterion) {
+    if !cfg!(unix) {
+        return;
+    }
+    use diehard_replicate::net::Listener;
+    use diehard_replicate::proxy::Proxy;
+    use diehard_workloads::client::{drive, Pace};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    // The proxy's scaling surface: `conns` concurrent clients, each served
+    // by its own `replicas`-way voted server set, all multiplexed over one
+    // reactor thread. One iteration = every client's full
+    // connect → trace → voted-response cycle; per-connection memory stays
+    // at the session bound regardless of either axis. In this single-CPU
+    // container the replica processes time-slice, so wall time grows with
+    // conns × replicas; on a multicore host the sessions run in parallel
+    // and the conns axis should flatten.
+    let requests = server::trace(0x0091_2077, 20);
+    let expected = server::expected_output(&requests);
+    let mut group = c.benchmark_group("proxy_grid");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for replicas in [3usize, 5] {
+        for conns in [1usize, 4, 8] {
+            let config = LaunchConfig::new(
+                replicas,
+                vec!["/bin/sh".into(), "-c".into(), server::SERVER_SCRIPT.into()],
+                Vec::new(),
+            );
+            let listener = Listener::bind_loopback(0).expect("loopback bind");
+            let mut proxy = Proxy::new(listener, config).expect("default chunk");
+            let port = proxy.local_port().expect("bound port");
+            let stop = Arc::new(AtomicBool::new(false));
+            let flag = Arc::clone(&stop);
+            let server_thread = std::thread::spawn(move || proxy.run(&flag));
+
+            let id = BenchmarkId::new(format!("replicas_{replicas}"), conns);
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    let clients: Vec<_> = (0..conns)
+                        .map(|_| {
+                            let requests = requests.clone();
+                            std::thread::spawn(move || {
+                                drive(port, &requests, Pace::full()).expect("client I/O")
+                            })
+                        })
+                        .collect();
+                    for client in clients {
+                        let response = client.join().expect("client thread");
+                        assert_eq!(response, expected, "voted transcript must be exact");
+                    }
+                });
+            });
+
+            stop.store(true, Ordering::Release);
+            server_thread
+                .join()
+                .expect("proxy thread")
+                .expect("reactor ran clean");
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_replica_counts,
     bench_random_fill_cost,
     bench_streamed_subprocess_vote,
     bench_replica_scaling,
-    bench_streamed_server_trace
+    bench_streamed_server_trace,
+    bench_proxy_grid
 );
 criterion_main!(benches);

@@ -7,7 +7,9 @@
 //! a diffable number trail instead of prose tables. The kernels are seeded
 //! and fixed-size — two runs on the same machine measure the same work —
 //! and deliberately target the allocator's strength-reduced arithmetic:
-//! partition probing, free validation, and the replicated-mode random fill.
+//! partition probing, free validation, and the replicated-mode random fill —
+//! plus the §5 replicated network front end: voted bytes/second through a
+//! loopback proxy session and the full connect→vote→close cycle cost.
 //!
 //! Schema of the emitted JSON: a single object mapping kernel name to
 //! `{"mean_ns": float, "min_ns": float, "max_ns": float, "iters": int}`,
@@ -31,6 +33,8 @@ pub const KERNELS: &[&str] = &[
     "fill_random",
     "grow_under_churn",
     "hugepage_fill",
+    "proxy_throughput",
+    "proxy_conn_latency",
 ];
 
 /// One kernel's timing summary (nanoseconds per operation across samples).
@@ -224,6 +228,101 @@ fn hugepage_fill(smoke: bool) -> KernelResult {
     })
 }
 
+/// Shared proxy-kernel scaffolding: a loopback [`Proxy`] voting three
+/// `/bin/cat` replicas per connection, run on its own thread for the
+/// duration of `body`, which receives the bound port.
+#[cfg(unix)]
+fn with_cat_proxy<R>(body: impl FnOnce(u16) -> R) -> R {
+    use diehard_replicate::net::Listener;
+    use diehard_replicate::proxy::Proxy;
+    use diehard_replicate::LaunchConfig;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let config = LaunchConfig::new(3, vec!["/bin/cat".into()], Vec::new());
+    let listener = Listener::bind_loopback(0).expect("loopback bind");
+    let mut proxy = Proxy::new(listener, config).expect("default chunk is valid");
+    let port = proxy.local_port().expect("bound port");
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let server = std::thread::spawn(move || proxy.run(&flag));
+    let result = body(port);
+    stop.store(true, Ordering::Release);
+    server
+        .join()
+        .expect("proxy thread")
+        .expect("reactor ran clean");
+    result
+}
+
+/// One voted proxy session: connect, stream `payload`, half-close, read the
+/// quorum echo to EOF, and check the byte count survived the vote.
+#[cfg(unix)]
+fn proxy_echo_round(port: u16, payload: &[u8]) {
+    use diehard_replicate::net::{connect_loopback, shutdown_write};
+    use std::io::{Read, Write};
+
+    let mut stream = connect_loopback(port).expect("connect");
+    let to_send = payload.to_vec();
+    let writer = {
+        let stream = stream.try_clone().expect("clone stream");
+        std::thread::spawn(move || {
+            let mut stream = stream;
+            let _ = stream.write_all(&to_send);
+            let _ = shutdown_write(&stream);
+        })
+    };
+    let mut echoed = Vec::new();
+    stream.read_to_end(&mut echoed).expect("read voted echo");
+    writer.join().expect("writer thread");
+    assert_eq!(echoed.len(), payload.len(), "quorum echo must be complete");
+}
+
+/// Voted proxy throughput: one op = one payload byte pushed through a full
+/// loopback session (client → broadcast to 3 cat replicas → 4 KB chunk
+/// votes → quorum bytes back). Each sample is a fresh connection, so the
+/// number includes a session spawn amortized over the payload — the shape
+/// a short-lived proxy client actually sees.
+#[cfg(unix)]
+fn proxy_throughput(smoke: bool) -> KernelResult {
+    let (warmup, samples, len) = if smoke {
+        (0, 2, 8_192usize)
+    } else {
+        (1, 10, 262_144usize)
+    };
+    let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+    with_cat_proxy(|port| {
+        measure("proxy_throughput", warmup, samples, len as u64, move || {
+            proxy_echo_round(port, &payload);
+        })
+    })
+}
+
+/// Per-connection cost: one op = a complete connect → tiny voted echo →
+/// close cycle, dominated by spawning and reaping the connection's three
+/// replica processes. This is the fixed cost `proxy_throughput` amortizes.
+#[cfg(unix)]
+fn proxy_conn_latency(smoke: bool) -> KernelResult {
+    let (warmup, samples, ops) = if smoke { (0, 2, 1u64) } else { (1, 8, 4u64) };
+    with_cat_proxy(|port| {
+        measure("proxy_conn_latency", warmup, samples, ops, move || {
+            for _ in 0..ops {
+                proxy_echo_round(port, b"ping\n");
+            }
+        })
+    })
+}
+
+#[cfg(not(unix))]
+fn proxy_throughput(_smoke: bool) -> KernelResult {
+    unreachable!("proxy kernels require unix process plumbing")
+}
+
+#[cfg(not(unix))]
+fn proxy_conn_latency(_smoke: bool) -> KernelResult {
+    unreachable!("proxy kernels require unix process plumbing")
+}
+
 /// Runs every registered kernel, in registry order.
 #[must_use]
 pub fn run_all(smoke: bool) -> Vec<KernelResult> {
@@ -243,6 +342,8 @@ pub fn run_kernel(name: &str, smoke: bool) -> Option<KernelResult> {
         "fill_random" => Some(fill_kernel("fill_random", FillPolicy::Random, smoke)),
         "grow_under_churn" => Some(grow_under_churn(smoke)),
         "hugepage_fill" => Some(hugepage_fill(smoke)),
+        "proxy_throughput" => Some(proxy_throughput(smoke)),
+        "proxy_conn_latency" => Some(proxy_conn_latency(smoke)),
         _ => None,
     }
 }
@@ -340,6 +441,8 @@ mod tests {
         assert!(missing.contains(&"fill_random"));
         assert!(missing.contains(&"grow_under_churn"));
         assert!(missing.contains(&"hugepage_fill"));
+        assert!(missing.contains(&"proxy_throughput"));
+        assert!(missing.contains(&"proxy_conn_latency"));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! Usage:
 //!
 //! ```text
-//! diehard [-n REPLICAS] [--preload LIB] [--seed SEED] -- COMMAND [ARGS...]
+//! diehard [-n REPLICAS] [--chunk BYTES] [--preload LIB] [--seed SEED] -- COMMAND [ARGS...]
 //! ```
 //!
 //! Standard input is broadcast to all replicas **incrementally** (never
@@ -26,10 +26,11 @@ use std::os::unix::io::AsRawFd;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: diehard [-n REPLICAS] [--preload LIB] [--seed SEED] -- COMMAND [ARGS...]\n\
+        "usage: diehard [-n REPLICAS] [--chunk BYTES] [--preload LIB] [--seed SEED] -- COMMAND [ARGS...]\n\
          \n\
          Runs COMMAND in REPLICAS differently-seeded replicas (default 3),\n\
-         streaming stdin to all and voting on stdout at 4 KB barriers.\n\
+         streaming stdin to all and voting on stdout at BYTES-sized barriers\n\
+         (default 4096; a bounded power of two).\n\
          Exits with the replicas' agreed status, or 2 on divergence.\n\
          Each replica receives a unique DIEHARD_SEED; --preload exports\n\
          LD_PRELOAD for C binaries using libdiehard-style interposition."
@@ -40,6 +41,7 @@ fn usage() -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut replicas = 3usize;
+    let mut chunk: Option<usize> = None;
     let mut preload: Option<String> = None;
     let mut master_seed: Option<u64> = None;
     let mut command: Vec<String> = Vec::new();
@@ -53,6 +55,13 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
+            }
+            "--chunk" => {
+                i += 1;
+                chunk = args.get(i).and_then(|s| s.parse().ok());
+                if chunk.is_none() {
+                    usage();
+                }
             }
             "--preload" => {
                 i += 1;
@@ -84,6 +93,9 @@ fn main() {
 
     let mut config = LaunchConfig::new(replicas, command, Vec::new());
     config.preload = preload;
+    if let Some(c) = chunk {
+        config.chunk = c; // validated (pow2, bounded) at launch
+    }
     if let Some(seed) = master_seed {
         config.seeds = (0..replicas as u64)
             .map(|i| diehard_core::rng::splitmix(seed ^ (i + 1)))

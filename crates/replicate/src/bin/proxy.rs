@@ -1,0 +1,240 @@
+//! The `diehard-proxy` front end: replicated execution for TCP clients.
+//!
+//! Usage:
+//!
+//! ```text
+//! diehard-proxy [-n REPLICAS] [--port PORT] [--chunk BYTES] [--cap BYTES]
+//!               [--preload LIB] [--seed SEED] -- COMMAND [ARGS...]
+//! diehard-proxy --smoke
+//! ```
+//!
+//! Listens on `127.0.0.1:PORT` (default 0 = kernel-assigned; the bound
+//! port is printed to stderr) and gives every accepted connection its own
+//! set of `REPLICAS` differently-seeded copies of `COMMAND`: request bytes
+//! are broadcast to the replicas' stdins, their stdouts are voted at
+//! `BYTES`-sized barriers, and only quorum bytes flow back to the client.
+//! Clients send their whole request, half-close (`shutdown(SHUT_WR)`), and
+//! read the voted response to EOF.
+//!
+//! `--smoke` runs a self-contained loopback check — three `/bin/cat`
+//! replicas echoing one client's payload through a full voted session —
+//! and exits 0 on byte-exact agreement (the CI smoke hook).
+
+use diehard_replicate::net::shutdown_write;
+use diehard_replicate::net::{connect_loopback, Listener};
+use diehard_replicate::proxy::Proxy;
+use diehard_replicate::LaunchConfig;
+use std::io::{Read, Write};
+use std::sync::atomic::AtomicBool;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: diehard-proxy [-n REPLICAS] [--port PORT] [--chunk BYTES] [--cap BYTES]\n\
+         \x20                    [--preload LIB] [--seed SEED] -- COMMAND [ARGS...]\n\
+         \x20      diehard-proxy --smoke\n\
+         \n\
+         Serves 127.0.0.1:PORT (default: kernel-assigned, printed on stderr).\n\
+         Each accepted connection gets its own REPLICAS differently-seeded\n\
+         copies of COMMAND (default 3): request bytes are broadcast to every\n\
+         replica's stdin and responses are voted at BYTES-sized barriers\n\
+         (default 4096; power of two) — clients receive only quorum bytes.\n\
+         Clients send the full request, shutdown(SHUT_WR), then read to EOF.\n\
+         --cap bounds the per-connection outbound queue; --seed derives\n\
+         deterministic per-replica seeds (default: fresh entropy per\n\
+         connection); --smoke runs a loopback self-test and exits."
+    );
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut replicas = 3usize;
+    let mut port = 0u16;
+    let mut chunk: Option<usize> = None;
+    let mut cap: Option<usize> = None;
+    let mut preload: Option<String> = None;
+    let mut master_seed: Option<u64> = None;
+    let mut smoke = false;
+    let mut command: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-n" | "--replicas" => {
+                i += 1;
+                replicas = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--port" => {
+                i += 1;
+                port = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--chunk" => {
+                i += 1;
+                chunk = args.get(i).and_then(|s| s.parse().ok());
+                if chunk.is_none() {
+                    usage();
+                }
+            }
+            "--cap" => {
+                i += 1;
+                cap = args.get(i).and_then(|s| s.parse().ok());
+                if cap.is_none() {
+                    usage();
+                }
+            }
+            "--preload" => {
+                i += 1;
+                preload = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--seed" => {
+                i += 1;
+                master_seed = args.get(i).and_then(|s| s.parse().ok());
+                if master_seed.is_none() {
+                    usage();
+                }
+            }
+            "--smoke" => smoke = true,
+            "--" => {
+                command = args[i + 1..].to_vec();
+                break;
+            }
+            "-h" | "--help" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if smoke {
+        std::process::exit(run_smoke());
+    }
+    if command.is_empty() || replicas == 0 || replicas == 2 {
+        usage();
+    }
+
+    let mut config = LaunchConfig::new(replicas, command, Vec::new());
+    config.preload = preload;
+    if let Some(c) = chunk {
+        config.chunk = c;
+    }
+    if let Some(seed) = master_seed {
+        config.seeds = (0..replicas as u64)
+            .map(|i| diehard_core::rng::splitmix(seed ^ (i + 1)))
+            .collect();
+    }
+
+    let listener = match Listener::bind_loopback(port) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("diehard-proxy: bind 127.0.0.1:{port} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut proxy = match Proxy::new(listener, config) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("diehard-proxy: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(bytes) = cap {
+        proxy = proxy.with_out_cap(bytes);
+    }
+    match proxy.local_port() {
+        Ok(p) => eprintln!("diehard-proxy: listening on 127.0.0.1:{p}"),
+        Err(e) => eprintln!("diehard-proxy: listening (port unknown: {e})"),
+    }
+
+    // Serve until killed; there is no orderly-shutdown signal surface.
+    static RUN_FOREVER: AtomicBool = AtomicBool::new(false);
+    match proxy.run(&RUN_FOREVER) {
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("diehard-proxy: reactor failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Loopback self-test: one voted `/bin/cat` session, byte-exact echo.
+fn run_smoke() -> i32 {
+    let config = LaunchConfig::new(3, vec!["/bin/cat".into()], Vec::new());
+    let listener = match Listener::bind_loopback(0) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("diehard-proxy: smoke bind failed: {e}");
+            return 1;
+        }
+    };
+    let mut proxy = match Proxy::new(listener, config) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("diehard-proxy: smoke setup failed: {e}");
+            return 1;
+        }
+    };
+    let port = match proxy.local_port() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("diehard-proxy: smoke port lookup failed: {e}");
+            return 1;
+        }
+    };
+    static STOP: AtomicBool = AtomicBool::new(false);
+    let server = std::thread::spawn(move || proxy.run(&STOP));
+
+    // A payload spanning several chunks, so real barriers resolve.
+    let payload: Vec<u8> = (0..32_768u32).map(|i| (i % 251) as u8).collect();
+    let verdict = (|| -> std::io::Result<bool> {
+        let mut stream = connect_loopback(port)?;
+        let to_send = payload.clone();
+        let writer = {
+            let stream = stream.try_clone()?;
+            std::thread::spawn(move || {
+                let mut stream = stream;
+                let _ = stream.write_all(&to_send);
+                let _ = shutdown_write(&stream);
+            })
+        };
+        let mut echoed = Vec::new();
+        stream.read_to_end(&mut echoed)?;
+        writer.join().expect("writer thread");
+        Ok(echoed == payload)
+    })();
+
+    STOP.store(true, std::sync::atomic::Ordering::Release);
+    let summary = server.join().expect("proxy thread");
+    match (verdict, summary) {
+        (Ok(true), Ok(summary)) if summary.diverged == 0 => {
+            eprintln!(
+                "diehard-proxy: smoke OK ({} bytes voted through 3 replicas)",
+                payload.len()
+            );
+            0
+        }
+        (Ok(true), Ok(summary)) => {
+            eprintln!(
+                "diehard-proxy: smoke FAILED: {} diverged session(s)",
+                summary.diverged
+            );
+            1
+        }
+        (Ok(false), _) => {
+            eprintln!("diehard-proxy: smoke FAILED: echoed bytes differ");
+            1
+        }
+        (Err(e), _) => {
+            eprintln!("diehard-proxy: smoke FAILED: {e}");
+            1
+        }
+        (_, Err(e)) => {
+            eprintln!("diehard-proxy: smoke FAILED: reactor error: {e}");
+            1
+        }
+    }
+}

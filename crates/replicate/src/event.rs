@@ -1,35 +1,36 @@
-//! The event-driven barrier loop behind [`run_streamed`] (§5.2).
+//! The pipe transport: [`run_streamed`] drives one [`Session`] over a
+//! [`Reactor`] between a launcher's stdin and stdout (§5.2).
 //!
-//! The paper's front end "manages output from the replicas by periodically
-//! synchronizing at barriers. Whenever all currently-live replicas terminate
-//! or fill their output buffers (currently 4K each, the unit of transfer of
-//! a pipe), the voter compares the contents of each replica's output
-//! buffer." This module is that loop, literally: a `poll(2)` reactor that
+//! This module used to *be* the whole engine — one 800-line reactor with the
+//! replica lifecycle, the barrier voting, and the stdin/stdout plumbing
+//! fused together. It is now the thinnest of the three layers:
 //!
-//! * broadcasts standard input **incrementally** — a bounded ≤ [`CHUNK`]
-//!   window refilled only once every live replica has consumed it, so
-//!   arbitrary-length (even infinite) input streams never accumulate;
-//! * reads each replica's stdout non-blocking into a per-replica ≤ [`CHUNK`]
-//!   buffer, and stops polling a replica the moment its buffer is full —
-//!   the kernel pipe provides backpressure while slower replicas catch up;
-//! * invokes the [`Voter`] the instant every live replica has chunk *i*
-//!   (the real barrier — not after the streams end), commits the quorum
-//!   chunk to the caller's sink immediately, and `SIGKILL`s outvoted
-//!   replicas on the spot ("a replica that has generated anomalous output
-//!   is no longer useful");
-//! * captures each replica's stderr into a bounded (≤ [`CHUNK`]) buffer —
-//!   draining past the cap so a chatty replica never blocks;
-//! * after the streams end, reaps every replica (stderr still drained
-//!   throughout, so a replica blocked on diagnostics can exit), treats
-//!   **signal deaths** as crashes (removed from the live set), then runs
-//!   two more ballots over the survivors: the captured **stderr** (a
-//!   corrupted diagnostic stream is a divergence like any other, and the
-//!   agreed capture is forwarded to the launcher) and finally the **exit
-//!   statuses**, so the launcher can forward the agreed code.
+//! * [`crate::reactor`] owns `poll(2)` — registration, readiness dispatch,
+//!   non-blocking fd plumbing — and knows nothing about replicas;
+//! * [`crate::session`] owns the paper's voting state machine for one
+//!   client stream — the bounded ≤ chunk input window, the per-chunk vote
+//!   barriers with mid-run `SIGKILL`, the stderr captures, and the closing
+//!   stderr/exit ballots — and knows nothing about where bytes come from
+//!   or go;
+//! * this module (and its TCP sibling [`crate::proxy`]) is a *transport*:
+//!   it wires a session's descriptors into a reactor, feeds the input
+//!   window from a buffer or the launcher's stdin, and ships each resolved
+//!   quorum chunk to the caller's sink the moment the barrier commits.
 //!
-//! Peak voter memory is `O(replicas × CHUNK)` regardless of output length;
-//! [`StreamOutcome::peak_buffered`] reports the observed high-water mark so
-//! tests can assert the bound.
+//! The division of labor per reactor round is the protocol every transport
+//! follows: [`Session::pump`] resolves satisfied barriers into an output
+//! buffer, the transport flushes that buffer wherever it goes (applying its
+//! own backpressure by *not* pumping — unpumped full chunks stop being
+//! polled and the kernel pipes throttle the replicas),
+//! [`Session::register_interest`] + [`Session::wants_input`] name the
+//! descriptors worth polling, and [`Session::service`] consumes readiness.
+//! When the session drains, [`Session::finalize`] runs the closing ballots
+//! and yields the [`StreamOutcome`].
+//!
+//! Everything observable about the pipe path — committed bytes, kill
+//! timing, `peak_buffered` accounting, stderr/exit ballots — is pinned
+//! byte-identical to the pre-refactor engine by `tests/streaming.rs` and
+//! `tests/pipe_equivalence.rs`.
 //!
 //! Two deliberate limits, both inherited from the paper's design: a replica
 //! that trickles a partial chunk without closing its stream delays the
@@ -38,13 +39,13 @@
 //! gates how fast input is replayed to the others (beyond the kernel's own
 //! per-pipe buffering).
 
-use crate::voter::{ChunkVote, Voter};
-use crate::{LaunchConfig, CHUNK};
-use diehard_core::rng::{entropy_seed, splitmix};
-use std::io::{self, Read, Write};
-use std::os::unix::io::{AsRawFd, RawFd};
-use std::os::unix::process::ExitStatusExt;
-use std::process::{Child, ChildStderr, ChildStdin, ChildStdout, Command, ExitStatus, Stdio};
+use crate::reactor::Reactor;
+use crate::session::{resolve_seeds, Phase, Session, SessionInput, SessionIo};
+use crate::LaunchConfig;
+use std::io::{self, Write};
+use std::os::unix::io::RawFd;
+
+pub use crate::session::StreamOutcome;
 
 /// Where the broadcast standard input comes from.
 #[derive(Debug)]
@@ -61,40 +62,18 @@ pub enum InputSource {
     Fd(RawFd),
 }
 
-/// Outcome of one streamed replicated run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct StreamOutcome {
-    /// The voter hit an unresolvable disagreement — no strict plurality on
-    /// some output chunk or on the final exit-status ballot (the §6.3
-    /// uninitialized-read signal).
-    pub diverged: bool,
-    /// Replica indices killed for disagreeing or crashing, in kill order.
-    pub killed: Vec<usize>,
-    /// The exit status the surviving quorum agreed on; `None` when the run
-    /// diverged or no replica survived to vote.
-    pub exit_code: Option<i32>,
-    /// Total bytes committed to the sink.
-    pub committed: u64,
-    /// High-water mark of bytes buffered inside the engine (per-replica
-    /// stdout chunk and stderr capture buffers plus the streamed-input
-    /// window) — bounded by `(2 × replicas + 1) × CHUNK` by construction.
-    pub peak_buffered: usize,
-    /// The quorum-agreed standard error (first ≤ [`CHUNK`] bytes — the
-    /// same chunk discipline as stdout voting). After the streams end the
-    /// replicas' captures are voted as a ballot: a minority stderr loses
-    /// its replica its vote, and no strict plurality means the run
-    /// [`diverged`](Self::diverged). Empty when the run diverged or no
-    /// replica survived.
-    pub stderr: Vec<u8>,
-    /// Bytes of the winning replica's stderr beyond the [`CHUNK`] capture
-    /// cap. They were read and discarded — never left in the pipe, so a
-    /// chatty replica cannot block on stderr backpressure.
-    pub stderr_dropped: u64,
+/// What a pipe-transport `pollfd` entry refers to.
+#[derive(Debug, Clone, Copy)]
+enum Token {
+    /// One of the session's replica pipes.
+    Session(SessionIo),
+    /// The streamed input source (the launcher's stdin).
+    Source,
 }
 
 /// Runs `config.command` in `config.replicas` differently-seeded replicas,
 /// broadcasting `input` to each and committing voted output chunks to
-/// `sink` as each 4 KB barrier resolves.
+/// `sink` as each barrier resolves.
 ///
 /// `config.input` is ignored here — the input source is explicit so the
 /// launcher can hand over its stdin descriptor without buffering it.
@@ -102,712 +81,83 @@ pub struct StreamOutcome {
 /// # Errors
 ///
 /// Returns [`io::ErrorKind::InvalidInput`] when `config.seeds` is non-empty
-/// but its length differs from `config.replicas`; otherwise propagates
-/// process-spawn, `poll(2)`, and sink-write failures. Replica crashes and
-/// disagreements are **not** errors — the voter folds them into the
-/// returned [`StreamOutcome`].
+/// but its length differs from `config.replicas`, or when `config.chunk`
+/// is out of range; otherwise propagates process-spawn, `poll(2)`, and
+/// sink-write failures. Replica crashes and disagreements are **not**
+/// errors — the voter folds them into the returned [`StreamOutcome`].
 pub fn run_streamed(
     config: &LaunchConfig,
     input: InputSource,
     sink: &mut dyn Write,
 ) -> io::Result<StreamOutcome> {
     let seeds = resolve_seeds(config)?;
-    let mut engine = Engine::new(config, &seeds, input)?;
-    let result = engine.drive(sink);
-    engine.shutdown();
-    result
-}
-
-/// Validates explicit seeds or draws fresh entropy (the paper seeds each
-/// replica from `/dev/urandom`).
-fn resolve_seeds(config: &LaunchConfig) -> io::Result<Vec<u64>> {
-    if config.seeds.is_empty() {
-        let master = entropy_seed();
-        return Ok((0..config.replicas as u64)
-            .map(|i| splitmix(master ^ (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
-            .collect());
-    }
-    if config.seeds.len() != config.replicas {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            format!(
-                "{} seeds for {} replicas (provide one per replica or none)",
-                config.seeds.len(),
-                config.replicas
-            ),
-        ));
-    }
-    Ok(config.seeds.clone())
-}
-
-/// Per-replica reactor state.
-struct Replica {
-    child: Child,
-    /// `None` once closed (input fully delivered, broken pipe, or killed).
-    stdin: Option<ChildStdin>,
-    /// `None` once the replica's output stream ended.
-    stdout: Option<ChildStdout>,
-    /// `None` once the replica's stderr ended (or it was killed).
-    stderr: Option<ChildStderr>,
-    /// The chunk being assembled for the next barrier (≤ [`CHUNK`] bytes).
-    chunk: Vec<u8>,
-    /// Captured stderr: the first ≤ [`CHUNK`] bytes this replica wrote.
-    err_buf: Vec<u8>,
-    /// Stderr bytes beyond the capture cap, drained and discarded.
-    err_dropped: u64,
-    /// The output stream has ended; a partial `chunk` is its last ballot.
-    eof: bool,
-    /// Absolute input offset this replica has consumed up to.
-    in_pos: u64,
-    /// Exit status once reaped.
-    status: Option<ExitStatus>,
-}
-
-impl Replica {
-    /// Ready for the barrier: a full chunk, or the stream has ended (a
-    /// partial/empty final chunk is still a ballot).
-    fn ready(&self) -> bool {
-        self.eof || self.chunk.len() >= CHUNK
-    }
-}
-
-/// The broadcast-input window: `win` holds bytes `[base, base + win.len())`
-/// of the overall input stream.
-struct Input {
-    /// `Some` in streamed mode; `None` when the window *is* the whole input.
-    /// The descriptor keeps its original (normally blocking) mode — it is
-    /// only ever read right after `poll(2)` reports it readable.
-    fd: Option<RawFd>,
-    win: Vec<u8>,
-    base: u64,
-    eof: bool,
-}
-
-impl Input {
-    /// Absolute offset one past the last byte currently available.
-    fn end(&self) -> u64 {
-        self.base + self.win.len() as u64
-    }
-}
-
-/// What a `pollfd` entry refers to.
-#[derive(Clone, Copy)]
-enum Target {
-    /// Replica `i`'s stdout (read side).
-    Out(usize),
-    /// Replica `i`'s stderr (read side, capture + drain).
-    Err(usize),
-    /// Replica `i`'s stdin (write side).
-    In(usize),
-    /// The streamed input source.
-    Source,
-}
-
-struct Engine {
-    reps: Vec<Replica>,
-    input: Input,
-    voter: Voter,
-    committed: u64,
-    peak_buffered: usize,
-}
-
-/// Switches `fd` to non-blocking, returning the original flags.
-fn set_nonblocking(fd: RawFd) -> io::Result<libc::c_int> {
-    // SAFETY: fcntl on a descriptor we own; no memory is passed.
-    let flags = unsafe { libc::fcntl(fd, libc::F_GETFL) };
-    if flags < 0 {
-        return Err(io::Error::last_os_error());
-    }
-    // SAFETY: as above; third argument is the int F_SETFL expects.
-    if unsafe { libc::fcntl(fd, libc::F_SETFL, flags | libc::O_NONBLOCK) } < 0 {
-        return Err(io::Error::last_os_error());
-    }
-    Ok(flags)
-}
-
-/// Best-effort `SIGKILL`; failure (e.g. already reaped) is fine.
-fn sigkill(child: &Child) {
-    // SAFETY: plain kill(2) on the child's pid; the Child handle keeps the
-    // pid from being reaped (and thus reused) until we wait() on it.
-    unsafe {
-        let _ = libc::kill(child.id() as libc::pid_t, libc::SIGKILL);
-    }
-}
-
-impl Engine {
-    fn new(config: &LaunchConfig, seeds: &[u64], input: InputSource) -> io::Result<Self> {
-        let mut reps: Vec<Replica> = Vec::with_capacity(seeds.len());
-        // Kill-and-reap anything spawned so far if setup fails partway.
-        let abort = |reps: &mut Vec<Replica>, e: io::Error| -> io::Error {
-            for r in reps.iter_mut() {
-                sigkill(&r.child);
-                let _ = r.child.wait();
-            }
-            e
-        };
-        for &seed in seeds {
-            let mut cmd = Command::new(&config.command[0]);
-            cmd.args(&config.command[1..])
-                .env("DIEHARD_SEED", seed.to_string())
-                .stdin(Stdio::piped())
-                .stdout(Stdio::piped())
-                .stderr(Stdio::piped());
-            if let Some(ref lib) = config.preload {
-                cmd.env("LD_PRELOAD", lib);
-            }
-            let mut child = match cmd.spawn() {
-                Ok(c) => c,
-                Err(e) => return Err(abort(&mut reps, e)),
-            };
-            let stdin = child.stdin.take().expect("piped stdin");
-            let stdout = child.stdout.take().expect("piped stdout");
-            let stderr = child.stderr.take().expect("piped stderr");
-            let nb = set_nonblocking(stdin.as_raw_fd())
-                .and_then(|_| set_nonblocking(stdout.as_raw_fd()))
-                .and_then(|_| set_nonblocking(stderr.as_raw_fd()).map(|_| ()));
-            let mut rep = Replica {
-                child,
-                stdin: Some(stdin),
-                stdout: Some(stdout),
-                stderr: Some(stderr),
-                chunk: Vec::with_capacity(CHUNK),
-                err_buf: Vec::new(),
-                err_dropped: 0,
-                eof: false,
-                in_pos: 0,
-                status: None,
-            };
-            if let Err(e) = nb {
-                sigkill(&rep.child);
-                let _ = rep.child.wait();
-                return Err(abort(&mut reps, e));
-            }
-            reps.push(rep);
+    let (session_input, source) = match input {
+        InputSource::Buffer(data) => (SessionInput::Buffer(data), None),
+        InputSource::Fd(fd) => (SessionInput::Streamed, Some(fd)),
+    };
+    // On any error below, Session's Drop kills and reaps the replicas.
+    let mut session = Session::spawn(config, &seeds, session_input)?;
+    let mut reactor: Reactor<Token> = Reactor::new();
+    let mut voted = Vec::new();
+    loop {
+        // Resolve every satisfied barrier, then ship the quorum bytes
+        // immediately — the pipe transport has no cap of its own; the
+        // sink (a Vec or the launcher's stdout) absorbs every commit.
+        let phase = session.pump(&mut voted);
+        if !voted.is_empty() {
+            sink.write_all(&voted)?;
+            sink.flush()?;
+            voted.clear();
         }
-        // NB: the source descriptor's flags are deliberately left alone.
-        // O_NONBLOCK lives on the *open file description*, which stdin
-        // shares with stdout/stderr when all three are the same terminal —
-        // flipping it would make the launcher's own output non-blocking
-        // (and leak that state if we die before restoring it). The reactor
-        // never needs it: the source is only read after `poll(2)` reports
-        // it readable, and a single `read` of whatever is available does
-        // not block on pipes, terminals, or regular files.
-        let input = match input {
-            InputSource::Buffer(data) => Input {
-                fd: None,
-                win: data,
-                base: 0,
-                eof: true,
-            },
-            InputSource::Fd(fd) => Input {
-                fd: Some(fd),
-                win: Vec::with_capacity(CHUNK),
-                base: 0,
-                eof: false,
-            },
-        };
-        let n = reps.len();
-        Ok(Self {
-            reps,
-            input,
-            voter: Voter::new(n),
-            committed: 0,
-            peak_buffered: 0,
-        })
-    }
-
-    fn live_indices(&self) -> Vec<usize> {
-        (0..self.reps.len())
-            .filter(|&i| self.voter.is_alive(i))
-            .collect()
-    }
-
-    /// Updates the buffered-bytes high-water mark.
-    fn note_buffered(&mut self) {
-        let win = if self.input.fd.is_some() {
-            self.input.win.len()
-        } else {
-            0 // a caller-provided buffer is not engine memory
-        };
-        let cur = self
-            .reps
-            .iter()
-            .map(|r| r.chunk.len() + r.err_buf.len())
-            .sum::<usize>()
-            + win;
-        self.peak_buffered = self.peak_buffered.max(cur);
-    }
-
-    /// SIGKILLs replicas the voter just condemned and closes their pipes.
-    fn enforce_kills(&mut self, already_killed: usize) {
-        for idx in self.voter.killed().into_iter().skip(already_killed) {
-            let r = &mut self.reps[idx];
-            sigkill(&r.child);
-            r.stdin = None;
-            r.stdout = None;
-            r.stderr = None;
-            r.chunk.clear();
-            r.eof = true;
+        if phase == Phase::Drained {
+            break;
         }
-    }
-
-    /// SIGKILLs every not-yet-reaped replica (divergence teardown).
-    fn kill_all_processes(&mut self) {
-        for r in &mut self.reps {
-            if r.status.is_none() {
-                sigkill(&r.child);
-            }
-            r.stdin = None;
-            r.stdout = None;
-            r.stderr = None;
-        }
-    }
-
-    /// Closes the stdin of replicas that have consumed all input, so they
-    /// see EOF.
-    fn close_finished_stdins(&mut self) {
-        if !self.input.eof {
-            return;
-        }
-        let end = self.input.end();
-        for r in &mut self.reps {
-            if r.stdin.is_some() && r.in_pos >= end {
-                r.stdin = None;
+        reactor.clear();
+        session
+            .register_interest(|fd, events, io| reactor.register(fd, events, Token::Session(io)));
+        if let Some(fd) = source {
+            if session.wants_input() {
+                reactor.register(fd, libc::POLLIN, Token::Source);
             }
         }
-    }
-
-    /// Whether the streamed source should be polled for a window refill:
-    /// only once every replica still consuming input has caught up with the
-    /// current window (keeping the window, and thus memory, bounded).
-    fn wants_refill(&self) -> bool {
-        if self.input.fd.is_none() || self.input.eof {
-            return false;
-        }
-        let end = self.input.end();
-        let mut any_consumer = false;
-        for r in &self.reps {
-            if r.stdin.is_some() {
-                any_consumer = true;
-                if r.in_pos < end {
-                    return false;
-                }
-            }
-        }
-        any_consumer
-    }
-
-    /// Drains replica `i`'s stdout into its chunk buffer (≤ CHUNK).
-    fn read_stdout(&mut self, i: usize) {
-        let r = &mut self.reps[i];
-        let Some(out) = r.stdout.as_mut() else { return };
-        let mut buf = [0u8; CHUNK];
-        let mut ended = false;
-        while r.chunk.len() < CHUNK {
-            let want = CHUNK - r.chunk.len();
-            match out.read(&mut buf[..want]) {
-                Ok(0) => {
-                    ended = true;
-                    break;
-                }
-                Ok(n) => r.chunk.extend_from_slice(&buf[..n]),
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    ended = true;
-                    break;
-                }
-            }
-        }
-        if ended {
-            r.stdout = None;
-            r.eof = true;
-        }
-        self.note_buffered();
-    }
-
-    /// Drains replica `i`'s stderr. The capture keeps the first ≤ [`CHUNK`]
-    /// bytes (the same chunk discipline as stdout voting); everything
-    /// beyond the cap is still *read* — and discarded — so a chatty replica
-    /// can never block on a full stderr pipe and stall its own exit.
-    fn read_stderr(&mut self, i: usize) {
-        let r = &mut self.reps[i];
-        let Some(err) = r.stderr.as_mut() else { return };
-        let mut buf = [0u8; CHUNK];
-        loop {
-            match err.read(&mut buf) {
-                Ok(0) => {
-                    r.stderr = None;
-                    break;
-                }
-                Ok(n) => {
-                    let keep = (CHUNK - r.err_buf.len()).min(n);
-                    r.err_buf.extend_from_slice(&buf[..keep]);
-                    r.err_dropped += (n - keep) as u64;
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    r.stderr = None;
-                    break;
-                }
-            }
-        }
-        self.note_buffered();
-    }
-
-    /// Pushes pending window bytes into replica `i`'s stdin.
-    fn write_stdin(&mut self, i: usize) {
-        let base = self.input.base;
-        let r = &mut self.reps[i];
-        loop {
-            let Some(sin) = r.stdin.as_mut() else { return };
-            let off = (r.in_pos - base) as usize;
-            if off >= self.input.win.len() {
-                return;
-            }
-            match sin.write(&self.input.win[off..]) {
-                Ok(0) => {
-                    r.stdin = None; // no progress possible: give up on it
-                    return;
-                }
-                Ok(n) => r.in_pos += n as u64,
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    // EPIPE from a dead/closed replica; its fate is the
-                    // stream vote's business, not the broadcaster's.
-                    r.stdin = None;
-                    return;
-                }
-            }
-        }
-    }
-
-    /// Slides the input window forward by one read from the source.
-    fn refill_input(&mut self) {
-        let Some(fd) = self.input.fd else { return };
-        let mut buf = [0u8; CHUNK];
-        loop {
-            // SAFETY: reading into a live stack buffer of exactly CHUNK
-            // bytes on a descriptor the caller handed us.
-            let n = unsafe { libc::read(fd, buf.as_mut_ptr().cast(), CHUNK) };
-            if n > 0 {
-                self.input.base += self.input.win.len() as u64;
-                self.input.win.clear();
-                self.input.win.extend_from_slice(&buf[..n as usize]);
-                break;
-            }
-            if n == 0 {
-                self.input.base += self.input.win.len() as u64;
-                self.input.win.clear();
-                self.input.eof = true;
-                break;
-            }
-            let e = io::Error::last_os_error();
-            match e.kind() {
-                io::ErrorKind::WouldBlock => break,
-                io::ErrorKind::Interrupted => continue,
-                _ => {
-                    // Treat an unreadable source as end-of-input.
-                    self.input.base += self.input.win.len() as u64;
-                    self.input.win.clear();
-                    self.input.eof = true;
-                    break;
-                }
-            }
-        }
-        self.note_buffered();
-    }
-
-    /// One `poll(2)` round: registers exactly the descriptors that can make
-    /// progress (notably *excluding* stdouts whose chunk is already full —
-    /// that is the barrier backpressure) and dispatches the events.
-    fn poll_once(&mut self) -> io::Result<()> {
-        let mut fds: Vec<libc::pollfd> = Vec::new();
-        let mut map: Vec<Target> = Vec::new();
-        for (i, r) in self.reps.iter().enumerate() {
-            if let Some(ref out) = r.stdout {
-                if self.voter.is_alive(i) && r.chunk.len() < CHUNK {
-                    fds.push(libc::pollfd {
-                        fd: out.as_raw_fd(),
-                        events: libc::POLLIN,
-                        revents: 0,
-                    });
-                    map.push(Target::Out(i));
-                }
-            }
-            if let Some(ref err) = r.stderr {
-                // Always drain stderr — unlike stdout there is deliberately
-                // no backpressure: a full capture buffer switches to
-                // read-and-discard rather than letting the pipe fill.
-                fds.push(libc::pollfd {
-                    fd: err.as_raw_fd(),
-                    events: libc::POLLIN,
-                    revents: 0,
-                });
-                map.push(Target::Err(i));
-            }
-            if let Some(ref sin) = r.stdin {
-                if r.in_pos < self.input.end() {
-                    fds.push(libc::pollfd {
-                        fd: sin.as_raw_fd(),
-                        events: libc::POLLOUT,
-                        revents: 0,
-                    });
-                    map.push(Target::In(i));
-                }
-            }
-        }
-        if self.wants_refill() {
-            fds.push(libc::pollfd {
-                fd: self.input.fd.expect("streamed mode"),
-                events: libc::POLLIN,
-                revents: 0,
-            });
-            map.push(Target::Source);
-        }
-        if fds.is_empty() {
-            return Ok(());
-        }
-        loop {
-            // SAFETY: fds is a live, correctly-sized pollfd array.
-            let rc = unsafe { libc::poll(fds.as_mut_ptr(), fds.len() as libc::nfds_t, -1) };
-            if rc >= 0 {
-                break;
-            }
-            let e = io::Error::last_os_error();
-            if e.kind() != io::ErrorKind::Interrupted {
-                return Err(e);
-            }
-        }
-        for (pfd, &target) in fds.iter().zip(&map) {
-            if pfd.revents == 0 {
-                continue;
-            }
+        reactor.wait(-1)?;
+        for (token, _revents) in reactor.ready() {
             // POLLERR/POLLHUP fall through to the same handlers: the
             // read/write sees the EOF or EPIPE and retires the descriptor.
-            match target {
-                Target::Out(i) => self.read_stdout(i),
-                Target::Err(i) => self.read_stderr(i),
-                Target::In(i) => self.write_stdin(i),
-                Target::Source => self.refill_input(),
+            match token {
+                Token::Session(io) => session.service(io),
+                Token::Source => refill_from_fd(&mut session, source.expect("streamed mode")),
             }
         }
-        Ok(())
     }
+    Ok(session.finalize())
+}
 
-    /// The reactor: alternate barrier votes and poll rounds until the
-    /// streams resolve, then reap and vote exit statuses.
-    fn drive(&mut self, sink: &mut dyn Write) -> io::Result<StreamOutcome> {
-        let mut diverged = false;
-        'run: loop {
-            // Resolve every barrier that is already satisfied (several in a
-            // row when all streams have ended).
-            loop {
-                let live = self.live_indices();
-                if live.is_empty() {
-                    break 'run;
-                }
-                if !live.iter().all(|&i| self.reps[i].ready()) {
-                    break;
-                }
-                let ballots: Vec<Option<&[u8]>> = self
-                    .reps
-                    .iter()
-                    .map(|r| {
-                        if r.chunk.is_empty() {
-                            None // ended stream (dead replicas are ignored anyway)
-                        } else {
-                            Some(r.chunk.as_slice())
-                        }
-                    })
-                    .collect();
-                let killed_before = self.voter.killed().len();
-                match self.voter.vote(&ballots) {
-                    ChunkVote::Commit(bytes) => {
-                        sink.write_all(&bytes)?;
-                        sink.flush()?;
-                        self.committed += bytes.len() as u64;
-                        self.enforce_kills(killed_before);
-                        for i in self.live_indices() {
-                            self.reps[i].chunk.clear();
-                        }
-                    }
-                    ChunkVote::Divergence => {
-                        diverged = true;
-                        self.kill_all_processes();
-                        break 'run;
-                    }
-                    ChunkVote::AllDone => {
-                        self.enforce_kills(killed_before);
-                        break 'run;
-                    }
-                }
-            }
-            self.close_finished_stdins();
-            self.poll_once()?;
+/// Slides the session's input window forward by one read from the source
+/// descriptor (≤ one chunk — the window is the memory bound).
+fn refill_from_fd(session: &mut Session, fd: RawFd) {
+    let chunk = session.chunk();
+    let mut buf = vec![0u8; chunk];
+    loop {
+        // SAFETY: reading into a live buffer of exactly `chunk` bytes on a
+        // descriptor the caller handed us.
+        let n = unsafe { libc::read(fd, buf.as_mut_ptr().cast(), chunk) };
+        if n > 0 {
+            session.accept_input(&buf[..n as usize]);
+            break;
         }
-
-        // Close stdin/stdout first so replicas blocked on either see
-        // EOF/EPIPE, then reap everyone — draining stderr throughout.
-        // Stderr must stay open and drained until each replica exits:
-        // closing it would SIGPIPE a chatty replica into a spurious
-        // "crash", and merely ignoring it would let a >pipe-capacity burst
-        // of diagnostics block the replica's exit forever. (A replica that
-        // closed stdout but never exits still stalls the run — by design:
-        // its exit status is its final ballot.)
-        for r in &mut self.reps {
-            r.stdin = None;
-            r.stdout = None;
+        if n == 0 {
+            session.accept_input_eof();
+            break;
         }
-        self.reap_draining_stderr();
-
-        // Signal deaths are crashes: remove them from the live set (§5.2
-        // "when a replica dies, DieHard decrements the number of currently
-        // live replicas"). SIGKILLed losers are already out.
-        let n = self.reps.len();
-        let mut codes = vec![[0u8; 4]; n];
-        for (i, code) in codes.iter_mut().enumerate() {
-            if !self.voter.is_alive(i) {
-                continue;
-            }
-            match self.reps[i].status {
-                Some(st) if st.signal().is_none() => {
-                    *code = st.code().unwrap_or(0).to_le_bytes();
-                }
-                _ => self.voter.kill(i),
-            }
-        }
-
-        // Stderr ballot: each survivor's complete captured diagnostics.
-        // A memory error that only corrupts what a replica *reports* (an
-        // assertion message, a differing warning) is a divergence every bit
-        // as much as corrupted stdout; a minority stderr loses its replica
-        // its vote before the exit ballot below. Capture truncation is
-        // deterministic (same cap per replica), so identical diagnostics
-        // truncate identically and still agree.
-        let mut exit_code = None;
-        if !diverged && !self.live_indices().is_empty() {
-            let ballots: Vec<Option<&[u8]>> = self
-                .reps
-                .iter()
-                .map(|r| Some(r.err_buf.as_slice()))
-                .collect();
-            if matches!(self.voter.vote(&ballots), ChunkVote::Divergence) {
-                diverged = true;
-            }
-        }
-
-        // Final ballot: the exit status itself. A command that legitimately
-        // exits nonzero in every replica (grep with no matches) agrees with
-        // itself and its status is forwarded, not treated as a crash.
-        if !diverged && !self.live_indices().is_empty() {
-            let ballots: Vec<Option<&[u8]>> = codes.iter().map(|c| Some(&c[..])).collect();
-            match self.voter.vote(&ballots) {
-                ChunkVote::Commit(bytes) => {
-                    let raw: [u8; 4] = bytes[..4].try_into().expect("4-byte exit ballot");
-                    exit_code = Some(i32::from_le_bytes(raw));
-                }
-                ChunkVote::Divergence => diverged = true,
-                ChunkVote::AllDone => {}
-            }
-        }
-
-        // Forward the winning replica's captured stderr: after the stderr
-        // ballot, every member of the surviving quorum carries the *agreed*
-        // diagnostics (the lowest live index is deterministic). A diverged
-        // or fully-crashed run has no winner and forwards nothing.
-        let (stderr, stderr_dropped) = if diverged {
-            (Vec::new(), 0)
-        } else {
-            match (0..self.reps.len()).find(|&i| self.voter.is_alive(i)) {
-                Some(i) => (
-                    core::mem::take(&mut self.reps[i].err_buf),
-                    self.reps[i].err_dropped,
-                ),
-                None => (Vec::new(), 0),
-            }
-        };
-
-        Ok(StreamOutcome {
-            diverged,
-            killed: self.voter.killed(),
-            exit_code,
-            committed: self.committed,
-            peak_buffered: self.peak_buffered,
-            stderr,
-            stderr_dropped,
-        })
-    }
-
-    /// Reaps every replica while keeping its stderr drained, so a replica
-    /// blocked writing diagnostics can make progress and exit. Leaves every
-    /// `status` populated and every stderr handle closed.
-    fn reap_draining_stderr(&mut self) {
-        loop {
-            let mut unreaped = false;
-            for r in &mut self.reps {
-                if r.status.is_none() {
-                    match r.child.try_wait() {
-                        Ok(Some(status)) => r.status = Some(status),
-                        Ok(None) => unreaped = true,
-                        Err(_) => r.status = r.child.wait().ok(),
-                    }
-                }
-            }
-            for i in 0..self.reps.len() {
-                self.read_stderr(i);
-            }
-            if !unreaped {
+        let e = io::Error::last_os_error();
+        match e.kind() {
+            io::ErrorKind::WouldBlock => break,
+            io::ErrorKind::Interrupted => continue,
+            _ => {
+                // Treat an unreadable source as end-of-input.
+                session.accept_input_eof();
                 break;
-            }
-            let mut fds: Vec<libc::pollfd> = self
-                .reps
-                .iter()
-                .filter(|r| r.status.is_none())
-                .filter_map(|r| r.stderr.as_ref())
-                .map(|err| libc::pollfd {
-                    fd: err.as_raw_fd(),
-                    events: libc::POLLIN,
-                    revents: 0,
-                })
-                .collect();
-            if fds.is_empty() {
-                // Nothing left to drain for the stragglers: block on them
-                // directly (pre-stderr-capture behavior).
-                for r in &mut self.reps {
-                    if r.status.is_none() {
-                        r.status = r.child.wait().ok();
-                    }
-                }
-            } else {
-                // Sleep until a straggler writes or exits (its stderr EOF
-                // wakes us); the timeout is a backstop for a grandchild
-                // inheriting the pipe and outliving the replica.
-                // SAFETY: fds is a live, correctly-sized pollfd array.
-                unsafe { libc::poll(fds.as_mut_ptr(), fds.len() as libc::nfds_t, 200) };
-            }
-        }
-        // Final drain: the pipes may still hold bytes written before exit.
-        for i in 0..self.reps.len() {
-            self.read_stderr(i);
-        }
-        for r in &mut self.reps {
-            r.stderr = None;
-        }
-    }
-
-    /// Final teardown: kill and reap anything still unreaped (the error
-    /// path — the success path has already waited on every replica).
-    fn shutdown(&mut self) {
-        for r in &mut self.reps {
-            if r.status.is_none() {
-                sigkill(&r.child);
-                r.stdin = None;
-                r.stdout = None;
-                r.stderr = None;
-                r.status = r.child.wait().ok();
             }
         }
     }

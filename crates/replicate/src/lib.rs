@@ -14,30 +14,56 @@
 //! their seed from `DIEHARD_SEED`, which this launcher sets uniquely per
 //! replica. (An `LD_PRELOAD` passthrough is provided for C binaries.)
 //!
-//! The [`Voter`] is unit-testable in isolation; the [`event`] module is the
-//! `poll(2)`-based reactor that wires it to real processes and pipes,
-//! voting at true 4 KB barriers *while the replicas run* — output is
-//! committed and outvoted replicas are SIGKILLed mid-stream, so memory
-//! stays `O(replicas × CHUNK)` no matter how much the replicas produce,
-//! and long-running/server-style commands work. [`run_replicated`] is a
+//! The engine is three layers, each unit-testable in isolation:
+//!
+//! * [`reactor`] — a generic `poll(2)` registration/dispatch loop that
+//!   knows nothing about replicas;
+//! * [`session`] — the §5.2 voting state machine for **one** client
+//!   stream: the bounded ≤ chunk input window, per-chunk vote barriers
+//!   with mid-run SIGKILL of outvoted replicas, bounded stderr captures,
+//!   and the closing stderr/exit ballots. Peak memory per session is
+//!   `(2 × replicas + 1) × chunk` no matter how much the replicas
+//!   produce, so long-running/server-style commands work;
+//! * transports — [`event`] re-expresses the original pipe path
+//!   (stdin → N replicas → stdout) on the two layers below with
+//!   byte-identical [`StreamOutcome`]s, and [`proxy`] serves the paper's
+//!   squid scenario for real: a TCP front end that fans each accepted
+//!   connection to its own N-replica set, votes response chunks at the
+//!   same barriers, and returns only quorum bytes — many concurrent voted
+//!   sessions multiplexed over one reactor.
+//!
+//! The [`Voter`] referees every ballot. [`run_replicated`] is a
 //! convenience wrapper over [`run_streamed`] for in-memory input/output;
 //! the `diehard` binary streams its real stdin/stdout through the same
-//! engine. The surviving replicas' exit statuses are voted as a final
-//! ballot (signal deaths count as crashes, nonzero exits do not), so a
-//! command that legitimately fails identically everywhere keeps both its
-//! output and its status.
+//! engine, and the `diehard-proxy` binary serves the TCP front end. The
+//! surviving replicas' exit statuses are voted as a final ballot (signal
+//! deaths count as crashes, nonzero exits do not), so a command that
+//! legitimately fails identically everywhere keeps both its output and
+//! its status.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod event;
+pub mod net;
+pub mod proxy;
+pub mod reactor;
+pub mod session;
 pub mod voter;
 
 pub use event::{run_streamed, InputSource, StreamOutcome};
+pub use session::{Phase, Session, SessionInput, SessionIo};
 pub use voter::{ChunkVote, Voter};
 
-/// The pipe-buffer chunk size the voter compares (§5.2).
+/// The default barrier chunk size the voter compares — the pipe-buffer
+/// transfer unit the paper votes on (§5.2).
 pub const CHUNK: usize = 4096;
+
+/// Smallest configurable barrier chunk ([`LaunchConfig::chunk`]).
+pub const CHUNK_MIN: usize = 512;
+
+/// Largest configurable barrier chunk ([`LaunchConfig::chunk`]).
+pub const CHUNK_MAX: usize = 65536;
 
 /// Configuration for a replicated launch.
 #[derive(Debug, Clone)]
@@ -54,6 +80,13 @@ pub struct LaunchConfig {
     /// Optional path exported as `LD_PRELOAD` for C binaries using the
     /// original interposition mechanism.
     pub preload: Option<String>,
+    /// Barrier chunk size in bytes (default [`CHUNK`]): how much output
+    /// each replica buffers before a vote, and the size of the broadcast
+    /// input window. Must be a power of two in
+    /// `[`[`CHUNK_MIN`]`, `[`CHUNK_MAX`]`]` — validated when the session
+    /// launches, so benches can sweep barrier granularity without a
+    /// recompile.
+    pub chunk: usize,
 }
 
 impl LaunchConfig {
@@ -73,7 +106,34 @@ impl LaunchConfig {
             input,
             seeds: Vec::new(),
             preload: None,
+            chunk: CHUNK,
         }
+    }
+
+    /// Builder form of setting [`chunk`](Self::chunk).
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Validates and returns [`chunk`](Self::chunk).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::ErrorKind::InvalidInput`] unless the chunk is a
+    /// power of two in `[`[`CHUNK_MIN`]`, `[`CHUNK_MAX`]`]`.
+    pub fn validated_chunk(&self) -> std::io::Result<usize> {
+        if !self.chunk.is_power_of_two() || !(CHUNK_MIN..=CHUNK_MAX).contains(&self.chunk) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "chunk {} must be a power of two in [{CHUNK_MIN}, {CHUNK_MAX}]",
+                    self.chunk
+                ),
+            ));
+        }
+        Ok(self.chunk)
     }
 }
 

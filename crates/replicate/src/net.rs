@@ -1,0 +1,267 @@
+//! Thin safe wrappers over the `libc` TCP socket surface.
+//!
+//! The [`crate::proxy`] transport needs exactly five socket operations —
+//! create/bind/listen, accept, connect, local-port recovery, and write-half
+//! shutdown — and this module is that surface, audited once: every raw fd
+//! is owned (closed on drop or handed to `TcpStream::from_raw_fd`), every
+//! accepted or created socket gets `FD_CLOEXEC` **before** any replica can
+//! be spawned (a client socket leaked into a replica child would hold the
+//! connection open and the client would never see EOF), and the listener
+//! runs non-blocking so one reactor can multiplex accepts with session
+//! I/O. Addresses are IPv4 loopback only — the proxy is a voted front end
+//! for local experiments, not a hardened network daemon.
+//!
+//! Accepted and connected streams are returned as `std::net::TcpStream`
+//! so transports reuse std's `Read`/`Write`/`shutdown` implementations on
+//! a descriptor this module configured.
+
+use std::io;
+use std::net::TcpStream;
+use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
+
+/// Loopback in network byte order (127.0.0.1).
+const LOOPBACK_BE: u32 = u32::from_be_bytes([127, 0, 0, 1]).to_be();
+
+/// Checks a C return value, mapping `-1` to the current `errno`.
+fn cvt(rc: libc::c_int) -> io::Result<libc::c_int> {
+    if rc < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(rc)
+    }
+}
+
+/// Marks `fd` close-on-exec so spawned replicas never inherit it.
+fn set_cloexec(fd: RawFd) -> io::Result<()> {
+    // SAFETY: fcntl on a descriptor we own; no memory is passed.
+    let flags = cvt(unsafe { libc::fcntl(fd, libc::F_GETFD) })?;
+    // SAFETY: as above; third argument is the int F_SETFD expects.
+    cvt(unsafe { libc::fcntl(fd, libc::F_SETFD, flags | libc::FD_CLOEXEC) })?;
+    Ok(())
+}
+
+/// A loopback IPv4 socket address for `port` (0 = kernel-assigned).
+fn loopback_addr(port: u16) -> libc::sockaddr_in {
+    libc::sockaddr_in {
+        sin_family: libc::AF_INET as libc::sa_family_t,
+        sin_port: port.to_be(),
+        sin_addr: libc::in_addr {
+            s_addr: LOOPBACK_BE,
+        },
+        sin_zero: [0; 8],
+    }
+}
+
+/// A new `FD_CLOEXEC` TCP socket.
+fn tcp_socket() -> io::Result<RawFd> {
+    // SAFETY: plain socket(2); no memory is passed.
+    let fd = cvt(unsafe { libc::socket(libc::AF_INET, libc::SOCK_STREAM, 0) })?;
+    if let Err(e) = set_cloexec(fd) {
+        // SAFETY: fd came from socket(2) above and is otherwise unused.
+        unsafe { libc::close(fd) };
+        return Err(e);
+    }
+    Ok(fd)
+}
+
+/// A non-blocking loopback TCP listener whose accepted sockets are
+/// `FD_CLOEXEC` and non-blocking from birth.
+#[derive(Debug)]
+pub struct Listener {
+    fd: RawFd,
+}
+
+impl Listener {
+    /// Binds `127.0.0.1:port` (`SO_REUSEADDR`; port 0 asks the kernel for
+    /// an ephemeral port — recover it with [`local_port`](Self::local_port))
+    /// and starts listening, non-blocking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/bind/listen/fcntl failures.
+    pub fn bind_loopback(port: u16) -> io::Result<Self> {
+        let fd = tcp_socket();
+        let fd = fd?;
+        let this = Self { fd }; // Drop closes on any error below
+        let one: libc::c_int = 1;
+        // SAFETY: optval points at a live c_int of the declared length.
+        cvt(unsafe {
+            libc::setsockopt(
+                fd,
+                libc::SOL_SOCKET,
+                libc::SO_REUSEADDR,
+                (&raw const one).cast(),
+                core::mem::size_of::<libc::c_int>() as libc::socklen_t,
+            )
+        })?;
+        let addr = loopback_addr(port);
+        // SAFETY: addr is a live sockaddr_in of the declared length; the
+        // sockaddr cast is the POSIX calling convention.
+        cvt(unsafe {
+            libc::bind(
+                fd,
+                (&raw const addr).cast(),
+                core::mem::size_of::<libc::sockaddr_in>() as libc::socklen_t,
+            )
+        })?;
+        // SAFETY: plain listen(2) on a bound socket.
+        cvt(unsafe { libc::listen(fd, 128) })?;
+        crate::reactor::set_nonblocking(fd)?;
+        Ok(this)
+    }
+
+    /// The locally bound port (the kernel's pick after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `getsockname(2)` failures.
+    pub fn local_port(&self) -> io::Result<u16> {
+        let mut addr = loopback_addr(0);
+        let mut len = core::mem::size_of::<libc::sockaddr_in>() as libc::socklen_t;
+        // SAFETY: addr/len are live outputs of the declared size.
+        cvt(unsafe { libc::getsockname(self.fd, (&raw mut addr).cast(), &raw mut len) })?;
+        Ok(u16::from_be(addr.sin_port))
+    }
+
+    /// Accepts one pending connection, or `None` when nothing is queued
+    /// (the listener is non-blocking). The returned stream is non-blocking
+    /// and `FD_CLOEXEC`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `accept(2)`/`fcntl(2)` failures other than `EAGAIN`
+    /// (`ECONNABORTED` — a client that gave up while queued — is folded
+    /// into `None`).
+    pub fn accept(&self) -> io::Result<Option<TcpStream>> {
+        // SAFETY: null addr/len is the POSIX "don't care" form of accept(2).
+        let fd = unsafe { libc::accept(self.fd, core::ptr::null_mut(), core::ptr::null_mut()) };
+        if fd < 0 {
+            let e = io::Error::last_os_error();
+            return match e.kind() {
+                io::ErrorKind::WouldBlock | io::ErrorKind::ConnectionAborted => Ok(None),
+                _ => Err(e),
+            };
+        }
+        let configure = set_cloexec(fd).and_then(|()| crate::reactor::set_nonblocking(fd));
+        if let Err(e) = configure {
+            // SAFETY: fd came from accept(2) above and is otherwise unused.
+            unsafe { libc::close(fd) };
+            return Err(e);
+        }
+        // SAFETY: fd is a fresh connected socket we exclusively own.
+        Ok(Some(unsafe { TcpStream::from_raw_fd(fd) }))
+    }
+}
+
+impl AsRawFd for Listener {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        // SAFETY: fd was created by socket(2) and is owned by this struct.
+        unsafe { libc::close(self.fd) };
+    }
+}
+
+/// Connects to `127.0.0.1:port`, blocking, returning a `FD_CLOEXEC`
+/// stream in its default blocking mode (client drivers want plain
+/// blocking reads; callers multiplexing it set non-blocking themselves).
+///
+/// # Errors
+///
+/// Propagates socket/connect failures.
+pub fn connect_loopback(port: u16) -> io::Result<TcpStream> {
+    let fd = tcp_socket()?;
+    let addr = loopback_addr(port);
+    // SAFETY: addr is a live sockaddr_in of the declared length.
+    let rc = unsafe {
+        libc::connect(
+            fd,
+            (&raw const addr).cast(),
+            core::mem::size_of::<libc::sockaddr_in>() as libc::socklen_t,
+        )
+    };
+    if rc < 0 {
+        let e = io::Error::last_os_error();
+        // SAFETY: fd came from tcp_socket() and is otherwise unused.
+        unsafe { libc::close(fd) };
+        return Err(e);
+    }
+    // SAFETY: fd is a fresh connected socket we exclusively own.
+    Ok(unsafe { TcpStream::from_raw_fd(fd) })
+}
+
+/// Closes the write half of `stream` (`shutdown(SHUT_WR)`), delivering EOF
+/// to the peer while leaving the read half open — how a client says "full
+/// request sent, now streaming your response".
+///
+/// # Errors
+///
+/// Propagates `shutdown(2)` failures.
+pub fn shutdown_write(stream: &TcpStream) -> io::Result<()> {
+    // SAFETY: plain shutdown(2) on a descriptor the stream owns.
+    cvt(unsafe { libc::shutdown(stream.as_raw_fd(), libc::SHUT_WR) })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn bind_accept_connect_roundtrip() {
+        let listener = Listener::bind_loopback(0).unwrap();
+        let port = listener.local_port().unwrap();
+        assert_ne!(port, 0, "kernel must assign a real port");
+        assert!(
+            listener.accept().unwrap().is_none(),
+            "no client yet: non-blocking accept must not block"
+        );
+        let mut client = connect_loopback(port).unwrap();
+        // The connection may still be in the listener's queue for an
+        // instant; poll for it rather than assuming instant readiness.
+        let mut server = None;
+        for _ in 0..1000 {
+            if let Some(s) = listener.accept().unwrap() {
+                server = Some(s);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let server = server.expect("queued connection must be accepted");
+        client.write_all(b"ping").unwrap();
+        shutdown_write(&client).unwrap();
+        server.set_nonblocking(false).unwrap();
+        let mut got = Vec::new();
+        let mut server = server;
+        server.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"ping", "bytes and the EOF from SHUT_WR must arrive");
+    }
+
+    #[test]
+    fn accepted_sockets_are_cloexec_and_nonblocking() {
+        let listener = Listener::bind_loopback(0).unwrap();
+        let port = listener.local_port().unwrap();
+        let _client = connect_loopback(port).unwrap();
+        let mut server = None;
+        for _ in 0..1000 {
+            if let Some(s) = listener.accept().unwrap() {
+                server = Some(s);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let mut server = server.expect("queued connection must be accepted");
+        let fd = server.as_raw_fd();
+        // SAFETY: fcntl queries on a descriptor the stream owns.
+        let fdflags = unsafe { libc::fcntl(fd, libc::F_GETFD) };
+        assert_ne!(fdflags & libc::FD_CLOEXEC, 0, "replicas must not inherit");
+        let mut buf = [0u8; 1];
+        let err = server.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock, "non-blocking");
+    }
+}

@@ -1,0 +1,388 @@
+//! The TCP transport: a replicated network front end (§5.2's squid
+//! scenario, served for real).
+//!
+//! [`Proxy::run`] accepts client connections on a loopback listener and
+//! gives **each connection its own N-replica set**: the client's request
+//! bytes are broadcast to the replicas' stdins through the session's
+//! bounded window, the replicas' stdouts are voted at the same per-chunk
+//! barriers as the pipe path, and only quorum bytes are written back to
+//! the client. A replica corrupted by a memory error is outvoted and
+//! SIGKILLed mid-connection while the response keeps streaming; an
+//! unresolvable divergence (no strict plurality) closes the connection
+//! early — the client sees the committed prefix, then EOF — and is logged
+//! and counted in the [`ProxySummary`].
+//!
+//! Many sessions are multiplexed over **one** [`Reactor`]: each round the
+//! proxy re-registers the listener, every session's replica pipes (via
+//! [`Session::register_interest`]), each client socket's read side when
+//! that session's window wants input, and each client socket's write side
+//! while voted bytes are queued. Per-connection memory is bounded end to
+//! end: the session keeps at most `(2 × replicas + 1) × chunk` bytes
+//! (window + stdout chunks + stderr captures), and the proxy's outbound
+//! queue is capped at `out_cap` — once a slow reader fills it, the proxy
+//! stops pumping that session, its full stdout chunks stop being polled,
+//! and the kernel pipes throttle the replicas themselves. Backpressure
+//! propagates to the client's *input* too: the window is refilled only
+//! when every replica has consumed it, so a fast sender just fills the
+//! kernel's TCP receive buffer.
+//!
+//! Clients speak write-then-read: send the whole request, half-close with
+//! `shutdown(SHUT_WR)` ([`crate::net::shutdown_write`]), then read the
+//! voted response to EOF. (Responses flush at chunk barriers, so
+//! request/response lockstep would deadlock on partial chunks — the same
+//! §5.2 full-pipe-buffer rule the pipe path inherits.) A client that
+//! disconnects mid-stream costs only its own session: the write error
+//! aborts it, SIGKILLing and reaping that connection's replicas, while
+//! every other connection keeps streaming.
+
+use crate::net::Listener;
+use crate::reactor::Reactor;
+use crate::session::{resolve_seeds, Phase, Session, SessionInput, SessionIo, StreamOutcome};
+use crate::LaunchConfig;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// What a proxy `pollfd` entry refers to.
+#[derive(Debug, Clone, Copy)]
+enum Token {
+    /// The accept socket.
+    Listener,
+    /// Connection `slot`'s client socket, read side (request bytes).
+    ClientIn(usize),
+    /// Connection `slot`'s client socket, write side (voted response).
+    ClientOut(usize),
+    /// Connection `slot`'s replica pipe.
+    Replica(usize, SessionIo),
+}
+
+/// One client connection and its replica session.
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    session: Session,
+    /// Voted bytes not yet written to the client (≤ `out_cap` + one chunk).
+    out: Vec<u8>,
+    /// Highest `out` fill observed (test hook for the backpressure bound).
+    out_peak: usize,
+    /// The client half-closed its write side: the request is complete.
+    request_done: bool,
+    /// The session has drained and been finalized.
+    outcome: Option<StreamOutcome>,
+    /// The connection died early (client disconnect / socket error).
+    aborted: bool,
+}
+
+/// How one voted connection ended.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Monotonic connection id (accept order, from 0).
+    pub conn_id: u64,
+    /// The session's outcome — `None` when the connection was aborted
+    /// before its streams resolved (client disconnect).
+    pub outcome: Option<StreamOutcome>,
+    /// Response bytes actually written to the client.
+    pub sent: u64,
+    /// Highest proxy-side outbound-queue fill observed (≤ cap + chunk).
+    pub out_peak: usize,
+    /// The client vanished mid-stream and the session was SIGKILL-reaped.
+    pub aborted: bool,
+}
+
+/// Totals for one [`Proxy::run`] lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct ProxySummary {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections whose vote hit an unresolvable divergence.
+    pub diverged: u64,
+    /// Connections aborted by client disconnect or socket error.
+    pub aborted: u64,
+    /// Per-connection reports, in completion order.
+    pub reports: Vec<SessionReport>,
+}
+
+/// A replicated TCP front end: one listener, one reactor, many voted
+/// sessions.
+#[derive(Debug)]
+pub struct Proxy {
+    listener: Listener,
+    config: LaunchConfig,
+    out_cap: usize,
+    next_id: u64,
+}
+
+impl Proxy {
+    /// Default outbound-queue cap, in chunks (so the per-connection bound
+    /// scales with the configured barrier granularity).
+    pub const DEFAULT_OUT_CAP_CHUNKS: usize = 4;
+
+    /// Wraps a bound [`Listener`]. `config` describes the replica set
+    /// spawned per connection (`config.input` is ignored; explicit
+    /// `config.seeds` are reused for every connection — deterministic
+    /// test/bench mode — while empty seeds draw fresh entropy per
+    /// connection, the paper's production mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidInput`] for an out-of-range
+    /// `config.chunk` (validated here so `run` can't fail per-connection).
+    pub fn new(listener: Listener, config: LaunchConfig) -> io::Result<Self> {
+        let chunk = config.validated_chunk()?;
+        Ok(Self {
+            listener,
+            config,
+            out_cap: Self::DEFAULT_OUT_CAP_CHUNKS * chunk,
+            next_id: 0,
+        })
+    }
+
+    /// Overrides the per-connection outbound-queue cap (bytes; floored at
+    /// one chunk so a single commit always fits).
+    #[must_use]
+    pub fn with_out_cap(mut self, bytes: usize) -> Self {
+        self.out_cap = bytes.max(self.config.chunk);
+        self
+    }
+
+    /// The bound local port (for clients of an ephemeral-port listener).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `getsockname(2)` failures.
+    pub fn local_port(&self) -> io::Result<u16> {
+        self.listener.local_port()
+    }
+
+    /// Serves connections until `stop` becomes true, then aborts whatever
+    /// is still live (SIGKILL + reap) and returns the summary. Runs on the
+    /// calling thread; tests and the `diehard-proxy` binary give it one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `poll(2)` and accept failures; per-connection I/O errors
+    /// are folded into that connection's report instead.
+    pub fn run(&mut self, stop: &AtomicBool) -> io::Result<ProxySummary> {
+        let mut reactor: Reactor<Token> = Reactor::new();
+        let mut conns: Vec<Option<Conn>> = Vec::new();
+        let mut summary = ProxySummary::default();
+        while !stop.load(Ordering::Acquire) {
+            // Pump: resolve satisfied barriers into each connection's
+            // outbound queue — unless the queue is over cap (the slow-
+            // reader backpressure), and flush what the sockets will take.
+            for slot in conns.iter_mut() {
+                let Some(conn) = slot else { continue };
+                conn.advance(self.out_cap);
+                if conn.finished() {
+                    summary.note(slot.take().expect("conn is Some"));
+                }
+            }
+
+            // Re-register the world as it now stands.
+            reactor.clear();
+            reactor.register(self.listener.as_raw_fd(), libc::POLLIN, Token::Listener);
+            for (slot, conn) in conns.iter().enumerate() {
+                let Some(conn) = conn else { continue };
+                let fd = conn.stream.as_raw_fd();
+                if conn.outcome.is_none() && !conn.aborted {
+                    conn.session.register_interest(|fd, events, io| {
+                        reactor.register(fd, events, Token::Replica(slot, io));
+                    });
+                    if !conn.request_done && conn.session.wants_input() {
+                        reactor.register(fd, libc::POLLIN, Token::ClientIn(slot));
+                    }
+                }
+                if !conn.out.is_empty() {
+                    reactor.register(fd, libc::POLLOUT, Token::ClientOut(slot));
+                }
+            }
+
+            // A finite timeout so the stop flag is honored even when idle.
+            reactor.wait(100)?;
+            for (token, _revents) in reactor.ready() {
+                match token {
+                    Token::Listener => {
+                        while let Some(stream) = self.listener.accept()? {
+                            summary.accepted += 1;
+                            match self.open(stream) {
+                                Ok(conn) => match conns.iter_mut().find(|s| s.is_none()) {
+                                    Some(free) => *free = Some(conn),
+                                    None => conns.push(Some(conn)),
+                                },
+                                // Spawn failure is this connection's
+                                // problem, not the proxy's: the dropped
+                                // stream closes the client, and the report
+                                // records an aborted session.
+                                Err((id, e)) => {
+                                    eprintln!(
+                                        "diehard-proxy: connection {id}: replica spawn failed: {e}"
+                                    );
+                                    summary.aborted += 1;
+                                    summary.reports.push(SessionReport {
+                                        conn_id: id,
+                                        outcome: None,
+                                        sent: 0,
+                                        out_peak: 0,
+                                        aborted: true,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    Token::ClientIn(slot) => {
+                        if let Some(conn) = conns[slot].as_mut() {
+                            conn.read_request();
+                        }
+                    }
+                    Token::ClientOut(slot) => {
+                        if let Some(conn) = conns[slot].as_mut() {
+                            conn.flush_response();
+                        }
+                    }
+                    Token::Replica(slot, io) => {
+                        if let Some(conn) = conns[slot].as_mut() {
+                            conn.session.service(io);
+                        }
+                    }
+                }
+            }
+        }
+        // Stop requested: whatever is still live is torn down hard.
+        for slot in conns.iter_mut() {
+            if let Some(mut conn) = slot.take() {
+                if conn.outcome.is_none() {
+                    conn.session.abort();
+                    conn.aborted = true;
+                }
+                summary.note(conn);
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Spawns a new replica session for an accepted client; on failure the
+    /// stream has already been dropped (closing the client).
+    fn open(&mut self, stream: TcpStream) -> Result<Conn, (u64, io::Error)> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let session = resolve_seeds(&self.config)
+            .and_then(|seeds| Session::spawn(&self.config, &seeds, SessionInput::Streamed));
+        match session {
+            Ok(session) => Ok(Conn {
+                id,
+                stream,
+                session,
+                out: Vec::new(),
+                out_peak: 0,
+                request_done: false,
+                outcome: None,
+                aborted: false,
+            }),
+            Err(e) => Err((id, e)),
+        }
+    }
+}
+
+impl Conn {
+    /// Pump-then-flush: barriers into the queue (respecting the cap), then
+    /// the queue into the socket, finalizing when the session drains.
+    fn advance(&mut self, out_cap: usize) {
+        if self.outcome.is_none() && !self.aborted && self.out.len() < out_cap {
+            let phase = self.session.pump(&mut self.out);
+            self.out_peak = self.out_peak.max(self.out.len());
+            if phase == Phase::Drained {
+                let outcome = self.session.finalize();
+                if outcome.diverged {
+                    eprintln!(
+                        "diehard-proxy: connection {}: vote diverged after {} committed bytes; closing",
+                        self.id, outcome.committed
+                    );
+                }
+                self.outcome = Some(outcome);
+            }
+        }
+        self.flush_response();
+    }
+
+    /// Complete and fully flushed (or dead): the slot can be retired. The
+    /// socket closes on drop, which is also the client's EOF.
+    fn finished(&self) -> bool {
+        self.aborted || (self.outcome.is_some() && self.out.is_empty())
+    }
+
+    /// Reads one window's worth of request bytes into the session. EOF is
+    /// the client's half-close: the request is complete. A hard error is a
+    /// disconnect: the session is aborted and its replicas reaped.
+    fn read_request(&mut self) {
+        if self.request_done || !self.session.wants_input() {
+            return;
+        }
+        let mut buf = vec![0u8; self.session.chunk()];
+        match self.stream.read(&mut buf) {
+            Ok(0) => {
+                self.session.accept_input_eof();
+                self.request_done = true;
+            }
+            Ok(n) => self.session.accept_input(&buf[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => self.disconnect(),
+        }
+    }
+
+    /// Writes queued voted bytes to the client. A write error is a
+    /// disconnect: this session dies (SIGKILL + reap), nobody else's does.
+    fn flush_response(&mut self) {
+        while !self.out.is_empty() {
+            match self.stream.write(&self.out) {
+                Ok(0) => {
+                    self.disconnect();
+                    return;
+                }
+                Ok(n) => {
+                    self.out.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.disconnect();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The client is gone: reap this connection's replicas, drop the
+    /// queue, and mark the slot for retirement.
+    fn disconnect(&mut self) {
+        if self.outcome.is_none() {
+            self.session.abort();
+        }
+        self.out.clear();
+        self.aborted = true;
+    }
+}
+
+impl ProxySummary {
+    /// Folds a retired connection into the totals.
+    fn note(&mut self, conn: Conn) {
+        if conn.aborted {
+            self.aborted += 1;
+        }
+        if conn.outcome.as_ref().is_some_and(|o| o.diverged) {
+            self.diverged += 1;
+        }
+        let sent = conn
+            .outcome
+            .as_ref()
+            .map_or(0, |o| o.committed - conn.out.len() as u64);
+        self.reports.push(SessionReport {
+            conn_id: conn.id,
+            outcome: conn.outcome,
+            sent,
+            out_peak: conn.out_peak,
+            aborted: conn.aborted,
+        });
+    }
+}

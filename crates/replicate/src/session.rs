@@ -1,0 +1,801 @@
+//! The middle layer of the replication stack: one voted replica session.
+//!
+//! A [`Session`] is the paper's §5.2 voting state machine for a *single*
+//! client stream, with every transport decision factored out: it does not
+//! know whether its input arrives from a launcher's stdin, an in-memory
+//! buffer, or a TCP socket, and it never writes to the outside world —
+//! voted bytes are appended to a caller-supplied buffer and the transport
+//! decides when (and whether) to ship them. What it *does* own, verbatim
+//! from the original single-session engine:
+//!
+//! * the `config.replicas` differently-seeded child processes and their
+//!   non-blocking stdin/stdout/stderr pipes;
+//! * the bounded broadcast-input **window** (≤ chunk bytes, refilled only
+//!   once every live consumer has drained it);
+//! * per-replica ≤ chunk stdout buffers and the **barrier votes** over them
+//!   the instant every live replica is ready, with `SIGKILL` for outvoted
+//!   replicas mid-run;
+//! * bounded (≤ chunk) stderr captures, drained past the cap;
+//! * the endgame: reap (stderr still drained), crash demotion for signal
+//!   deaths, the **stderr ballot**, and the final **exit-status ballot**.
+//!
+//! Transports drive a session through a narrow pull/push protocol each
+//! reactor round: [`Session::pump`] resolves every satisfied barrier into
+//! the caller's output buffer (backpressure = simply not calling it),
+//! [`Session::register_interest`] names the descriptors that can make
+//! progress, [`Session::service`] dispatches one readiness event, and
+//! [`Session::wants_input`]/[`Session::accept_input`] gate the bounded
+//! window. When [`Session::pump`] reports [`Phase::Drained`],
+//! [`Session::finalize`] runs the closing ballots and yields the
+//! [`StreamOutcome`]. Peak engine memory per session is
+//! `(2 × replicas + 1) × chunk` by construction, reported via
+//! [`StreamOutcome::peak_buffered`].
+
+use crate::voter::{ChunkVote, Voter};
+use crate::{reactor, LaunchConfig};
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::process::ExitStatusExt;
+use std::process::{Child, ChildStderr, ChildStdin, ChildStdout, Command, ExitStatus, Stdio};
+
+/// Outcome of one streamed replicated run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamOutcome {
+    /// The voter hit an unresolvable disagreement — no strict plurality on
+    /// some output chunk or on the final exit-status ballot (the §6.3
+    /// uninitialized-read signal).
+    pub diverged: bool,
+    /// Replica indices killed for disagreeing or crashing, in kill order.
+    pub killed: Vec<usize>,
+    /// The exit status the surviving quorum agreed on; `None` when the run
+    /// diverged or no replica survived to vote.
+    pub exit_code: Option<i32>,
+    /// Total bytes committed to the transport's output buffer.
+    pub committed: u64,
+    /// High-water mark of bytes buffered inside the session (per-replica
+    /// stdout chunk and stderr capture buffers plus the streamed-input
+    /// window) — bounded by `(2 × replicas + 1) × chunk` by construction.
+    pub peak_buffered: usize,
+    /// The quorum-agreed standard error (first ≤ chunk bytes — the same
+    /// chunk discipline as stdout voting). After the streams end the
+    /// replicas' captures are voted as a ballot: a minority stderr loses
+    /// its replica its vote, and no strict plurality means the run
+    /// [`diverged`](Self::diverged). Empty when the run diverged or no
+    /// replica survived.
+    pub stderr: Vec<u8>,
+    /// Bytes of the winning replica's stderr beyond the chunk capture cap.
+    /// They were read and discarded — never left in the pipe, so a chatty
+    /// replica cannot block on stderr backpressure.
+    pub stderr_dropped: u64,
+}
+
+/// How a session's broadcast input arrives.
+#[derive(Debug)]
+pub enum SessionInput {
+    /// The whole input is already in memory; replicas consume it at their
+    /// own pace via per-replica offsets, with no further copies. The buffer
+    /// is caller memory and does not count toward the session's bound.
+    Buffer(Vec<u8>),
+    /// The transport pushes ≤ chunk windows via [`Session::accept_input`]
+    /// whenever [`Session::wants_input`] allows; the window is session
+    /// memory and counts toward the `(2 × replicas + 1) × chunk` bound.
+    Streamed,
+}
+
+/// What one of a session's descriptors is for; the token a transport maps
+/// into its own reactor token space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionIo {
+    /// Replica `i`'s stdout (read side).
+    Out(usize),
+    /// Replica `i`'s stderr (read side, capture + drain).
+    Err(usize),
+    /// Replica `i`'s stdin (write side).
+    In(usize),
+}
+
+/// What [`Session::pump`] left the stream in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Barriers remain; keep servicing I/O.
+    Streaming,
+    /// Every live stream has resolved (agreement, divergence, or total
+    /// crash); call [`Session::finalize`] for the closing ballots.
+    Drained,
+}
+
+/// Per-replica session state.
+struct Replica {
+    child: Child,
+    /// `None` once closed (input fully delivered, broken pipe, or killed).
+    stdin: Option<ChildStdin>,
+    /// `None` once the replica's output stream ended.
+    stdout: Option<ChildStdout>,
+    /// `None` once the replica's stderr ended (or it was killed).
+    stderr: Option<ChildStderr>,
+    /// The chunk being assembled for the next barrier (≤ chunk bytes).
+    chunk: Vec<u8>,
+    /// Captured stderr: the first ≤ chunk bytes this replica wrote.
+    err_buf: Vec<u8>,
+    /// Stderr bytes beyond the capture cap, drained and discarded.
+    err_dropped: u64,
+    /// The output stream has ended; a partial `chunk` is its last ballot.
+    eof: bool,
+    /// Absolute input offset this replica has consumed up to.
+    in_pos: u64,
+    /// Exit status once reaped.
+    status: Option<ExitStatus>,
+}
+
+/// The broadcast-input window: `win` holds bytes `[base, base + win.len())`
+/// of the overall input stream.
+struct Window {
+    win: Vec<u8>,
+    base: u64,
+    eof: bool,
+    /// Whether `win` is session memory (streamed mode) or a caller-provided
+    /// buffer that does not count toward the session's memory bound.
+    engine_owned: bool,
+}
+
+impl Window {
+    /// Absolute offset one past the last byte currently available.
+    fn end(&self) -> u64 {
+        self.base + self.win.len() as u64
+    }
+}
+
+/// Best-effort `SIGKILL`; failure (e.g. already reaped) is fine.
+fn sigkill(child: &Child) {
+    // SAFETY: plain kill(2) on the child's pid; the Child handle keeps the
+    // pid from being reaped (and thus reused) until we wait() on it.
+    unsafe {
+        let _ = libc::kill(child.id() as libc::pid_t, libc::SIGKILL);
+    }
+}
+
+/// One voted replica session (see the module docs for the protocol).
+pub struct Session {
+    reps: Vec<Replica>,
+    input: Window,
+    voter: Voter,
+    chunk: usize,
+    /// Reusable read buffer (one chunk); transient work space, not counted
+    /// toward `peak_buffered` (which tracks only bytes *retained* between
+    /// reactor rounds, as the pre-refactor engine did with its stack
+    /// buffers).
+    scratch: Vec<u8>,
+    committed: u64,
+    peak_buffered: usize,
+    diverged: bool,
+    drained: bool,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("replicas", &self.reps.len())
+            .field("chunk", &self.chunk)
+            .field("committed", &self.committed)
+            .field("drained", &self.drained)
+            .field("diverged", &self.diverged)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Spawns `seeds.len()` replicas of `config.command` (each seeded via
+    /// `DIEHARD_SEED`, stdio piped and non-blocking) and readies the
+    /// barrier machinery. `config.input` is ignored — the input source is
+    /// the explicit `input` argument.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn and `fcntl(2)` failures; anything spawned before
+    /// the failure is killed and reaped.
+    pub fn spawn(config: &LaunchConfig, seeds: &[u64], input: SessionInput) -> io::Result<Self> {
+        let chunk = config.validated_chunk()?;
+        let mut reps: Vec<Replica> = Vec::with_capacity(seeds.len());
+        // Kill-and-reap anything spawned so far if setup fails partway.
+        let abort = |reps: &mut Vec<Replica>, e: io::Error| -> io::Error {
+            for r in reps.iter_mut() {
+                sigkill(&r.child);
+                let _ = r.child.wait();
+            }
+            e
+        };
+        for &seed in seeds {
+            let mut cmd = Command::new(&config.command[0]);
+            cmd.args(&config.command[1..])
+                .env("DIEHARD_SEED", seed.to_string())
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped());
+            if let Some(ref lib) = config.preload {
+                cmd.env("LD_PRELOAD", lib);
+            }
+            let mut child = match cmd.spawn() {
+                Ok(c) => c,
+                Err(e) => return Err(abort(&mut reps, e)),
+            };
+            let stdin = child.stdin.take().expect("piped stdin");
+            let stdout = child.stdout.take().expect("piped stdout");
+            let stderr = child.stderr.take().expect("piped stderr");
+            let nb = reactor::set_nonblocking(stdin.as_raw_fd())
+                .and_then(|()| reactor::set_nonblocking(stdout.as_raw_fd()))
+                .and_then(|()| reactor::set_nonblocking(stderr.as_raw_fd()));
+            let rep = Replica {
+                child,
+                stdin: Some(stdin),
+                stdout: Some(stdout),
+                stderr: Some(stderr),
+                chunk: Vec::with_capacity(chunk),
+                err_buf: Vec::new(),
+                err_dropped: 0,
+                eof: false,
+                in_pos: 0,
+                status: None,
+            };
+            if let Err(e) = nb {
+                sigkill(&rep.child);
+                reps.push(rep); // abort() reaps it with the others
+                return Err(abort(&mut reps, e));
+            }
+            reps.push(rep);
+        }
+        let input = match input {
+            SessionInput::Buffer(data) => Window {
+                win: data,
+                base: 0,
+                eof: true,
+                engine_owned: false,
+            },
+            SessionInput::Streamed => Window {
+                win: Vec::with_capacity(chunk),
+                base: 0,
+                eof: false,
+                engine_owned: true,
+            },
+        };
+        let n = reps.len();
+        Ok(Self {
+            reps,
+            input,
+            voter: Voter::new(n),
+            chunk,
+            scratch: vec![0u8; chunk],
+            committed: 0,
+            peak_buffered: 0,
+            diverged: false,
+            drained: false,
+        })
+    }
+
+    /// The barrier chunk size this session votes at.
+    #[must_use]
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Ready for the barrier: a full chunk, or the stream has ended (a
+    /// partial/empty final chunk is still a ballot).
+    fn ready(&self, i: usize) -> bool {
+        self.reps[i].eof || self.reps[i].chunk.len() >= self.chunk
+    }
+
+    fn live_indices(&self) -> Vec<usize> {
+        (0..self.reps.len())
+            .filter(|&i| self.voter.is_alive(i))
+            .collect()
+    }
+
+    /// Updates the buffered-bytes high-water mark.
+    fn note_buffered(&mut self) {
+        let win = if self.input.engine_owned {
+            self.input.win.len()
+        } else {
+            0 // a caller-provided buffer is not session memory
+        };
+        let cur = self
+            .reps
+            .iter()
+            .map(|r| r.chunk.len() + r.err_buf.len())
+            .sum::<usize>()
+            + win;
+        self.peak_buffered = self.peak_buffered.max(cur);
+    }
+
+    /// SIGKILLs replicas the voter just condemned and closes their pipes.
+    fn enforce_kills(&mut self, already_killed: usize) {
+        for idx in self.voter.killed().into_iter().skip(already_killed) {
+            let r = &mut self.reps[idx];
+            sigkill(&r.child);
+            r.stdin = None;
+            r.stdout = None;
+            r.stderr = None;
+            r.chunk.clear();
+            r.eof = true;
+        }
+    }
+
+    /// SIGKILLs every not-yet-reaped replica (divergence or abort
+    /// teardown).
+    fn kill_all_processes(&mut self) {
+        for r in &mut self.reps {
+            if r.status.is_none() {
+                sigkill(&r.child);
+            }
+            r.stdin = None;
+            r.stdout = None;
+            r.stderr = None;
+        }
+    }
+
+    /// Closes the stdin of replicas that have consumed all input, so they
+    /// see EOF.
+    fn close_finished_stdins(&mut self) {
+        if !self.input.eof {
+            return;
+        }
+        let end = self.input.end();
+        for r in &mut self.reps {
+            if r.stdin.is_some() && r.in_pos >= end {
+                r.stdin = None;
+            }
+        }
+    }
+
+    /// Whether the transport should supply the next input window: streamed
+    /// mode only, not yet EOF, and every replica still consuming input has
+    /// caught up with the current window (keeping the window, and thus
+    /// memory, bounded).
+    #[must_use]
+    pub fn wants_input(&self) -> bool {
+        if !self.input.engine_owned || self.input.eof {
+            return false;
+        }
+        let end = self.input.end();
+        let mut any_consumer = false;
+        for r in &self.reps {
+            if r.stdin.is_some() {
+                any_consumer = true;
+                if r.in_pos < end {
+                    return false;
+                }
+            }
+        }
+        any_consumer
+    }
+
+    /// Slides the input window forward to `bytes` (≤ chunk recommended —
+    /// the window is the per-session input memory bound). Only valid while
+    /// [`wants_input`](Self::wants_input) is true.
+    pub fn accept_input(&mut self, bytes: &[u8]) {
+        debug_assert!(self.wants_input(), "window still has unconsumed bytes");
+        self.input.base += self.input.win.len() as u64;
+        self.input.win.clear();
+        self.input.win.extend_from_slice(bytes);
+        self.note_buffered();
+    }
+
+    /// Marks the broadcast input as ended; replicas see EOF on their stdin
+    /// once they drain what remains.
+    pub fn accept_input_eof(&mut self) {
+        self.input.base += self.input.win.len() as u64;
+        self.input.win.clear();
+        self.input.eof = true;
+    }
+
+    /// Declares every descriptor that can make progress this round,
+    /// notably *excluding* stdouts whose chunk is already full — that is
+    /// the barrier backpressure (the kernel pipe throttles the replica
+    /// while slower siblings catch up).
+    pub fn register_interest(&self, mut register: impl FnMut(RawFd, libc::c_short, SessionIo)) {
+        for (i, r) in self.reps.iter().enumerate() {
+            if let Some(ref out) = r.stdout {
+                if self.voter.is_alive(i) && r.chunk.len() < self.chunk {
+                    register(out.as_raw_fd(), libc::POLLIN, SessionIo::Out(i));
+                }
+            }
+            if let Some(ref err) = r.stderr {
+                // Always drain stderr — unlike stdout there is deliberately
+                // no backpressure: a full capture buffer switches to
+                // read-and-discard rather than letting the pipe fill.
+                register(err.as_raw_fd(), libc::POLLIN, SessionIo::Err(i));
+            }
+            if let Some(ref sin) = r.stdin {
+                if r.in_pos < self.input.end() {
+                    register(sin.as_raw_fd(), libc::POLLOUT, SessionIo::In(i));
+                }
+            }
+        }
+    }
+
+    /// Dispatches one readiness event. `POLLERR`/`POLLHUP` need no special
+    /// casing — the read/write sees the EOF or `EPIPE` and retires the
+    /// descriptor.
+    pub fn service(&mut self, io: SessionIo) {
+        match io {
+            SessionIo::Out(i) => self.read_stdout(i),
+            SessionIo::Err(i) => self.read_stderr(i),
+            SessionIo::In(i) => self.write_stdin(i),
+        }
+    }
+
+    /// Drains replica `i`'s stdout into its chunk buffer (≤ chunk).
+    fn read_stdout(&mut self, i: usize) {
+        let chunk = self.chunk;
+        let buf = &mut self.scratch;
+        let r = &mut self.reps[i];
+        let Some(out) = r.stdout.as_mut() else { return };
+        let mut ended = false;
+        while r.chunk.len() < chunk {
+            let want = chunk - r.chunk.len();
+            match out.read(&mut buf[..want]) {
+                Ok(0) => {
+                    ended = true;
+                    break;
+                }
+                Ok(n) => r.chunk.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    ended = true;
+                    break;
+                }
+            }
+        }
+        if ended {
+            r.stdout = None;
+            r.eof = true;
+        }
+        self.note_buffered();
+    }
+
+    /// Drains replica `i`'s stderr. The capture keeps the first ≤ chunk
+    /// bytes (the same chunk discipline as stdout voting); everything
+    /// beyond the cap is still *read* — and discarded — so a chatty replica
+    /// can never block on a full stderr pipe and stall its own exit.
+    fn read_stderr(&mut self, i: usize) {
+        let chunk = self.chunk;
+        let buf = &mut self.scratch;
+        let r = &mut self.reps[i];
+        let Some(err) = r.stderr.as_mut() else { return };
+        loop {
+            match err.read(&mut buf[..]) {
+                Ok(0) => {
+                    r.stderr = None;
+                    break;
+                }
+                Ok(n) => {
+                    let keep = (chunk.saturating_sub(r.err_buf.len())).min(n);
+                    r.err_buf.extend_from_slice(&buf[..keep]);
+                    r.err_dropped += (n - keep) as u64;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    r.stderr = None;
+                    break;
+                }
+            }
+        }
+        self.note_buffered();
+    }
+
+    /// Pushes pending window bytes into replica `i`'s stdin.
+    fn write_stdin(&mut self, i: usize) {
+        let base = self.input.base;
+        let r = &mut self.reps[i];
+        loop {
+            let Some(sin) = r.stdin.as_mut() else { return };
+            let off = (r.in_pos - base) as usize;
+            if off >= self.input.win.len() {
+                return;
+            }
+            match sin.write(&self.input.win[off..]) {
+                Ok(0) => {
+                    r.stdin = None; // no progress possible: give up on it
+                    return;
+                }
+                Ok(n) => r.in_pos += n as u64,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // EPIPE from a dead/closed replica; its fate is the
+                    // stream vote's business, not the broadcaster's.
+                    r.stdin = None;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Resolves every barrier that is already satisfied (several in a row
+    /// when all streams have ended), appending quorum bytes to `out` and
+    /// SIGKILLing outvoted replicas on the spot. The transport applies
+    /// backpressure by *not* calling this while its own output buffer is
+    /// full — unpumped chunks stop being polled, and the kernel pipes
+    /// throttle the replicas.
+    ///
+    /// Also retires the stdins of replicas that have consumed all input.
+    pub fn pump(&mut self, out: &mut Vec<u8>) -> Phase {
+        while !self.drained {
+            let live = self.live_indices();
+            if live.is_empty() {
+                self.drained = true;
+                break;
+            }
+            if !live.iter().all(|&i| self.ready(i)) {
+                break;
+            }
+            let ballots: Vec<Option<&[u8]>> = self
+                .reps
+                .iter()
+                .map(|r| {
+                    if r.chunk.is_empty() {
+                        None // ended stream (dead replicas are ignored anyway)
+                    } else {
+                        Some(r.chunk.as_slice())
+                    }
+                })
+                .collect();
+            let killed_before = self.voter.killed().len();
+            match self.voter.vote(&ballots) {
+                ChunkVote::Commit(bytes) => {
+                    out.extend_from_slice(&bytes);
+                    self.committed += bytes.len() as u64;
+                    self.enforce_kills(killed_before);
+                    for i in self.live_indices() {
+                        self.reps[i].chunk.clear();
+                    }
+                }
+                ChunkVote::Divergence => {
+                    self.diverged = true;
+                    self.kill_all_processes();
+                    self.drained = true;
+                }
+                ChunkVote::AllDone => {
+                    self.enforce_kills(killed_before);
+                    self.drained = true;
+                }
+            }
+        }
+        self.close_finished_stdins();
+        if self.drained {
+            Phase::Drained
+        } else {
+            Phase::Streaming
+        }
+    }
+
+    /// Whether [`pump`](Self::pump) has reported [`Phase::Drained`].
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.drained
+    }
+
+    /// Whether the stream vote hit an unresolvable divergence.
+    #[must_use]
+    pub fn has_diverged(&self) -> bool {
+        self.diverged
+    }
+
+    /// The endgame after [`Phase::Drained`]: closes the remaining stream
+    /// pipes, reaps every replica (stderr drained throughout so a replica
+    /// blocked on diagnostics can exit), demotes signal deaths to crashes,
+    /// then votes the stderr and exit-status ballots. Blocks until every
+    /// replica is reaped — on the agreement path they have already ended
+    /// their streams, and on the divergence/abort path they were SIGKILLed.
+    pub fn finalize(&mut self) -> StreamOutcome {
+        // Close stdin/stdout first so replicas blocked on either see
+        // EOF/EPIPE, then reap everyone — draining stderr throughout.
+        // Stderr must stay open and drained until each replica exits:
+        // closing it would SIGPIPE a chatty replica into a spurious
+        // "crash", and merely ignoring it would let a >pipe-capacity burst
+        // of diagnostics block the replica's exit forever. (A replica that
+        // closed stdout but never exits still stalls the run — by design:
+        // its exit status is its final ballot.)
+        for r in &mut self.reps {
+            r.stdin = None;
+            r.stdout = None;
+        }
+        self.reap_draining_stderr();
+
+        // Signal deaths are crashes: remove them from the live set (§5.2
+        // "when a replica dies, DieHard decrements the number of currently
+        // live replicas"). SIGKILLed losers are already out.
+        let n = self.reps.len();
+        let mut codes = vec![[0u8; 4]; n];
+        for (i, code) in codes.iter_mut().enumerate() {
+            if !self.voter.is_alive(i) {
+                continue;
+            }
+            match self.reps[i].status {
+                Some(st) if st.signal().is_none() => {
+                    *code = st.code().unwrap_or(0).to_le_bytes();
+                }
+                _ => self.voter.kill(i),
+            }
+        }
+
+        // Stderr ballot: each survivor's complete captured diagnostics.
+        // A memory error that only corrupts what a replica *reports* (an
+        // assertion message, a differing warning) is a divergence every bit
+        // as much as corrupted stdout; a minority stderr loses its replica
+        // its vote before the exit ballot below. Capture truncation is
+        // deterministic (same cap per replica), so identical diagnostics
+        // truncate identically and still agree.
+        let mut diverged = self.diverged;
+        if !diverged && !self.live_indices().is_empty() {
+            let ballots: Vec<Option<&[u8]>> = self
+                .reps
+                .iter()
+                .map(|r| Some(r.err_buf.as_slice()))
+                .collect();
+            if matches!(self.voter.vote(&ballots), ChunkVote::Divergence) {
+                diverged = true;
+            }
+        }
+
+        // Final ballot: the exit status itself. A command that legitimately
+        // exits nonzero in every replica (grep with no matches) agrees with
+        // itself and its status is forwarded, not treated as a crash.
+        let mut exit_code = None;
+        if !diverged && !self.live_indices().is_empty() {
+            let ballots: Vec<Option<&[u8]>> = codes.iter().map(|c| Some(&c[..])).collect();
+            match self.voter.vote(&ballots) {
+                ChunkVote::Commit(bytes) => {
+                    let raw: [u8; 4] = bytes[..4].try_into().expect("4-byte exit ballot");
+                    exit_code = Some(i32::from_le_bytes(raw));
+                }
+                ChunkVote::Divergence => diverged = true,
+                ChunkVote::AllDone => {}
+            }
+        }
+
+        // Forward the winning replica's captured stderr: after the stderr
+        // ballot, every member of the surviving quorum carries the *agreed*
+        // diagnostics (the lowest live index is deterministic). A diverged
+        // or fully-crashed run has no winner and forwards nothing.
+        let (stderr, stderr_dropped) = if diverged {
+            (Vec::new(), 0)
+        } else {
+            match (0..self.reps.len()).find(|&i| self.voter.is_alive(i)) {
+                Some(i) => (
+                    core::mem::take(&mut self.reps[i].err_buf),
+                    self.reps[i].err_dropped,
+                ),
+                None => (Vec::new(), 0),
+            }
+        };
+        self.diverged = diverged;
+
+        StreamOutcome {
+            diverged,
+            killed: self.voter.killed(),
+            exit_code,
+            committed: self.committed,
+            peak_buffered: self.peak_buffered,
+            stderr,
+            stderr_dropped,
+        }
+    }
+
+    /// Abandons the session (the transport's client vanished): SIGKILLs and
+    /// reaps every replica without running the closing ballots. Fast by
+    /// construction — nothing survives the SIGKILL.
+    pub fn abort(&mut self) {
+        self.kill_all_processes();
+        self.drained = true;
+        self.shutdown();
+    }
+
+    /// Reaps every replica while keeping its stderr drained, so a replica
+    /// blocked writing diagnostics can make progress and exit. Leaves every
+    /// `status` populated and every stderr handle closed.
+    fn reap_draining_stderr(&mut self) {
+        loop {
+            let mut unreaped = false;
+            for r in &mut self.reps {
+                if r.status.is_none() {
+                    match r.child.try_wait() {
+                        Ok(Some(status)) => r.status = Some(status),
+                        Ok(None) => unreaped = true,
+                        Err(_) => r.status = r.child.wait().ok(),
+                    }
+                }
+            }
+            for i in 0..self.reps.len() {
+                self.read_stderr(i);
+            }
+            if !unreaped {
+                break;
+            }
+            let mut fds: Vec<libc::pollfd> = self
+                .reps
+                .iter()
+                .filter(|r| r.status.is_none())
+                .filter_map(|r| r.stderr.as_ref())
+                .map(|err| libc::pollfd {
+                    fd: err.as_raw_fd(),
+                    events: libc::POLLIN,
+                    revents: 0,
+                })
+                .collect();
+            if fds.is_empty() {
+                // Nothing left to drain for the stragglers: block on them
+                // directly (pre-stderr-capture behavior).
+                for r in &mut self.reps {
+                    if r.status.is_none() {
+                        r.status = r.child.wait().ok();
+                    }
+                }
+            } else {
+                // Sleep until a straggler writes or exits (its stderr EOF
+                // wakes us); the timeout is a backstop for a grandchild
+                // inheriting the pipe and outliving the replica.
+                // SAFETY: fds is a live, correctly-sized pollfd array.
+                unsafe { libc::poll(fds.as_mut_ptr(), fds.len() as libc::nfds_t, 200) };
+            }
+        }
+        // Final drain: the pipes may still hold bytes written before exit.
+        for i in 0..self.reps.len() {
+            self.read_stderr(i);
+        }
+        for r in &mut self.reps {
+            r.stderr = None;
+        }
+    }
+
+    /// Final teardown: kill and reap anything still unreaped (the error
+    /// path — the success path has already waited on every replica).
+    pub fn shutdown(&mut self) {
+        for r in &mut self.reps {
+            if r.status.is_none() {
+                sigkill(&r.child);
+                r.stdin = None;
+                r.stdout = None;
+                r.stderr = None;
+                r.status = r.child.wait().ok();
+            }
+        }
+    }
+}
+
+impl Drop for Session {
+    /// Dropping a session never leaks replica processes: anything unreaped
+    /// is killed and waited on. The orderly paths (finalize/abort) have
+    /// already reaped everything, making this a no-op.
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Validates explicit seeds or draws fresh entropy (the paper seeds each
+/// replica from `/dev/urandom`).
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidInput`] when `config.seeds` is non-empty
+/// but its length differs from `config.replicas`.
+pub(crate) fn resolve_seeds(config: &LaunchConfig) -> io::Result<Vec<u64>> {
+    use diehard_core::rng::{entropy_seed, splitmix};
+    if config.seeds.is_empty() {
+        let master = entropy_seed();
+        return Ok((0..config.replicas as u64)
+            .map(|i| splitmix(master ^ (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect());
+    }
+    if config.seeds.len() != config.replicas {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "{} seeds for {} replicas (provide one per replica or none)",
+                config.seeds.len(),
+                config.replicas
+            ),
+        ));
+    }
+    Ok(config.seeds.clone())
+}

@@ -1,0 +1,212 @@
+//! A deterministic TCP client driver for the [`crate::server`] protocol.
+//!
+//! The replicated proxy (`diehard-replicate`'s TCP transport) speaks
+//! write-then-read: a client sends its whole request stream, half-closes
+//! the write side, then reads the voted response to EOF. (Responses flush
+//! at the voter's chunk barriers, so request/response *lockstep* would
+//! deadlock on a partially-filled chunk — the same §5.2 full-pipe-buffer
+//! rule the pipe path inherits.) This module packages that protocol so
+//! proxy tests and benches drive connections identically:
+//!
+//! * [`drive`] — connect, stream [`crate::server::request_stream`] bytes
+//!   from a writer thread, half-close, read the response to EOF. The
+//!   writer thread matters: a large request and a large response in
+//!   flight simultaneously would otherwise deadlock both directions'
+//!   kernel buffers.
+//! * [`Pace`] — optional slow-reader throttling (small reads, a delay
+//!   between them) for backpressure tests: the proxy must bound its
+//!   per-connection memory no matter how slowly the client drains.
+//! * [`abandon_mid_stream`] — the misbehaving client: send a request
+//!   prefix, slam the connection shut, never read. Proxy tests use it to
+//!   prove one vanished client costs only its own replica session.
+//!
+//! Everything here is plain `std::net` over loopback; determinism comes
+//! from the request trace, not from timing.
+
+use crate::server::{request_stream, ServerRequest};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Reading cadence for [`drive`].
+#[derive(Debug, Clone, Copy)]
+pub struct Pace {
+    /// Bytes per read call (clamped to ≥ 1).
+    pub read_chunk: usize,
+    /// Sleep between read calls (slow-reader simulation).
+    pub read_delay: Duration,
+}
+
+impl Pace {
+    /// Full speed: big reads, no delay.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            read_chunk: 64 * 1024,
+            read_delay: Duration::ZERO,
+        }
+    }
+
+    /// A deliberately slow reader: tiny reads with a pause between them,
+    /// so the sender-side buffers (proxy outbound queue, replica pipes)
+    /// are what absorb — and must bound — the stream.
+    #[must_use]
+    pub fn slow(read_chunk: usize, read_delay: Duration) -> Self {
+        Self {
+            read_chunk: read_chunk.max(1),
+            read_delay,
+        }
+    }
+}
+
+/// Connects to `127.0.0.1:port`, streams the serialized `requests`,
+/// half-closes, and reads the whole voted response at the given [`Pace`].
+/// Returns the response bytes (compare with
+/// [`crate::server::expected_output`]).
+///
+/// # Errors
+///
+/// Propagates connect and read failures. Write-side errors are folded
+/// into the response read: a proxy that kills the connection mid-request
+/// (divergence, replica loss) surfaces as a short/empty response, which
+/// is the observable callers assert on.
+///
+/// # Panics
+///
+/// Panics if the writer thread itself panics (it does not — it only
+/// performs writes whose failures are ignored by design).
+pub fn drive(port: u16, requests: &[ServerRequest], pace: Pace) -> std::io::Result<Vec<u8>> {
+    let addr = SocketAddr::from(([127, 0, 0, 1], port));
+    let stream = TcpStream::connect(addr)?;
+    let payload = request_stream(requests);
+    let writer = {
+        let stream = stream.try_clone()?;
+        std::thread::spawn(move || {
+            let mut stream = stream;
+            // A refused request stream (proxy closed early) is not this
+            // thread's error to report: the reader observes the outcome.
+            let _ = stream.write_all(&payload);
+            let _ = stream.shutdown(Shutdown::Write);
+        })
+    };
+    let mut response = Vec::new();
+    let mut stream = stream;
+    let mut buf = vec![0u8; pace.read_chunk];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                response.extend_from_slice(&buf[..n]);
+                if !pace.read_delay.is_zero() {
+                    std::thread::sleep(pace.read_delay);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                writer.join().expect("writer thread");
+                return Err(e);
+            }
+        }
+    }
+    writer.join().expect("writer thread");
+    Ok(response)
+}
+
+/// The vanishing client: connects, writes `prefix_bytes` of the serialized
+/// `requests` (no newline guarantee — a torn request line is the point),
+/// then drops the socket without half-closing or reading. Returns once the
+/// connection is closed.
+///
+/// # Errors
+///
+/// Propagates connect failures; write errors are expected (the proxy may
+/// already be tearing the session down) and ignored.
+pub fn abandon_mid_stream(
+    port: u16,
+    requests: &[ServerRequest],
+    prefix_bytes: usize,
+) -> std::io::Result<()> {
+    let addr = SocketAddr::from(([127, 0, 0, 1], port));
+    let mut stream = TcpStream::connect(addr)?;
+    let payload = request_stream(requests);
+    let cut = prefix_bytes.min(payload.len());
+    let _ = stream.write_all(&payload[..cut]);
+    // Drop without shutdown: the peer sees FIN with the request
+    // incomplete, and any later proxy write hits EPIPE/ECONNRESET.
+    drop(stream);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::expected_output;
+    use std::net::TcpListener;
+
+    /// A plain (unreplicated) echo of the server protocol, so the driver
+    /// is testable without the proxy: read all requests, then write the
+    /// exact expected response.
+    fn one_shot_mock_server() -> (u16, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let handle = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut request = Vec::new();
+            conn.read_to_end(&mut request).unwrap();
+            let text = String::from_utf8(request).unwrap();
+            let requests: Vec<ServerRequest> = text
+                .lines()
+                .map(|line| {
+                    if let Some(text) = line.strip_prefix("ECHO ") {
+                        ServerRequest::Echo(text.into())
+                    } else if let Some(n) = line.strip_prefix("PRODUCE ") {
+                        ServerRequest::Produce(n.parse().unwrap())
+                    } else {
+                        ServerRequest::Quit
+                    }
+                })
+                .collect();
+            conn.write_all(&expected_output(&requests)).unwrap();
+        });
+        (port, handle)
+    }
+
+    #[test]
+    fn drive_round_trips_the_protocol() {
+        let (port, server) = one_shot_mock_server();
+        let requests = vec![
+            ServerRequest::Echo("alpha".into()),
+            ServerRequest::Produce(5),
+            ServerRequest::Quit,
+        ];
+        let response = drive(port, &requests, Pace::full()).unwrap();
+        assert_eq!(response, expected_output(&requests));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn slow_pace_still_reads_everything() {
+        let (port, server) = one_shot_mock_server();
+        let requests = vec![ServerRequest::Produce(200), ServerRequest::Quit];
+        let pace = Pace::slow(7, Duration::from_micros(50));
+        let response = drive(port, &requests, pace).unwrap();
+        assert_eq!(response, expected_output(&requests));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn abandon_sends_only_the_prefix() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut got = Vec::new();
+            conn.read_to_end(&mut got).unwrap();
+            got
+        });
+        let requests = vec![ServerRequest::Echo("abcdefgh".into()), ServerRequest::Quit];
+        abandon_mid_stream(port, &requests, 6).unwrap();
+        let got = server.join().unwrap();
+        assert_eq!(got, b"ECHO a", "exactly the torn prefix, then FIN");
+    }
+}

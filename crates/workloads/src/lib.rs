@@ -11,14 +11,19 @@
 //!   via-unbounded-`strcpy` bug pattern (§7.3.2);
 //! * [`server`] — a deterministic server-style echo/produce trace (shell
 //!   server, request generator, exact expected output) for exercising the
-//!   §5 streaming voter on long-running interactive workloads.
+//!   §5 streaming voter on long-running interactive workloads;
+//! * [`client`] — the matching TCP client driver (write-then-read
+//!   protocol, slow-reader pacing, mid-stream abandonment) for the
+//!   replicated proxy's loopback tests and benches.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod client;
 pub mod profile;
 pub mod server;
 pub mod squid;
 
+pub use client::{abandon_mid_stream, drive, Pace};
 pub use profile::{alloc_intensive_suite, profile_by_name, spec_suite, Profile, SizeDist};
 pub use server::{expected_output, request_stream, ServerRequest, SERVER_SCRIPT};
