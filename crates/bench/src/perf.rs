@@ -17,6 +17,7 @@
 //! across timed samples) and `iters` is the total operation count measured.
 
 use diehard_core::config::{FillPolicy, HeapConfig};
+use diehard_core::magazine::MagazineHeap;
 use diehard_core::partition::Partition;
 use diehard_core::rng::Mwc;
 use diehard_core::sharded::ShardedHeap;
@@ -28,6 +29,8 @@ use std::time::Instant;
 /// Every kernel the report must contain; CI fails when one is missing.
 pub const KERNELS: &[&str] = &[
     "alloc_churn_mixed",
+    "magazine_alloc_churn",
+    "preload_alloc_churn",
     "probe_steady_half_full",
     "fill_none",
     "fill_random",
@@ -116,6 +119,135 @@ fn alloc_churn_mixed(smoke: bool) -> KernelResult {
             i += 1;
         }
     })
+}
+
+/// The same 64-slot mixed-size churn ring as `alloc_churn_mixed`, but
+/// against the concurrent [`MagazineHeap`] through its thread-local
+/// magazine cache — the exact in-process path `libdiehard.so` puts under
+/// every interposed `malloc`. Comparing the two rows prices the
+/// thread-safety layers (magazines + lock-free shard CAS) against the
+/// single-threaded sim heap.
+fn magazine_alloc_churn(smoke: bool) -> KernelResult {
+    const RING: usize = 64;
+    let (warmup, samples, ops) = if smoke {
+        (1, 3, 2_000)
+    } else {
+        (3, 25, 50_000)
+    };
+    let sizes: [usize; RING] = {
+        let mut rng = Mwc::seeded(0xBEAC4);
+        core::array::from_fn(|_| 8 + rng.below(2040))
+    };
+    let heap = MagazineHeap::new(HeapConfig::default(), 0xCAFE).unwrap();
+    let mut ring = [usize::MAX; RING];
+    let mut i = 0usize;
+    measure("magazine_alloc_churn", warmup, samples, ops, move || {
+        let mut cache = heap.thread_cache();
+        for _ in 0..ops {
+            let slot = i & (RING - 1);
+            if ring[slot] != usize::MAX {
+                let _ = cache.free_at(ring[slot]);
+            }
+            ring[slot] = match cache.alloc(sizes[slot]) {
+                Some(s) => heap.offset_of(s),
+                None => usize::MAX,
+            };
+            i += 1;
+        }
+        // Return buffered frees to the shards so samples stay steady-state.
+        cache.flush();
+    })
+}
+
+/// Resolves `malloc`/`free` out of a freshly `dlopen`ed `libdiehard.so`
+/// (found next to the running binary's profile directory). `RTLD_LOCAL`
+/// keeps the library's strong allocation symbols *out* of the global
+/// scope: this process keeps its own allocator, and the kernel drives the
+/// interposer's exports purely through the returned function pointers.
+#[cfg(unix)]
+fn preload_library() -> (
+    extern "C" fn(usize) -> *mut libc::c_void,
+    extern "C" fn(*mut libc::c_void),
+) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let dir = exe.parent().expect("exe dir");
+    // Bins run from target/<profile>/, test bins from target/<profile>/deps/.
+    // `cargo test` alone does not emit the cdylib artifact, so a debug test
+    // run falls back to the sibling profile's copy — tier-1 (`cargo build
+    // --release && cargo test -q`) always has target/release/libdiehard.so,
+    // and the release interposer is the artifact worth timing anyway.
+    let mut candidates = vec![dir.to_path_buf()];
+    candidates.extend(dir.parent().map(std::path::Path::to_path_buf));
+    for up in [dir.parent(), dir.parent().and_then(std::path::Path::parent)]
+        .into_iter()
+        .flatten()
+    {
+        candidates.push(up.join("release"));
+        candidates.push(up.join("debug"));
+    }
+    let so = candidates
+        .into_iter()
+        .map(|d| d.join("libdiehard.so"))
+        .find(|p| p.exists())
+        .expect("libdiehard.so not built — run `cargo build --release -p diehard-preload` first");
+    let mut path = so.into_os_string().into_string().expect("utf-8 path");
+    path.push('\0');
+    // SAFETY: NUL-terminated path; dlopen/dlsym have no other
+    // preconditions. The transmutes match the C signatures libdiehard.so
+    // exports for malloc and free.
+    unsafe {
+        let handle = libc::dlopen(path.as_ptr().cast(), libc::RTLD_NOW | libc::RTLD_LOCAL);
+        assert!(!handle.is_null(), "dlopen(libdiehard.so) failed");
+        let malloc_sym = libc::dlsym(handle, c"malloc".as_ptr().cast());
+        let free_sym = libc::dlsym(handle, c"free".as_ptr().cast());
+        assert!(
+            !malloc_sym.is_null() && !free_sym.is_null(),
+            "libdiehard.so must export malloc and free"
+        );
+        (
+            core::mem::transmute::<*mut libc::c_void, extern "C" fn(usize) -> *mut libc::c_void>(
+                malloc_sym,
+            ),
+            core::mem::transmute::<*mut libc::c_void, extern "C" fn(*mut libc::c_void)>(free_sym),
+        )
+    }
+}
+
+/// The same churn ring once more, but through the `LD_PRELOAD`
+/// interposer's exported C ABI (`dlopen` + `dlsym`, see
+/// [`preload_library`]). The delta against `magazine_alloc_churn` is the
+/// interposition overhead itself: the re-entrancy guard, the arena range
+/// check, the `Layout` round-trip, and the indirect call.
+#[cfg(unix)]
+fn preload_alloc_churn(smoke: bool) -> KernelResult {
+    const RING: usize = 64;
+    let (warmup, samples, ops) = if smoke {
+        (1, 3, 2_000)
+    } else {
+        (3, 25, 50_000)
+    };
+    let sizes: [usize; RING] = {
+        let mut rng = Mwc::seeded(0xBEAC4);
+        core::array::from_fn(|_| 8 + rng.below(2040))
+    };
+    let (c_malloc, c_free) = preload_library();
+    let mut ring: [*mut libc::c_void; RING] = [core::ptr::null_mut(); RING];
+    let mut i = 0usize;
+    measure("preload_alloc_churn", warmup, samples, ops, move || {
+        for _ in 0..ops {
+            let slot = i & (RING - 1);
+            if !ring[slot].is_null() {
+                c_free(ring[slot]);
+            }
+            ring[slot] = black_box(c_malloc(sizes[slot]));
+            i += 1;
+        }
+    })
+}
+
+#[cfg(not(unix))]
+fn preload_alloc_churn(_smoke: bool) -> KernelResult {
+    unreachable!("the preload kernel requires unix dlopen plumbing")
 }
 
 /// Steady-state partition probing at the paper's default occupancy (half
@@ -337,6 +469,8 @@ pub fn run_all(smoke: bool) -> Vec<KernelResult> {
 pub fn run_kernel(name: &str, smoke: bool) -> Option<KernelResult> {
     match name {
         "alloc_churn_mixed" => Some(alloc_churn_mixed(smoke)),
+        "magazine_alloc_churn" => Some(magazine_alloc_churn(smoke)),
+        "preload_alloc_churn" => Some(preload_alloc_churn(smoke)),
         "probe_steady_half_full" => Some(probe_steady_half_full(smoke)),
         "fill_none" => Some(fill_kernel("fill_none", FillPolicy::None, smoke)),
         "fill_random" => Some(fill_kernel("fill_random", FillPolicy::Random, smoke)),
@@ -436,6 +570,8 @@ mod tests {
     fn missing_kernels_detects_gaps() {
         let missing = missing_kernels("{\"alloc_churn_mixed\": {}}");
         assert!(!missing.contains(&"alloc_churn_mixed"));
+        assert!(missing.contains(&"magazine_alloc_churn"));
+        assert!(missing.contains(&"preload_alloc_churn"));
         assert!(missing.contains(&"probe_steady_half_full"));
         assert!(missing.contains(&"fill_none"));
         assert!(missing.contains(&"fill_random"));

@@ -212,6 +212,15 @@ pub struct DieHard {
     fixed_seed: Option<u64>,
     fixed_config: Option<HeapConfig>,
     fixed_grow: Option<u32>,
+    /// Elastic fraction to fall back to when `DIEHARD_GROW` is unset —
+    /// only consulted by env-configured allocators
+    /// ([`elastic_from_env`](Self::elastic_from_env)).
+    default_grow: Option<u32>,
+    /// Address of the `GlobalState` whose locks
+    /// [`fork_prepare`](Self::fork_prepare) acquired (0 = registry only):
+    /// [`fork_resume`](Self::fork_resume) must release exactly that set,
+    /// even if another thread initialized the heap between the two calls.
+    fork_locked: core::sync::atomic::AtomicUsize,
 }
 
 impl DieHard {
@@ -223,6 +232,8 @@ impl DieHard {
             fixed_seed: None,
             fixed_config: None,
             fixed_grow: None,
+            default_grow: None,
+            fork_locked: core::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -235,6 +246,8 @@ impl DieHard {
             fixed_seed: Some(seed),
             fixed_config: None,
             fixed_grow: None,
+            default_grow: None,
+            fork_locked: core::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -253,6 +266,8 @@ impl DieHard {
             fixed_seed: Some(seed),
             fixed_config: Some(config),
             fixed_grow: None,
+            default_grow: None,
+            fork_locked: core::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -274,6 +289,28 @@ impl DieHard {
             fixed_seed: Some(seed),
             fixed_config: Some(config),
             fixed_grow: Some(initial_fraction_log2),
+            default_grow: None,
+            fork_locked: core::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// As [`new`](Self::new) — fully environment-configured — but
+    /// **elastic by default**: when `DIEHARD_GROW` is unset, classes start
+    /// at `1/2^default_fraction_log2` of their maximum and a denial at full
+    /// size spills to a dedicated mapping instead of returning null. A set
+    /// `DIEHARD_GROW` still wins. This is the constructor for the
+    /// `LD_PRELOAD` interposer, where `malloc` returning null for a
+    /// class-cap reason (rather than true OOM) would fail host programs the
+    /// paper promises to keep running.
+    #[must_use]
+    pub const fn elastic_from_env(default_fraction_log2: u32) -> Self {
+        Self {
+            state: OnceCell::new(),
+            fixed_seed: None,
+            fixed_config: None,
+            fixed_grow: None,
+            default_grow: Some(default_fraction_log2),
+            fork_locked: core::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -405,6 +442,124 @@ impl DieHard {
         }
     }
 
+    /// C `malloc_usable_size`: the full capacity of the live object whose
+    /// *start* is `ptr` — the rounded class size for small objects, the
+    /// page-rounded user range for large ones. Returns 0 for null, interior,
+    /// foreign, and dead pointers (glibc returns 0 only for null and leaves
+    /// the rest undefined; answering 0 instead of corrupting is this
+    /// allocator's whole premise). A small object whose free is still
+    /// buffered in a thread magazine reports its size until the batch
+    /// flushes — the slot is genuinely not reusable before then.
+    #[must_use]
+    pub fn usable_size(&self, ptr: *mut u8) -> usize {
+        let Some(state) = self.state.get() else {
+            return 0;
+        };
+        if ptr.is_null() {
+            return 0;
+        }
+        let base = state.heap_base as usize;
+        let addr = ptr as usize;
+        if addr >= base && addr < base + state.heap.heap_span() {
+            let off = addr - base;
+            return match state.heap.slot_containing(off) {
+                Some(slot) if state.heap.offset_of(slot) == off && state.heap.is_live_at(off) => {
+                    slot.size()
+                }
+                _ => 0,
+            };
+        }
+        let large = state.large.lock();
+        let (Some(total), Some(map_base)) = (large.len.get(addr), large.base.get(addr)) else {
+            return 0;
+        };
+        // The mapping is [map_base .. map_base + total): front guard (plus
+        // any alignment padding), the user range, then exactly one tail
+        // guard page (`alloc_large` trims any alignment excess off the
+        // tail), so the user range ends one page before the mapping does.
+        total - (addr - map_base) - state.page
+    }
+
+    /// Bytes from `ptr` to the end of the object containing it — the §4.4
+    /// clamp bound, valid for *interior* pointers too (unlike
+    /// [`usable_size`](Self::usable_size)). `None` when `ptr` is not inside
+    /// a DieHard object; small-object answers are pure arithmetic (no
+    /// liveness check, matching [`strcpy`](Self::strcpy)'s bound), large
+    /// ones resolve exact-start pointers through the validity tables
+    /// (interior large pointers are not resolvable — the mapping's own
+    /// guard pages bound those).
+    #[must_use]
+    pub fn remaining_space(&self, ptr: *mut u8) -> Option<usize> {
+        let state = self.state.get()?;
+        if ptr.is_null() {
+            return None;
+        }
+        match Self::object_space(state, ptr) {
+            Some(space) => Some(space),
+            None => {
+                let size = self.usable_size(ptr);
+                (size != 0).then_some(size)
+            }
+        }
+    }
+
+    /// `fork(2)` prepare: acquires, in a fixed global order, every lock a
+    /// forked child could otherwise inherit mid-critical-section — the TLS
+    /// registry, all twelve per-class maintenance locks, then the
+    /// large-object table lock. With these held across the `fork`, the
+    /// child's single thread sees batch-consistent shard metadata and
+    /// settled tables. In-flight *lock-free* operations in other threads
+    /// (a reservation ticket between `fetch_add` and commit) can strand a
+    /// bounded number of slots in the child — an availability leak, never
+    /// corruption: the slot-state CAS encoding stays self-consistent under
+    /// any interleaving of the parent's atomics.
+    ///
+    /// Pair with [`fork_resume`](Self::fork_resume) in both the parent and
+    /// the child (the `pthread_atfork` parent/child hooks).
+    pub fn fork_prepare(&self) {
+        tls::registry_lock();
+        // Record exactly which state (if any) gets locked: a racing first
+        // allocation can initialize the heap between prepare and resume,
+        // and resume must not "release" locks that were never taken.
+        let locked = match self.state.get() {
+            Some(state) => {
+                state.heap.lock_all_maintenance();
+                state.large.raw_lock();
+                core::ptr::from_ref(state) as usize
+            }
+            None => 0,
+        };
+        self.fork_locked.store(locked, Ordering::Release);
+    }
+
+    /// Releases the locks taken by [`fork_prepare`](Self::fork_prepare), in
+    /// reverse order.
+    ///
+    /// # Safety
+    ///
+    /// Must be called exactly once in each process that inherited the locks
+    /// (parent and child), after a `fork_prepare` on the same allocator.
+    /// The lock set released is the one `fork_prepare` recorded, so a heap
+    /// that initialized concurrently between the two calls is handled
+    /// correctly (its locks were never taken and are left alone).
+    pub unsafe fn fork_resume(&self) {
+        let locked = self.fork_locked.load(Ordering::Acquire);
+        if locked != 0 {
+            // SAFETY: `locked` is the address of the pinned GlobalState
+            // whose locks the paired fork_prepare acquired (this thread, or
+            // the forking thread this child process inherited from); the
+            // state outlives the allocator and never moves.
+            let state = unsafe { &*(locked as *const GlobalState) };
+            // SAFETY: held by the paired fork_prepare.
+            unsafe {
+                state.large.raw_unlock();
+                state.heap.unlock_all_maintenance();
+            }
+        }
+        // SAFETY: registry_lock was unconditional in prepare.
+        unsafe { tls::registry_unlock() };
+    }
+
     // ---- internals -------------------------------------------------------
 
     /// The initialized state, running the one-time initialization on first
@@ -419,27 +574,24 @@ impl DieHard {
     fn build_state(&self) -> Option<GlobalState> {
         let config = match &self.fixed_config {
             Some(config) => config.clone(),
-            None => {
-                let region_mb = sys::env_u64("DIEHARD_REGION_MB\0").unwrap_or(32).max(1);
-                let m = sys::env_u64("DIEHARD_M\0").unwrap_or(2).max(1);
-                HeapConfig::paper_default()
-                    .with_region_bytes((region_mb as usize) << 20)
-                    .with_multiplier(m as f64)
-            }
+            None => HeapConfig::paper_default()
+                .with_region_bytes((crate::env::region_mb() as usize) << 20)
+                .with_multiplier(crate::env::multiplier() as f64),
         };
         config.validate().ok()?;
         let seed = self
             .fixed_seed
-            .or_else(|| sys::env_u64("DIEHARD_SEED\0"))
+            .or_else(crate::env::seed)
             .unwrap_or_else(entropy_seed);
         // Elastic mode: an explicit constructor choice wins; env-configured
-        // allocators honor DIEHARD_GROW, config-fixed ones ignore the
+        // allocators honor DIEHARD_GROW (falling back to the constructor's
+        // default fraction, if any), config-fixed ones ignore the
         // environment entirely (same isolation contract as the other knobs).
         let grow = self.fixed_grow.or_else(|| {
             if self.fixed_config.is_some() {
                 None
             } else {
-                sys::env_u64("DIEHARD_GROW\0").map(|g| g as u32)
+                crate::env::grow().or(self.default_grow)
             }
         });
 
@@ -604,13 +756,25 @@ impl DieHard {
             aligned as *mut u8
         };
         let user_addr = user as usize;
+        // Trim any alignment excess off the tail so the user range always
+        // ends exactly one page before the mapping does — that invariant is
+        // what lets `usable_size` recover the user length from the two
+        // table entries alone. (With `align <= page` the excess is zero and
+        // this is a no-op.)
+        let tail = user_addr + user_len;
+        let excess = base as usize + total - (tail + page);
+        if excess > 0 {
+            // SAFETY: [tail + page, base + total) is a page-aligned unused
+            // suffix of the fresh mapping; nothing references it.
+            unsafe { sys::unmap((tail + page) as *mut u8, excess) };
+        }
+        let total = tail + page - base as usize;
         // Guard everything before and after the user range (§4.1: "guard
         // pages without read or write access on either end").
         // SAFETY: the ranges are page-aligned and inside the fresh mapping.
         unsafe {
             sys::protect_none(base, user_addr - base as usize);
-            let tail = user_addr + user_len;
-            sys::protect_none(tail as *mut u8, base as usize + total - tail);
+            sys::protect_none(tail as *mut u8, page);
         }
         // Huge-page advice on the user range only (the guards must stay
         // 4 KB mappings); self-gated below 2 MB, best-effort above.
@@ -914,6 +1078,99 @@ mod tests {
         let copied = unsafe { heap.strncpy(dst, src.as_ptr(), 100) };
         assert_eq!(copied, 7);
         heap.free(dst);
+    }
+
+    #[test]
+    fn usable_size_reports_rounded_class_size() {
+        let heap = small_test_heap();
+        let p = heap.malloc(100);
+        assert!(!p.is_null());
+        assert_eq!(heap.usable_size(p), 128, "rounded to the 128-byte class");
+        // Interior, foreign, and null pointers answer 0, never garbage.
+        // SAFETY: p+1 stays within the live object.
+        assert_eq!(heap.usable_size(unsafe { p.add(1) }), 0);
+        assert_eq!(heap.usable_size(0x1234_5678 as *mut u8), 0);
+        assert_eq!(heap.usable_size(ptr::null_mut()), 0);
+        heap.free(p);
+        // The free may sit in this thread's magazine buffer (the slot is
+        // then still un-reusable, hence "live"); flush to settle it.
+        heap.flush_thread_cache();
+        assert_eq!(heap.usable_size(p), 0, "dead objects answer 0");
+    }
+
+    #[test]
+    fn usable_size_covers_large_objects_exactly() {
+        let heap = small_test_heap();
+        let p = heap.malloc(100_000);
+        assert!(!p.is_null());
+        let usable = heap.usable_size(p);
+        assert!(usable >= 100_000, "at least the request: {usable}");
+        assert_eq!(usable % 4096, 0, "page-rounded user range");
+        assert!(usable < 100_000 + 2 * 65536, "no guard/padding overcount");
+        // Every reported byte is really writable (the tail guard page
+        // starts exactly at the end, so an overcount would fault here).
+        // SAFETY: usable bytes live at p per the assertion under test.
+        unsafe {
+            *p.add(usable - 1) = 0xEE;
+            assert_eq!(*p.add(usable - 1), 0xEE);
+        }
+        heap.free(p);
+        assert_eq!(heap.usable_size(p), 0);
+    }
+
+    #[test]
+    fn usable_size_exact_under_extreme_alignment() {
+        let heap = small_test_heap();
+        // Alignment beyond a page exercises the tail-trim path.
+        let layout = Layout::from_size_align(100_000, 1 << 21).unwrap();
+        // SAFETY: valid non-zero layout.
+        let p = unsafe { heap.alloc(layout) };
+        assert!(!p.is_null());
+        assert_eq!(p as usize % (1 << 21), 0);
+        let usable = heap.usable_size(p);
+        assert!(usable >= 100_000);
+        // SAFETY: usable bytes live at p.
+        unsafe { *p.add(usable - 1) = 1 };
+        // SAFETY: p came from alloc with this layout.
+        unsafe { heap.dealloc(p, layout) };
+    }
+
+    #[test]
+    fn remaining_space_bounds_interior_pointers() {
+        let heap = small_test_heap();
+        let p = heap.malloc(256);
+        assert!(!p.is_null());
+        assert_eq!(heap.remaining_space(p), Some(256));
+        // SAFETY: interior pointers of a live 256-byte object.
+        unsafe {
+            assert_eq!(heap.remaining_space(p.add(200)), Some(56));
+            assert_eq!(heap.remaining_space(p.add(255)), Some(1));
+        }
+        assert_eq!(heap.remaining_space(0x4000 as *mut u8), None);
+        let big = heap.malloc(100_000);
+        assert_eq!(heap.remaining_space(big), Some(heap.usable_size(big)));
+        heap.free(p);
+        heap.free(big);
+    }
+
+    #[test]
+    fn fork_lock_roundtrip_keeps_heap_usable() {
+        let heap = small_test_heap();
+        // Uninitialized: prepare/resume must balance with no heap locks.
+        heap.fork_prepare();
+        // SAFETY: paired with the prepare above, same thread.
+        unsafe { heap.fork_resume() };
+        let p = heap.malloc(64);
+        assert!(!p.is_null());
+        // Initialized: the full lock set (registry, 12 maintenance, large).
+        heap.fork_prepare();
+        // SAFETY: paired with the prepare above, same thread.
+        unsafe { heap.fork_resume() };
+        heap.free(p);
+        let q = heap.malloc(2048);
+        assert!(!q.is_null(), "heap fully functional after the roundtrip");
+        heap.free(q);
+        assert_eq!(heap.live_objects(), 0);
     }
 
     #[test]

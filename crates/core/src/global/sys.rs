@@ -80,36 +80,6 @@ pub unsafe fn protect_none(ptr: *mut u8, len: usize) {
     }
 }
 
-/// Reads environment variable `name` (NUL-terminated) as a decimal `u64`
-/// without allocating. Returns `None` when unset or malformed.
-#[must_use]
-pub fn env_u64(name: &'static str) -> Option<u64> {
-    debug_assert!(name.ends_with('\0'), "env names must be NUL-terminated");
-    // SAFETY: `name` is NUL-terminated; getenv does not allocate.
-    let raw = unsafe { libc::getenv(name.as_ptr().cast::<libc::c_char>()) };
-    if raw.is_null() {
-        return None;
-    }
-    let mut value: u64 = 0;
-    let mut any = false;
-    let mut p = raw;
-    loop {
-        // SAFETY: `p` walks the NUL-terminated string returned by getenv.
-        let c = unsafe { *p } as u8;
-        if c == 0 {
-            break;
-        }
-        if !c.is_ascii_digit() {
-            return None;
-        }
-        value = value.checked_mul(10)?.checked_add(u64::from(c - b'0'))?;
-        any = true;
-        // SAFETY: still within the string (previous byte was non-NUL).
-        p = unsafe { p.add(1) };
-    }
-    any.then_some(value)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,16 +123,5 @@ mod tests {
             assert_eq!(*ptr, 0xCD);
             unmap(ptr, len);
         }
-    }
-
-    #[test]
-    fn env_parsing() {
-        std::env::set_var("DIEHARD_TEST_ENV_NUM", "12345");
-        assert_eq!(env_u64("DIEHARD_TEST_ENV_NUM\0"), Some(12345));
-        std::env::set_var("DIEHARD_TEST_ENV_NUM", "12x45");
-        assert_eq!(env_u64("DIEHARD_TEST_ENV_NUM\0"), None);
-        std::env::remove_var("DIEHARD_TEST_ENV_NUM");
-        assert_eq!(env_u64("DIEHARD_TEST_ENV_NUM\0"), None);
-        assert_eq!(env_u64("DIEHARD_TEST_ENV_UNSET\0"), None);
     }
 }

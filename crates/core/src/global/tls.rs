@@ -84,6 +84,27 @@ pub(super) fn allocate_id() -> u64 {
     NEXT_ID.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Guardless registry lock for the `fork(2)` prepare path: with the
+/// registry held, no thread is mid-way through a stale-heap flush (which
+/// holds this lock for its whole duration), so the child inherits a
+/// registry no one was mutating. First in the fork lock order — a flush
+/// takes maintenance locks *while* holding the registry, never the
+/// reverse.
+pub(super) fn registry_lock() {
+    REGISTRY.raw_lock();
+}
+
+/// Releases [`registry_lock`] (parent and child resume paths).
+///
+/// # Safety
+///
+/// The registry must be held via `registry_lock` (by this thread or, in a
+/// fork child, by the thread the process forked from).
+pub(super) unsafe fn registry_unlock() {
+    // SAFETY: forwarded caller contract.
+    unsafe { REGISTRY.raw_unlock() };
+}
+
 /// Registers `state` under its id; idempotent. Returns `false` when the
 /// table is full (the caller then disables magazines for this heap).
 pub(super) fn register(state: &GlobalState) -> bool {

@@ -24,6 +24,7 @@
 //!   abstract byte offsets, shared by the simulated and real heaps.
 //! * [`large`] — the large-object validity table (§4.1–4.3).
 //! * [`safe_str`] — heap-bounded `strcpy`/`strncpy` (§4.4).
+//! * [`env`] — audited parsing for the `DIEHARD_*` environment knobs.
 //! * [`analysis`] — Theorems 1–3 and the expectation formulas (§3.1, §6).
 //! * [`adaptive`] — the adaptive-growth variant from future work (§9).
 //! * [`sync`] — allocation-free [`sync::SpinLock`] and [`sync::OnceCell`].
@@ -62,6 +63,7 @@ pub mod analysis;
 pub mod bitmap;
 pub mod config;
 pub mod engine;
+pub mod env;
 pub mod large;
 pub mod magazine;
 pub mod partition;

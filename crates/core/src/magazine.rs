@@ -339,6 +339,24 @@ impl MagazineHeap {
         self.heap.with_partition(class, f)
     }
 
+    /// Acquires every maintenance lock (`fork(2)` prepare); see
+    /// [`ShardedHeap::lock_all_maintenance`].
+    pub fn lock_all_maintenance(&self) {
+        self.heap.lock_all_maintenance();
+    }
+
+    /// Releases the locks taken by
+    /// [`lock_all_maintenance`](Self::lock_all_maintenance).
+    ///
+    /// # Safety
+    ///
+    /// As [`ShardedHeap::unlock_all_maintenance`]: the locks must be held
+    /// via `lock_all_maintenance`.
+    pub unsafe fn unlock_all_maintenance(&self) {
+        // SAFETY: forwarded caller contract.
+        unsafe { self.heap.unlock_all_maintenance() };
+    }
+
     // ---- cache back end --------------------------------------------------
 
     /// Refills `out` with up to one batch of reserved slots for `class`,

@@ -375,6 +375,36 @@ impl ShardedHeap {
         &self.maintenance[class.index()]
     }
 
+    /// Acquires every per-class maintenance lock, in class-index order —
+    /// the `fork(2)` prepare path: with all twelve held, no batch operation
+    /// (refill, flush, growth, teardown) is mid-flight anywhere, so the
+    /// child inherits shard metadata that is batch-consistent. Per-op CAS
+    /// traffic is not (and cannot be) excluded; an in-flight reservation
+    /// ticket in the forking parent can leak a bounded number of slots in
+    /// the child, which is availability, not corruption.
+    ///
+    /// Release with [`unlock_all_maintenance`](Self::unlock_all_maintenance)
+    /// in both the parent and the child.
+    pub fn lock_all_maintenance(&self) {
+        for lock in &self.maintenance {
+            lock.raw_lock();
+        }
+    }
+
+    /// Releases the locks taken by
+    /// [`lock_all_maintenance`](Self::lock_all_maintenance).
+    ///
+    /// # Safety
+    ///
+    /// The locks must be held via `lock_all_maintenance` (by this thread,
+    /// or — in a fork child — by the thread the process forked from).
+    pub unsafe fn unlock_all_maintenance(&self) {
+        for lock in &self.maintenance {
+            // SAFETY: forwarded caller contract, one unlock per lock taken.
+            unsafe { lock.raw_unlock() };
+        }
+    }
+
     /// The heap-wide atomic counters, shared with wrappers (the magazine
     /// layer records handouts and batched frees into the same stats so the
     /// aggregate numbers stay exact whichever path served an operation).

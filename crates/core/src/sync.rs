@@ -54,6 +54,28 @@ impl<T> SpinLock<T> {
         SpinGuard { lock: self }
     }
 
+    /// Acquires the lock *without* a guard, for callers that must release
+    /// it from a different stack frame — `pthread_atfork` handlers, where
+    /// the prepare hook locks and the parent/child hooks unlock. The value
+    /// is deliberately not exposed: raw locking exists to *exclude* other
+    /// threads across `fork(2)`, not to access the data.
+    ///
+    /// Pair every call with exactly one [`raw_unlock`](Self::raw_unlock).
+    pub fn raw_lock(&self) {
+        core::mem::forget(self.lock());
+    }
+
+    /// Releases a lock acquired by [`raw_lock`](Self::raw_lock).
+    ///
+    /// # Safety
+    ///
+    /// The caller (or, across `fork`, the thread it forked from) must hold
+    /// the lock via `raw_lock`; unlocking a lock held through a
+    /// [`SpinGuard`] or not held at all breaks mutual exclusion.
+    pub unsafe fn raw_unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+
     /// Acquires the lock only if it is free right now, without spinning.
     ///
     /// The magazine layer uses this for *opportunistic* free-buffer flushes:
@@ -240,6 +262,16 @@ mod tests {
         assert!(lock.try_lock().is_none(), "held lock must not be re-taken");
         drop(g);
         assert_eq!(*lock.try_lock().expect("released"), 1);
+    }
+
+    #[test]
+    fn raw_lock_excludes_and_raw_unlock_releases() {
+        let lock = SpinLock::new(0u32);
+        lock.raw_lock();
+        assert!(lock.try_lock().is_none(), "raw_lock must hold the lock");
+        // SAFETY: held via raw_lock on the line above.
+        unsafe { lock.raw_unlock() };
+        assert_eq!(*lock.try_lock().expect("raw_unlock released"), 0);
     }
 
     #[test]

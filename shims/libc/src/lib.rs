@@ -2,10 +2,12 @@
 //!
 //! The build container has no access to crates.io, so this shim declares
 //! exactly the libc surface the workspace uses — the virtual-memory and
-//! file-descriptor calls behind `diehard_core::global`, plus the TCP
+//! file-descriptor calls behind `diehard_core::global`, the TCP
 //! socket surface behind `diehard_replicate::net` (socket/bind/listen/
-//! accept/connect/setsockopt/getsockname/shutdown) — against the system
-//! C library that every Rust binary on Linux already links. Constants are
+//! accept/connect/setsockopt/getsockname/shutdown), plus the errno/fork/
+//! dlopen surface behind the `diehard-preload` interposer and its tests —
+//! against the system C library that every Rust binary on Linux already
+//! links. Constants are
 //! the Linux (x86_64/aarch64) values; each is annotated where platforms
 //! diverge. Swap this for the real `libc` crate by editing one line in
 //! the workspace `Cargo.toml` when online.
@@ -137,6 +139,19 @@ pub const POLLNVAL: c_short = 0x020;
 /// `SIGKILL` — uncatchable termination (the voter's kill signal).
 pub const SIGKILL: c_int = 9;
 
+/// `errno` value: out of memory (`ENOMEM`, Linux generic value).
+pub const ENOMEM: c_int = 12;
+/// `errno` value: invalid argument (`EINVAL`, Linux generic value).
+pub const EINVAL: c_int = 22;
+
+/// `dlopen(3)` flag: resolve all symbols at load time.
+pub const RTLD_NOW: c_int = 2;
+/// `dlopen(3)` flag: keep the object's symbols out of the global scope —
+/// essential when loading a malloc-exporting library for inspection: its
+/// symbols must not start interposing on this process (Linux value; the
+/// default, spelled explicitly).
+pub const RTLD_LOCAL: c_int = 0;
+
 /// `sysconf(3)` selector for the VM page size (Linux value).
 pub const _SC_PAGESIZE: c_int = 30;
 
@@ -192,6 +207,27 @@ extern "C" {
     pub fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
     /// `kill(2)`.
     pub fn kill(pid: pid_t, sig: c_int) -> c_int;
+    /// `fork(2)`.
+    pub fn fork() -> pid_t;
+    /// `waitpid(2)`.
+    pub fn waitpid(pid: pid_t, wstatus: *mut c_int, options: c_int) -> pid_t;
+    /// `_exit(2)`: terminate immediately, no atexit/stdio teardown (the
+    /// only safe exit from a test's forked child).
+    pub fn _exit(status: c_int) -> !;
+    /// `__errno_location(3)`: the address of this thread's `errno` (glibc
+    /// and musl both export this exact symbol on Linux).
+    pub fn __errno_location() -> *mut c_int;
+    /// `pthread_atfork(3)`: registers fork preparation/resume handlers.
+    pub fn pthread_atfork(
+        prepare: Option<extern "C" fn()>,
+        parent: Option<extern "C" fn()>,
+        child: Option<extern "C" fn()>,
+    ) -> c_int;
+    /// `dlopen(3)` (in libc proper since glibc 2.34; the container's glibc
+    /// qualifies).
+    pub fn dlopen(filename: *const c_char, flags: c_int) -> *mut c_void;
+    /// `dlsym(3)`.
+    pub fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
     /// `pthread_key_create(3)`: allocates a thread-specific-data key whose
     /// destructor runs at each thread's exit while its value is non-null.
     pub fn pthread_key_create(
