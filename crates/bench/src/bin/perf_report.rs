@@ -30,7 +30,7 @@ use std::path::Path;
 
 fn main() {
     let smoke = diehard_bench::smoke();
-    let out_path = out_arg().unwrap_or_else(|| "BENCH_9.json".to_string());
+    let out_path = out_arg().unwrap_or_else(|| "BENCH_10.json".to_string());
     let gates = gate_args();
 
     let results = run_all(smoke);

@@ -9,7 +9,9 @@
 //! and deliberately target the allocator's strength-reduced arithmetic:
 //! partition probing, free validation, and the replicated-mode random fill —
 //! plus the §5 replicated network front end: voted bytes/second through a
-//! loopback proxy session and the full connect→vote→close cycle cost.
+//! loopback proxy session, the full connect→vote→close cycle cost both
+//! cold (replicas spawned inline) and warm (handed out of the pre-spawned
+//! replica-set pool), and the background cost of refilling that pool.
 //!
 //! Schema of the emitted JSON: a single object mapping kernel name to
 //! `{"mean_ns": float, "min_ns": float, "max_ns": float, "iters": int}`,
@@ -38,6 +40,8 @@ pub const KERNELS: &[&str] = &[
     "hugepage_fill",
     "proxy_throughput",
     "proxy_conn_latency",
+    "proxy_conn_latency_warm",
+    "pool_refill",
 ];
 
 /// One kernel's timing summary (nanoseconds per operation across samples).
@@ -73,6 +77,13 @@ fn measure(
         sample_fn();
         per_op.push(start.elapsed().as_nanos() as f64 / ops as f64);
     }
+    summarize(name, &per_op, ops * samples as u64)
+}
+
+/// Folds per-sample ns/op figures into a [`KernelResult`] — the stats half
+/// of [`measure`], split out for kernels that must time each sample
+/// themselves (e.g. to exclude an untimed wait from the measurement).
+fn summarize(name: &'static str, per_op: &[f64], iters: u64) -> KernelResult {
     let min = per_op.iter().copied().fold(f64::INFINITY, f64::min);
     let max = per_op.iter().copied().fold(0.0, f64::max);
     let mean = per_op.iter().sum::<f64>() / per_op.len() as f64;
@@ -81,7 +92,7 @@ fn measure(
         mean_ns: mean,
         min_ns: min,
         max_ns: max,
-        iters: ops * samples as u64,
+        iters,
     }
 }
 
@@ -387,6 +398,43 @@ fn with_cat_proxy<R>(body: impl FnOnce(u16) -> R) -> R {
     result
 }
 
+/// [`with_cat_proxy`] with a warm replica-set pool of `depth` parked sets:
+/// `body` also receives the pool's fill gauge so rounds can wait for a
+/// parked set (a guaranteed pool hit) outside their timed region.
+#[cfg(unix)]
+fn with_pooled_cat_proxy<R>(
+    depth: usize,
+    body: impl FnOnce(u16, std::sync::Arc<std::sync::atomic::AtomicUsize>) -> R,
+) -> R {
+    use diehard_replicate::net::Listener;
+    use diehard_replicate::proxy::Proxy;
+    use diehard_replicate::LaunchConfig;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let config = LaunchConfig::new(3, vec!["/bin/cat".into()], Vec::new());
+    let listener = Listener::bind_loopback(0).expect("loopback bind");
+    let proxy = Proxy::new(listener, config).expect("default chunk is valid");
+    let gauge = proxy.pool_gauge();
+    let mut proxy = proxy.with_pool(depth);
+    let port = proxy.local_port().expect("bound port");
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let server = std::thread::spawn(move || proxy.run(&flag));
+    let result = body(port, gauge);
+    stop.store(true, Ordering::Release);
+    let summary = server
+        .join()
+        .expect("proxy thread")
+        .expect("reactor ran clean");
+    assert_eq!(
+        summary.pool.cold_spawns, 0,
+        "warm kernel rounds must all be pool hits: {:?}",
+        summary.pool
+    );
+    result
+}
+
 /// One voted proxy session: connect, stream `payload`, half-close, read the
 /// quorum echo to EOF, and check the byte count survived the vote.
 #[cfg(unix)]
@@ -395,6 +443,16 @@ fn proxy_echo_round(port: u16, payload: &[u8]) {
     use std::io::{Read, Write};
 
     let mut stream = connect_loopback(port).expect("connect");
+    if payload.len() <= 4096 {
+        // Small payloads fit the socket buffer: write inline so the
+        // latency kernels don't carry a per-round thread spawn.
+        stream.write_all(payload).expect("send payload");
+        shutdown_write(&stream).expect("half-close");
+        let mut echoed = Vec::new();
+        stream.read_to_end(&mut echoed).expect("read voted echo");
+        assert_eq!(echoed.len(), payload.len(), "quorum echo must be complete");
+        return;
+    }
     let to_send = payload.to_vec();
     let writer = {
         let stream = stream.try_clone().expect("clone stream");
@@ -430,19 +488,144 @@ fn proxy_throughput(smoke: bool) -> KernelResult {
     })
 }
 
-/// Per-connection cost: one op = a complete connect → tiny voted echo →
-/// close cycle, dominated by spawning and reaping the connection's three
-/// replica processes. This is the fixed cost `proxy_throughput` amortizes.
+/// One latency round: connect, send exactly one chunk, and time until the
+/// voted first chunk is read back. A full-chunk request is deliberate —
+/// its barrier commits the moment every replica has echoed the chunk,
+/// *without* waiting for replica EOF — and the half-close is deferred
+/// until *after* the voted chunk is back, so the replicas are still
+/// parked alive at their next read throughout the timed region. The EOF
+/// ballots, the replica exits, and the reap (identical cold and warm,
+/// and not what the pool optimizes) are only triggered by the FIN
+/// afterwards, fully off the clock.
+#[cfg(unix)]
+fn proxy_first_chunk_round(port: u16, payload: &[u8]) -> std::time::Duration {
+    use diehard_replicate::net::{connect_loopback, shutdown_write};
+    use std::io::{Read, Write};
+
+    let start = Instant::now();
+    let mut stream = connect_loopback(port).expect("connect");
+    stream.write_all(payload).expect("send request");
+    let mut first = vec![0u8; payload.len()];
+    stream
+        .read_exact(&mut first)
+        .expect("read voted first chunk");
+    let elapsed = start.elapsed();
+    // Teardown off the clock: half-close now, then drain to EOF so the
+    // session retires clean before the next round.
+    shutdown_write(&stream).expect("half-close");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("drain EOF");
+    assert!(
+        rest.is_empty(),
+        "one-chunk request must vote exactly one chunk"
+    );
+    elapsed
+}
+
+/// Per-connection cost, cold path: one op = one [`proxy_first_chunk_round`]
+/// against a proxy that fork/execs the connection's three replicas inline
+/// at accept — so the number is dominated by replica spawning. This is the
+/// fixed cost `proxy_throughput` amortizes and the baseline
+/// `proxy_conn_latency_warm` is measured against.
 #[cfg(unix)]
 fn proxy_conn_latency(smoke: bool) -> KernelResult {
-    let (warmup, samples, ops) = if smoke { (0, 2, 1u64) } else { (1, 8, 4u64) };
+    let (warmup, samples) = if smoke { (0, 2) } else { (1, 12) };
+    let payload = vec![7u8; diehard_replicate::CHUNK];
     with_cat_proxy(|port| {
-        measure("proxy_conn_latency", warmup, samples, ops, move || {
-            for _ in 0..ops {
-                proxy_echo_round(port, b"ping\n");
-            }
-        })
+        for _ in 0..warmup {
+            proxy_first_chunk_round(port, &payload);
+        }
+        let mut per_op: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            per_op.push(proxy_first_chunk_round(port, &payload).as_nanos() as f64);
+        }
+        summarize("proxy_conn_latency", &per_op, samples as u64)
     })
+}
+
+/// Warm-pool counterpart of [`proxy_conn_latency`]: the identical
+/// [`proxy_first_chunk_round`], against a proxy whose replica sets are
+/// pre-spawned (`--pool`). Each round waits *untimed* for the pool's fill
+/// gauge to report a *full* pool before connecting — full, not merely
+/// non-empty, so the reactor is provably idle (not mid-way through
+/// topping up) when the connection arrives and the measurement is the
+/// pool-hit path alone: O(1) handoff, one voted round-trip, with the
+/// fork/exec cost moved off the connection entirely. The delta against
+/// `proxy_conn_latency` is the tentpole number: the per-connection setup
+/// cost the pool hides.
+#[cfg(unix)]
+fn proxy_conn_latency_warm(smoke: bool) -> KernelResult {
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    const DEPTH: usize = 2;
+    let (warmup, samples) = if smoke { (1, 2) } else { (4, 24) };
+    let payload = vec![7u8; diehard_replicate::CHUNK];
+    with_pooled_cat_proxy(DEPTH, |port, gauge| {
+        let wait_for_full_pool = || {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while gauge.load(Ordering::Acquire) < DEPTH {
+                assert!(Instant::now() < deadline, "pool never refilled");
+                std::thread::yield_now();
+            }
+            // The gauge rises the moment fork() returns, but the fresh
+            // replicas still need background CPU to finish exec and park
+            // at their blocking read — give them that slice off the clock,
+            // as any set parked for more than an instant has had. Without
+            // this, on a single-core runner the timed round is taxed by
+            // the *next* set's startup, which is exactly the work the
+            // pool exists to keep off the connection path. Yielding (not
+            // sleeping) cedes the core to those replicas while keeping it
+            // out of idle states: a sleep here sends the round into the
+            // platform's wake-from-idle tax, which measures the runner's
+            // power management, not the pool.
+            let settle = Instant::now();
+            while settle.elapsed() < Duration::from_millis(15) {
+                std::thread::yield_now();
+            }
+        };
+        for _ in 0..warmup {
+            wait_for_full_pool();
+            proxy_first_chunk_round(port, &payload);
+        }
+        let mut per_op: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            wait_for_full_pool(); // refill happens off the clock
+            per_op.push(proxy_first_chunk_round(port, &payload).as_nanos() as f64);
+        }
+        summarize("proxy_conn_latency_warm", &per_op, samples as u64)
+    })
+}
+
+/// Pool refill cost: one op = parking one complete 3-replica `/bin/cat`
+/// set (seed resolution + 3 × fork/exec + pipe plumbing) via
+/// [`Pool::prime`]. This is the background work [`proxy_conn_latency_warm`]
+/// moves off the connection path; teardown (abort + reap) runs untimed
+/// between samples.
+#[cfg(unix)]
+fn pool_refill(smoke: bool) -> KernelResult {
+    use diehard_replicate::{LaunchConfig, Pool};
+
+    let (warmup, samples, depth) = if smoke {
+        (0, 2, 1usize)
+    } else {
+        (1, 10, 4usize)
+    };
+    let config = LaunchConfig::new(3, vec!["/bin/cat".into()], Vec::new());
+    for _ in 0..warmup {
+        let mut pool = Pool::new(config.clone(), depth).expect("valid config");
+        pool.prime();
+    }
+    let mut per_op: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut pool = Pool::new(config.clone(), depth).expect("valid config");
+        let start = Instant::now();
+        pool.prime();
+        per_op.push(start.elapsed().as_nanos() as f64 / depth as f64);
+        assert_eq!(pool.idle_len(), depth, "every set must park");
+        drop(pool); // SIGKILL + reap of the parked sets stays off the clock
+    }
+    summarize("pool_refill", &per_op, (samples * depth) as u64)
 }
 
 #[cfg(not(unix))]
@@ -452,6 +635,16 @@ fn proxy_throughput(_smoke: bool) -> KernelResult {
 
 #[cfg(not(unix))]
 fn proxy_conn_latency(_smoke: bool) -> KernelResult {
+    unreachable!("proxy kernels require unix process plumbing")
+}
+
+#[cfg(not(unix))]
+fn proxy_conn_latency_warm(_smoke: bool) -> KernelResult {
+    unreachable!("proxy kernels require unix process plumbing")
+}
+
+#[cfg(not(unix))]
+fn pool_refill(_smoke: bool) -> KernelResult {
     unreachable!("proxy kernels require unix process plumbing")
 }
 
@@ -478,6 +671,8 @@ pub fn run_kernel(name: &str, smoke: bool) -> Option<KernelResult> {
         "hugepage_fill" => Some(hugepage_fill(smoke)),
         "proxy_throughput" => Some(proxy_throughput(smoke)),
         "proxy_conn_latency" => Some(proxy_conn_latency(smoke)),
+        "proxy_conn_latency_warm" => Some(proxy_conn_latency_warm(smoke)),
+        "pool_refill" => Some(pool_refill(smoke)),
         _ => None,
     }
 }
@@ -579,6 +774,8 @@ mod tests {
         assert!(missing.contains(&"hugepage_fill"));
         assert!(missing.contains(&"proxy_throughput"));
         assert!(missing.contains(&"proxy_conn_latency"));
+        assert!(missing.contains(&"proxy_conn_latency_warm"));
+        assert!(missing.contains(&"pool_refill"));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //!
 //! Exported surface: `malloc`, `free`, `calloc`, `realloc`, `reallocarray`,
 //! `posix_memalign`, `aligned_alloc`, `memalign`, `valloc`,
-//! `malloc_usable_size`, and the paper's §4.4 bounded `strcpy`/`strncpy`.
+//! `malloc_usable_size`, `strdup`/`strndup` (duplicated onto the
+//! randomized heap), and the paper's §4.4 bounded `strcpy`/`strncpy`.
 //! Everything is backed by one process-wide
 //! [`DieHard`](diehard_core::global::DieHard) heap built with
 //! [`elastic_from_env`](diehard_core::global::DieHard::elastic_from_env):
@@ -529,6 +530,76 @@ pub unsafe extern "C" fn strncpy(dest: *mut c_char, src: *const c_char, n: usize
     dest
 }
 
+/// Shared tail of `strdup`/`strndup`: allocates `len + 1` bytes on the
+/// randomized heap and copies the scanned prefix with the §4.4 bounded
+/// semantics. A fresh heap object always holds at least the requested
+/// `len + 1` bytes, so the bounded copy never truncates in practice — the
+/// clamp is defense in depth, same as the other string entry points.
+///
+/// # Safety
+///
+/// `s` must be readable for `len` bytes.
+unsafe fn dup_impl(s: *const u8, len: usize) -> *mut c_char {
+    let d = alloc_impl(len.saturating_add(1), MALLOC_ALIGN);
+    if d.is_null() {
+        set_errno(libc::ENOMEM);
+        return ptr::null_mut();
+    }
+    // SAFETY: the source slice covers exactly the scanned bytes.
+    let src_slice = unsafe { core::slice::from_raw_parts(s, len) };
+    match HEAP.remaining_space(d) {
+        Some(space) => {
+            // SAFETY: the DieHard object has `space` writable bytes at d.
+            let dest_slice = unsafe { core::slice::from_raw_parts_mut(d, space) };
+            safe_str::bounded_strcpy(dest_slice, space, src_slice);
+        }
+        None => {
+            // Arena block (re-entrant bootstrap path): we own len + 1
+            // bytes by construction.
+            // SAFETY: the arena block holds len + 1 bytes; src covers len.
+            unsafe {
+                ptr::copy_nonoverlapping(s, d, len);
+                *d.add(len) = 0;
+            }
+        }
+    }
+    d.cast()
+}
+
+/// C `strdup(3)`: duplicates `s` onto the randomized heap — the copy gets
+/// DieHard's placement, over-provisioning, and §4.3 free validation like
+/// any `malloc`ed block, and the write takes the §4.4 bounded path. Null +
+/// `ENOMEM` on exhaustion.
+///
+/// # Safety
+///
+/// `s` must be NUL-terminated, exactly as C requires.
+#[no_mangle]
+pub unsafe extern "C" fn strdup(s: *const c_char) -> *mut c_char {
+    let src = s.cast::<u8>();
+    // SAFETY: src is NUL-terminated per contract.
+    let len = unsafe { c_strlen(src) };
+    // SAFETY: len bytes were just scanned as readable.
+    unsafe { dup_impl(src, len) }
+}
+
+/// C `strndup(3)`: like [`strdup`] but copies at most `n` bytes of `s`
+/// (the result is always NUL-terminated). The source scan stops at `n`,
+/// so an unterminated buffer of at least `n` readable bytes is legal,
+/// exactly as C requires.
+///
+/// # Safety
+///
+/// `s` must be readable up to `n` bytes or its NUL terminator.
+#[no_mangle]
+pub unsafe extern "C" fn strndup(s: *const c_char, n: usize) -> *mut c_char {
+    let src = s.cast::<u8>();
+    // SAFETY: src is readable to n or NUL per contract.
+    let len = unsafe { c_strlen_bounded(src, n) };
+    // SAFETY: len ≤ n bytes were just scanned as readable.
+    unsafe { dup_impl(src, len) }
+}
+
 // ---- fork story ----------------------------------------------------------
 
 extern "C" fn atfork_prepare() {
@@ -632,6 +703,16 @@ mod tests {
                 as unsafe extern "C" fn(*mut c_char, *const c_char, usize) -> *mut c_char)(
                 d, s, n
             )
+        }
+    }
+    unsafe fn strdup(s: *const c_char) -> *mut c_char {
+        // SAFETY: forwarded caller contract.
+        unsafe { bb(super::strdup as unsafe extern "C" fn(*const c_char) -> *mut c_char)(s) }
+    }
+    unsafe fn strndup(s: *const c_char, n: usize) -> *mut c_char {
+        // SAFETY: forwarded caller contract.
+        unsafe {
+            bb(super::strndup as unsafe extern "C" fn(*const c_char, usize) -> *mut c_char)(s, n)
         }
     }
 
@@ -858,6 +939,78 @@ mod tests {
         // SAFETY: live object; the last in-bounds byte is the terminator.
         unsafe { assert_eq!(*dst.cast::<u8>().add(space - 1), 0) };
         free(dst.cast());
+    }
+
+    #[test]
+    fn strdup_lands_on_the_randomized_heap() {
+        // SAFETY: literal is NUL-terminated.
+        let p = unsafe { strdup(c"hello, diehard".as_ptr()) };
+        assert!(!p.is_null());
+        let cap = malloc_usable_size(p.cast());
+        assert!(cap >= 15, "room for the string and its terminator");
+        // SAFETY: live heap object holding the copy.
+        unsafe {
+            for (i, &b) in b"hello, diehard\0".iter().enumerate() {
+                assert_eq!(*p.cast::<u8>().add(i), b, "byte {i}");
+            }
+            // The duplicate is a first-class heap block: writable to its
+            // full capacity and freeable like any malloc'd pointer.
+            p.cast::<u8>().write_bytes(0x42, cap);
+        }
+        free(p.cast());
+        free(p.cast()); // double free of the dup: ignored per §4.3
+    }
+
+    #[test]
+    fn strdup_empty_string() {
+        // SAFETY: literal is NUL-terminated.
+        let p = unsafe { strdup(c"".as_ptr()) };
+        assert!(!p.is_null(), "empty dup is a real, freeable object");
+        // SAFETY: live object of at least 1 byte.
+        unsafe { assert_eq!(*p.cast::<u8>(), 0) };
+        free(p.cast());
+    }
+
+    #[test]
+    fn strndup_clamps_to_n_and_terminates() {
+        // SAFETY: literal is NUL-terminated; n = 3 < strlen.
+        let p = unsafe { strndup(c"abcdef".as_ptr(), 3) };
+        assert!(!p.is_null());
+        // SAFETY: live object holding "abc\0".
+        unsafe {
+            assert_eq!(*p.cast::<u8>(), b'a');
+            assert_eq!(*p.cast::<u8>().add(2), b'c');
+            assert_eq!(*p.cast::<u8>().add(3), 0, "always NUL-terminated");
+        }
+        free(p.cast());
+        // n beyond strlen: full copy, nothing read past the terminator.
+        // SAFETY: literal is NUL-terminated.
+        let q = unsafe { strndup(c"xy".as_ptr(), 1 << 20) };
+        // SAFETY: live object holding "xy\0".
+        unsafe {
+            assert_eq!(*q.cast::<u8>().add(1), b'y');
+            assert_eq!(*q.cast::<u8>().add(2), 0);
+        }
+        free(q.cast());
+    }
+
+    #[test]
+    fn strndup_never_reads_past_n_on_unterminated_buffers() {
+        // An unterminated source: only n bytes are readable, exactly the
+        // C contract strndup must honor.
+        let raw = [b'z'; 8]; // no NUL anywhere
+                             // SAFETY: 8 bytes readable, n = 8.
+        let p = unsafe { strndup(raw.as_ptr().cast(), raw.len()) };
+        assert!(!p.is_null());
+        // SAFETY: live object holding "zzzzzzzz\0".
+        unsafe {
+            for i in 0..8 {
+                assert_eq!(*p.cast::<u8>().add(i), b'z', "byte {i}");
+            }
+            assert_eq!(*p.cast::<u8>().add(8), 0);
+        }
+        assert!(malloc_usable_size(p.cast()) >= 9);
+        free(p.cast());
     }
 
     #[test]

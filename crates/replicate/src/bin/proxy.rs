@@ -4,8 +4,9 @@
 //!
 //! ```text
 //! diehard-proxy [-n REPLICAS] [--port PORT] [--chunk BYTES] [--cap BYTES]
-//!               [--preload LIB] [--seed SEED] -- COMMAND [ARGS...]
+//!               [--preload LIB] [--seed SEED] [--pool DEPTH] -- COMMAND [ARGS...]
 //! diehard-proxy --smoke
+//! diehard-proxy --pool-smoke
 //! ```
 //!
 //! Listens on `127.0.0.1:PORT` (default 0 = kernel-assigned; the bound
@@ -16,9 +17,18 @@
 //! Clients send their whole request, half-close (`shutdown(SHUT_WR)`), and
 //! read the voted response to EOF.
 //!
+//! `--pool DEPTH` keeps up to `DEPTH` complete replica sets pre-spawned
+//! and parked, so an accepted connection takes a ready set in O(1) instead
+//! of paying fork/exec at accept time (~3.5 ms for three replicas); the
+//! pool refills in the background and a stats line is printed per retired
+//! connection. Seed discipline makes pooling invisible to vote outcomes.
+//!
 //! `--smoke` runs a self-contained loopback check — three `/bin/cat`
 //! replicas echoing one client's payload through a full voted session —
-//! and exits 0 on byte-exact agreement (the CI smoke hook).
+//! and exits 0 on byte-exact agreement (the CI smoke hook). `--pool-smoke`
+//! is the warm-path sibling: it serves 5 sequential connections from a
+//! depth-2 pool, waiting for warmth before each, and exits 0 only if the
+//! echoes are byte-exact *and* the stats line reports ≥ 3 pool hits.
 
 use diehard_replicate::net::shutdown_write;
 use diehard_replicate::net::{connect_loopback, Listener};
@@ -30,8 +40,9 @@ use std::sync::atomic::AtomicBool;
 fn usage() -> ! {
     eprintln!(
         "usage: diehard-proxy [-n REPLICAS] [--port PORT] [--chunk BYTES] [--cap BYTES]\n\
-         \x20                    [--preload LIB] [--seed SEED] -- COMMAND [ARGS...]\n\
+         \x20                    [--preload LIB] [--seed SEED] [--pool DEPTH] -- COMMAND [ARGS...]\n\
          \x20      diehard-proxy --smoke\n\
+         \x20      diehard-proxy --pool-smoke\n\
          \n\
          Serves 127.0.0.1:PORT (default: kernel-assigned, printed on stderr).\n\
          Each accepted connection gets its own REPLICAS differently-seeded\n\
@@ -41,7 +52,10 @@ fn usage() -> ! {
          Clients send the full request, shutdown(SHUT_WR), then read to EOF.\n\
          --cap bounds the per-connection outbound queue; --seed derives\n\
          deterministic per-replica seeds (default: fresh entropy per\n\
-         connection); --smoke runs a loopback self-test and exits."
+         connection); --pool pre-spawns up to DEPTH warm replica sets so\n\
+         accepts skip fork/exec (0 = cold spawns, the default); --smoke\n\
+         runs a loopback self-test and exits; --pool-smoke does the same\n\
+         through a depth-2 pool and asserts >= 3 warm handoffs."
     );
     std::process::exit(1);
 }
@@ -54,7 +68,9 @@ fn main() {
     let mut cap: Option<usize> = None;
     let mut preload: Option<String> = None;
     let mut master_seed: Option<u64> = None;
+    let mut pool_depth = 0usize;
     let mut smoke = false;
+    let mut pool_smoke = false;
     let mut command: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -99,7 +115,15 @@ fn main() {
                     usage();
                 }
             }
+            "--pool" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(d) => pool_depth = d,
+                    None => usage(),
+                }
+            }
             "--smoke" => smoke = true,
+            "--pool-smoke" => pool_smoke = true,
             "--" => {
                 command = args[i + 1..].to_vec();
                 break;
@@ -112,6 +136,9 @@ fn main() {
 
     if smoke {
         std::process::exit(run_smoke());
+    }
+    if pool_smoke {
+        std::process::exit(run_pool_smoke());
     }
     if command.is_empty() || replicas == 0 || replicas == 2 {
         usage();
@@ -145,6 +172,9 @@ fn main() {
     if let Some(bytes) = cap {
         proxy = proxy.with_out_cap(bytes);
     }
+    if pool_depth > 0 {
+        proxy = proxy.with_pool(pool_depth).with_pool_stats_log(true);
+    }
     match proxy.local_port() {
         Ok(p) => eprintln!("diehard-proxy: listening on 127.0.0.1:{p}"),
         Err(e) => eprintln!("diehard-proxy: listening (port unknown: {e})"),
@@ -157,6 +187,94 @@ fn main() {
         Err(e) => {
             eprintln!("diehard-proxy: reactor failed: {e}");
             std::process::exit(1);
+        }
+    }
+}
+
+/// Warm-pool self-test: 5 sequential voted `/bin/cat` echoes served from a
+/// depth-2 pool, waiting for the pool to report warmth before each
+/// connection. Passes only if every echo is byte-exact AND the stats
+/// report at least 3 warm handoffs (pool hits).
+fn run_pool_smoke() -> i32 {
+    let config = LaunchConfig::new(3, vec!["/bin/cat".into()], Vec::new());
+    let listener = match Listener::bind_loopback(0) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("diehard-proxy: pool-smoke bind failed: {e}");
+            return 1;
+        }
+    };
+    let mut proxy = match Proxy::new(listener, config) {
+        Ok(p) => p.with_pool(2).with_pool_stats_log(true),
+        Err(e) => {
+            eprintln!("diehard-proxy: pool-smoke setup failed: {e}");
+            return 1;
+        }
+    };
+    let port = match proxy.local_port() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("diehard-proxy: pool-smoke port lookup failed: {e}");
+            return 1;
+        }
+    };
+    let gauge = proxy.pool_gauge();
+    static STOP: AtomicBool = AtomicBool::new(false);
+    let server = std::thread::spawn(move || proxy.run(&STOP));
+
+    let payload = b"warm pool smoke payload\n".to_vec();
+    let verdict = (|| -> std::io::Result<usize> {
+        let mut exact = 0usize;
+        for round in 0..5 {
+            // Wait until at least one set is parked, so this connection is
+            // a guaranteed warm handoff.
+            let t0 = std::time::Instant::now();
+            while gauge.load(std::sync::atomic::Ordering::Acquire) == 0 {
+                if t0.elapsed() > std::time::Duration::from_secs(10) {
+                    eprintln!("diehard-proxy: pool-smoke: pool never warmed (round {round})");
+                    return Ok(exact);
+                }
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            let mut stream = connect_loopback(port)?;
+            stream.write_all(&payload)?;
+            shutdown_write(&stream)?;
+            let mut echoed = Vec::new();
+            stream.read_to_end(&mut echoed)?;
+            if echoed == payload {
+                exact += 1;
+            }
+        }
+        Ok(exact)
+    })();
+
+    STOP.store(true, std::sync::atomic::Ordering::Release);
+    let summary = server.join().expect("proxy thread");
+    match (verdict, summary) {
+        (Ok(exact), Ok(summary)) => {
+            let hits = summary.pool.handed_out;
+            eprintln!(
+                "diehard-proxy: pool depth=2 spawned={} handed_out={} reaped_idle={} cold={}",
+                summary.pool.spawned, hits, summary.pool.reaped_idle, summary.pool.cold_spawns
+            );
+            if exact == 5 && summary.diverged == 0 && hits >= 3 {
+                eprintln!("diehard-proxy: pool-smoke OK (5/5 byte-exact, {hits} pool hits)");
+                0
+            } else {
+                eprintln!(
+                    "diehard-proxy: pool-smoke FAILED: {exact}/5 byte-exact, {} diverged, {hits} pool hits (need >= 3)",
+                    summary.diverged
+                );
+                1
+            }
+        }
+        (Err(e), _) => {
+            eprintln!("diehard-proxy: pool-smoke FAILED: {e}");
+            1
+        }
+        (_, Err(e)) => {
+            eprintln!("diehard-proxy: pool-smoke FAILED: reactor error: {e}");
+            1
         }
     }
 }

@@ -96,7 +96,45 @@ pub fn run_streamed(
         InputSource::Fd(fd) => (SessionInput::Streamed, Some(fd)),
     };
     // On any error below, Session's Drop kills and reaps the replicas.
-    let mut session = Session::spawn(config, &seeds, session_input)?;
+    let session = Session::spawn(config, &seeds, session_input)?;
+    drive(session, source, sink)
+}
+
+/// Warm-start variant of [`run_streamed`]: the replica set comes from
+/// `pool` when one is parked (a `--pool`-primed launcher), falling back
+/// to a cold spawn through the identical path otherwise. Buffered input
+/// is adopted into the pre-spawned (streamed-mode) session with the exact
+/// buffer-mode accounting, so outcomes are byte-identical either way —
+/// pinned by `tests/pool.rs` against the golden equivalence corpus.
+///
+/// # Errors
+///
+/// As [`run_streamed`]; a cold-spawn fallback surfaces the same
+/// validation and spawn errors it always has.
+pub fn run_pooled(
+    pool: &mut crate::Pool,
+    input: InputSource,
+    sink: &mut dyn Write,
+) -> io::Result<StreamOutcome> {
+    let mut session = pool.acquire()?;
+    let source = match input {
+        InputSource::Buffer(data) => {
+            session.adopt_buffer_input(data);
+            None
+        }
+        InputSource::Fd(fd) => Some(fd),
+    };
+    drive(session, source, sink)
+}
+
+/// The pipe-transport reactor loop shared by the cold and pooled entry
+/// points: pump/ship/register/wait/dispatch until the session drains,
+/// then run the closing ballots.
+fn drive(
+    mut session: Session,
+    source: Option<RawFd>,
+    sink: &mut dyn Write,
+) -> io::Result<StreamOutcome> {
     let mut reactor: Reactor<Token> = Reactor::new();
     let mut voted = Vec::new();
     loop {
@@ -161,4 +199,7 @@ fn refill_from_fd(session: &mut Session, fd: RawFd) {
             }
         }
     }
+    // Eagerly broadcast what just arrived — the replica pipes are almost
+    // always writable, so this saves a poll round per window.
+    session.flush_input();
 }

@@ -32,6 +32,12 @@
 //!   same barriers, and returns only quorum bytes — many concurrent voted
 //!   sessions multiplexed over one reactor.
 //!
+//! Orthogonal to the layers, [`pool`] keeps complete replica sets
+//! pre-spawned and parked (`--pool <depth>`), so a transport takes a ready
+//! [`Session`] in O(1) instead of paying the multi-millisecond fork/exec
+//! at accept time; seed discipline makes the pool invisible to vote
+//! outcomes, and depth 0 is the byte-identical cold path.
+//!
 //! The [`Voter`] referees every ballot. [`run_replicated`] is a
 //! convenience wrapper over [`run_streamed`] for in-memory input/output;
 //! the `diehard` binary streams its real stdin/stdout through the same
@@ -46,12 +52,14 @@
 
 pub mod event;
 pub mod net;
+pub mod pool;
 pub mod proxy;
 pub mod reactor;
 pub mod session;
 pub mod voter;
 
-pub use event::{run_streamed, InputSource, StreamOutcome};
+pub use event::{run_pooled, run_streamed, InputSource, StreamOutcome};
+pub use pool::{Pool, PoolStats};
 pub use session::{Phase, Session, SessionInput, SessionIo};
 pub use voter::{ChunkVote, Voter};
 

@@ -26,6 +26,16 @@
 //! when every replica has consumed it, so a fast sender just fills the
 //! kernel's TCP receive buffer.
 //!
+//! Accept-time cost is optional: with a warm [`Pool`] configured
+//! ([`Proxy::with_pool`]), complete replica sets are pre-spawned in the
+//! background — one per reactor tick — and an accepted connection takes a
+//! ready set in O(1) instead of paying the ~3.5 ms fork/exec
+//! (`proxy_conn_latency` vs `proxy_conn_latency_warm` in the perf
+//! trajectory). Parked sets stay registered with the same reactor so a
+//! replica that dies while idle is reaped and replaced, never handed out,
+//! and the pool's seed discipline keeps vote outcomes bit-identical to
+//! the cold path.
+//!
 //! Clients speak write-then-read: send the whole request, half-close with
 //! `shutdown(SHUT_WR)` ([`crate::net::shutdown_write`]), then read the
 //! voted response to EOF. (Responses flush at chunk barriers, so
@@ -36,13 +46,15 @@
 //! every other connection keeps streaming.
 
 use crate::net::Listener;
+use crate::pool::{Pool, PoolStats};
 use crate::reactor::Reactor;
-use crate::session::{resolve_seeds, Phase, Session, SessionInput, SessionIo, StreamOutcome};
+use crate::session::{Phase, Session, SessionIo, StreamOutcome};
 use crate::LaunchConfig;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// What a proxy `pollfd` entry refers to.
 #[derive(Debug, Clone, Copy)]
@@ -55,12 +67,18 @@ enum Token {
     ClientOut(usize),
     /// Connection `slot`'s replica pipe.
     Replica(usize, SessionIo),
+    /// A *parked* warm-pool replica set's stdout (liveness watch), keyed
+    /// by the set's stable id — queue positions go stale within a round.
+    Pool(u64),
 }
 
 /// One client connection and its replica session.
 struct Conn {
     id: u64,
     stream: TcpStream,
+    /// The per-replica seeds this connection's set runs with (surfaced in
+    /// the report so tests can pin pool-vs-cold seed discipline).
+    seeds: Vec<u64>,
     session: Session,
     /// Voted bytes not yet written to the client (≤ `out_cap` + one chunk).
     out: Vec<u8>,
@@ -88,6 +106,11 @@ pub struct SessionReport {
     pub out_peak: usize,
     /// The client vanished mid-stream and the session was SIGKILL-reaped.
     pub aborted: bool,
+    /// The per-replica seeds this connection's set ran with, in replica
+    /// order (empty when the spawn itself failed). Identical whether the
+    /// set came warm from the pool or was cold-spawned — the determinism
+    /// pin for `--pool 0` vs `--pool N`.
+    pub seeds: Vec<u64>,
 }
 
 /// Totals for one [`Proxy::run`] lifetime.
@@ -99,6 +122,9 @@ pub struct ProxySummary {
     pub diverged: u64,
     /// Connections aborted by client disconnect or socket error.
     pub aborted: u64,
+    /// Warm-pool lifetime counters (all zero when `--pool 0`, except
+    /// [`PoolStats::cold_spawns`] counting every connection).
+    pub pool: PoolStats,
     /// Per-connection reports, in completion order.
     pub reports: Vec<SessionReport>,
 }
@@ -111,6 +137,11 @@ pub struct Proxy {
     config: LaunchConfig,
     out_cap: usize,
     next_id: u64,
+    /// The warm replica-set pool (depth 0 = cold spawns only, the
+    /// byte-identical legacy path).
+    pool: Pool,
+    /// Print the pool stats line on every retired connection.
+    log_pool_stats: bool,
 }
 
 impl Proxy {
@@ -130,11 +161,14 @@ impl Proxy {
     /// `config.chunk` (validated here so `run` can't fail per-connection).
     pub fn new(listener: Listener, config: LaunchConfig) -> io::Result<Self> {
         let chunk = config.validated_chunk()?;
+        let pool = Pool::new(config.clone(), 0)?;
         Ok(Self {
             listener,
             config,
             out_cap: Self::DEFAULT_OUT_CAP_CHUNKS * chunk,
             next_id: 0,
+            pool,
+            log_pool_stats: false,
         })
     }
 
@@ -144,6 +178,34 @@ impl Proxy {
     pub fn with_out_cap(mut self, bytes: usize) -> Self {
         self.out_cap = bytes.max(self.config.chunk);
         self
+    }
+
+    /// Sets the warm-pool depth target: up to `depth` complete replica
+    /// sets are pre-spawned in the background and handed to accepted
+    /// connections in O(1), refilling asynchronously. Depth 0 (the
+    /// default) keeps today's cold-spawn path byte-identical. Memory-wise
+    /// the pool adds `depth × replicas` parked processes, each with empty
+    /// (≤ chunk capacity) buffers.
+    #[must_use]
+    pub fn with_pool(mut self, depth: usize) -> Self {
+        self.pool.set_target(depth);
+        self
+    }
+
+    /// Enables the per-retired-connection pool stats line on stderr
+    /// (`diehard-proxy --pool` turns this on).
+    #[must_use]
+    pub fn with_pool_stats_log(mut self, on: bool) -> Self {
+        self.log_pool_stats = on;
+        self
+    }
+
+    /// Shared handle on the pool's parked-set count — observers (benches,
+    /// the smoke test) spin on it to guarantee a warm hit before timing a
+    /// connection.
+    #[must_use]
+    pub fn pool_gauge(&self) -> Arc<std::sync::atomic::AtomicUsize> {
+        self.pool.fill_gauge()
     }
 
     /// The bound local port (for clients of an ephemeral-port listener).
@@ -168,6 +230,28 @@ impl Proxy {
         let mut conns: Vec<Option<Conn>> = Vec::new();
         let mut summary = ProxySummary::default();
         while !stop.load(Ordering::Acquire) {
+            // Refill the warm pool toward its target — at most one spawn
+            // per tick (the crash-loop/fork-bomb cap), with the pool's own
+            // backoff after bad events, and only on ticks with no live
+            // connection: a set spawn is milliseconds of fork/exec on this
+            // (single) reactor thread, and paying it while a connection is
+            // in flight would hand the cold-path latency right back to the
+            // client the pool just saved it from. A busy proxy therefore
+            // refills between connections; a drained pool under sustained
+            // load degrades to cold spawns (pinned by tests/pool.rs), not
+            // to head-of-line blocking. A zero-timeout probe of the
+            // listener closes the remaining race: a client that has
+            // already connected wins over topping up the pool.
+            let busy = conns.iter().any(Option::is_some);
+            let refill_ok = !busy
+                && !matches!(
+                    crate::reactor::poll_fd(self.listener.as_raw_fd(), libc::POLLIN, 0),
+                    Ok(revents) if revents != 0
+                );
+            if refill_ok {
+                self.pool.refill_step();
+            }
+
             // Pump: resolve satisfied barriers into each connection's
             // outbound queue — unless the queue is over cap (the slow-
             // reader backpressure), and flush what the sockets will take.
@@ -176,12 +260,18 @@ impl Proxy {
                 conn.advance(self.out_cap);
                 if conn.finished() {
                     summary.note(slot.take().expect("conn is Some"));
+                    if self.log_pool_stats {
+                        eprintln!("diehard-proxy: {}", self.pool.stats_line());
+                    }
                 }
             }
 
-            // Re-register the world as it now stands.
+            // Re-register the world as it now stands, parked pool sets
+            // included (their stdouts are the idle liveness watch).
             reactor.clear();
             reactor.register(self.listener.as_raw_fd(), libc::POLLIN, Token::Listener);
+            self.pool
+                .register_interest(|fd, events, id| reactor.register(fd, events, Token::Pool(id)));
             for (slot, conn) in conns.iter().enumerate() {
                 let Some(conn) = conn else { continue };
                 let fd = conn.stream.as_raw_fd();
@@ -198,18 +288,41 @@ impl Proxy {
                 }
             }
 
-            // A finite timeout so the stop flag is honored even when idle.
-            reactor.wait(100)?;
+            // A finite timeout so the stop flag is honored even when idle;
+            // zero while the pool still wants to spawn toward its target
+            // (and is allowed to — see `refill_ok` above), so refilling is
+            // not throttled to one set per idle tick.
+            let timeout = if refill_ok && self.pool.wants_spawn() {
+                0
+            } else {
+                100
+            };
+            reactor.wait(timeout)?;
+            // Parked-set liveness first: a set condemned in this round must
+            // be reaped before the accept below can hand anything out.
+            for (token, revents) in reactor.ready() {
+                if let Token::Pool(id) = token {
+                    self.pool.service(id, revents);
+                }
+            }
             for (token, _revents) in reactor.ready() {
                 match token {
+                    Token::Pool(_) => {} // handled above
                     Token::Listener => {
                         while let Some(stream) = self.listener.accept()? {
                             summary.accepted += 1;
                             match self.open(stream) {
-                                Ok(conn) => match conns.iter_mut().find(|s| s.is_none()) {
-                                    Some(free) => *free = Some(conn),
-                                    None => conns.push(Some(conn)),
-                                },
+                                Ok(mut conn) => {
+                                    // Eager first read: on loopback the
+                                    // request often lands before the accept
+                                    // is even dispatched, and picking it up
+                                    // now saves the fast path a poll round.
+                                    conn.read_request();
+                                    match conns.iter_mut().find(|s| s.is_none()) {
+                                        Some(free) => *free = Some(conn),
+                                        None => conns.push(Some(conn)),
+                                    }
+                                }
                                 // Spawn failure is this connection's
                                 // problem, not the proxy's: the dropped
                                 // stream closes the client, and the report
@@ -225,6 +338,7 @@ impl Proxy {
                                         sent: 0,
                                         out_peak: 0,
                                         aborted: true,
+                                        seeds: Vec::new(),
                                     });
                                 }
                             }
@@ -258,20 +372,22 @@ impl Proxy {
                 summary.note(conn);
             }
         }
+        summary.pool = self.pool.stats().clone();
         Ok(summary)
     }
 
-    /// Spawns a new replica session for an accepted client; on failure the
-    /// stream has already been dropped (closing the client).
+    /// Readies a replica session for an accepted client — warm from the
+    /// pool in O(1) when one is parked, cold-spawned otherwise (both paths
+    /// draw seeds from the same stream). On failure the stream has already
+    /// been dropped (closing the client).
     fn open(&mut self, stream: TcpStream) -> Result<Conn, (u64, io::Error)> {
         let id = self.next_id;
         self.next_id += 1;
-        let session = resolve_seeds(&self.config)
-            .and_then(|seeds| Session::spawn(&self.config, &seeds, SessionInput::Streamed));
-        match session {
+        match self.pool.acquire() {
             Ok(session) => Ok(Conn {
                 id,
                 stream,
+                seeds: session.seeds().to_vec(),
                 session,
                 out: Vec::new(),
                 out_peak: 0,
@@ -292,6 +408,16 @@ impl Conn {
             let phase = self.session.pump(&mut self.out);
             self.out_peak = self.out_peak.max(self.out.len());
             if phase == Phase::Drained {
+                // Everything votable is committed. Flush and half-close
+                // toward the client *before* the closing ballots: finalize
+                // blocks reaping three replica processes, and the client's
+                // EOF should not wait on that bookkeeping. (If the socket
+                // won't take the tail yet, the slow-reader path below keeps
+                // flushing and the close falls back to retire time.)
+                self.flush_response();
+                if self.out.is_empty() {
+                    let _ = crate::net::shutdown_write(&self.stream);
+                }
                 let outcome = self.session.finalize();
                 if outcome.diverged {
                     eprintln!(
@@ -315,19 +441,27 @@ impl Conn {
     /// the client's half-close: the request is complete. A hard error is a
     /// disconnect: the session is aborted and its replicas reaped.
     fn read_request(&mut self) {
-        if self.request_done || !self.session.wants_input() {
-            return;
-        }
+        // Reads run in a loop with an eager stdin flush after each window:
+        // a small request plus its FIN often arrive together, and the
+        // empty replica pipes always take the first window — so the whole
+        // request is broadcast in the round that received it instead of
+        // burning a poll round each on the FIN and on `POLLOUT` reports.
         let mut buf = vec![0u8; self.session.chunk()];
-        match self.stream.read(&mut buf) {
-            Ok(0) => {
-                self.session.accept_input_eof();
-                self.request_done = true;
+        while !self.request_done && self.session.wants_input() {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.session.accept_input_eof();
+                    self.request_done = true;
+                }
+                Ok(n) => self.session.accept_input(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.disconnect();
+                    return;
+                }
             }
-            Ok(n) => self.session.accept_input(&buf[..n]),
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => self.disconnect(),
+            self.session.flush_input();
         }
     }
 
@@ -383,6 +517,7 @@ impl ProxySummary {
             sent,
             out_peak: conn.out_peak,
             aborted: conn.aborted,
+            seeds: conn.seeds,
         });
     }
 }

@@ -113,6 +113,41 @@ impl<T: Copy> Default for Reactor<T> {
     }
 }
 
+/// One-shot readiness probe of a single descriptor: polls `fd` for
+/// `events` with the given timeout (0 = instantaneous) and returns the
+/// returned-event mask (0 when nothing is ready). `EINTR` is retried like
+/// [`Reactor::wait`].
+///
+/// This is the liveness probe for *parked* descriptors — the warm pool
+/// checks a pre-spawned replica set's stdout pipes for `POLLHUP` at
+/// handoff time without disturbing the main registration set.
+///
+/// # Errors
+///
+/// Propagates any `poll(2)` failure other than `EINTR`.
+pub fn poll_fd(
+    fd: RawFd,
+    events: libc::c_short,
+    timeout_ms: libc::c_int,
+) -> io::Result<libc::c_short> {
+    let mut pfd = libc::pollfd {
+        fd,
+        events,
+        revents: 0,
+    };
+    loop {
+        // SAFETY: pfd is a live pollfd; count 1 matches.
+        let rc = unsafe { libc::poll(&mut pfd, 1, timeout_ms) };
+        if rc >= 0 {
+            return Ok(pfd.revents);
+        }
+        let e = io::Error::last_os_error();
+        if e.kind() != io::ErrorKind::Interrupted {
+            return Err(e);
+        }
+    }
+}
+
 /// Switches `fd` to non-blocking mode.
 ///
 /// Only for descriptors the caller owns outright: `O_NONBLOCK` lives on the
@@ -176,6 +211,19 @@ mod tests {
         reactor.clear();
         assert!(reactor.is_empty());
         assert_eq!(reactor.ready().count(), 0);
+    }
+
+    #[test]
+    fn poll_fd_sees_peer_close_and_idle_quiet() {
+        let (a, b) = UnixStream::pair().unwrap();
+        // Nothing readable yet: a 0-timeout probe reports nothing.
+        assert_eq!(poll_fd(a.as_raw_fd(), libc::POLLIN, 0).unwrap(), 0);
+        drop(b);
+        let rev = poll_fd(a.as_raw_fd(), libc::POLLIN, 1000).unwrap();
+        assert!(
+            rev & (libc::POLLIN | libc::POLLHUP) != 0,
+            "peer close must be visible to the probe"
+        );
     }
 
     #[test]

@@ -157,6 +157,7 @@ fn sigkill(child: &Child) {
 /// One voted replica session (see the module docs for the protocol).
 pub struct Session {
     reps: Vec<Replica>,
+    seeds: Vec<u64>,
     input: Window,
     voter: Voter,
     chunk: usize,
@@ -260,6 +261,7 @@ impl Session {
         let n = reps.len();
         Ok(Self {
             reps,
+            seeds: seeds.to_vec(),
             input,
             voter: Voter::new(n),
             chunk,
@@ -275,6 +277,69 @@ impl Session {
     #[must_use]
     pub fn chunk(&self) -> usize {
         self.chunk
+    }
+
+    /// The per-replica seeds this session's children were spawned with (in
+    /// replica-index order). Pooling is required to be invisible to seed
+    /// assignment; transports surface this so tests can pin it.
+    #[must_use]
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// Converts a freshly spawned streamed-mode session to buffer-mode
+    /// input, exactly as if it had been spawned with
+    /// [`SessionInput::Buffer`]: the whole input is caller memory (not
+    /// counted toward the session's bound) and EOF is already known. Used
+    /// when a pre-spawned (pooled) set — always parked in streamed mode —
+    /// is handed to a buffered workload.
+    ///
+    /// Only meaningful while the streamed window is untouched; a window
+    /// that has already accepted bytes keeps its streaming discipline
+    /// (debug builds assert).
+    pub fn adopt_buffer_input(&mut self, data: Vec<u8>) {
+        debug_assert!(
+            self.input.engine_owned && self.input.base == 0 && self.input.win.is_empty(),
+            "adopt_buffer_input on a session that already streamed input"
+        );
+        self.input = Window {
+            win: data,
+            base: 0,
+            eof: true,
+            engine_owned: false,
+        };
+    }
+
+    /// Declares the descriptors a *parked* (pre-spawned, not yet handed
+    /// out) session should be watched on while idle: each replica's
+    /// stdout. Readiness before handoff is either a death (`POLLHUP` when
+    /// the replica exits and its pipe write end closes) or early output —
+    /// the pool decides which by checking
+    /// [`any_member_exited`](Self::any_member_exited).
+    pub fn park_interest(&self, mut register: impl FnMut(RawFd)) {
+        for r in &self.reps {
+            if let Some(ref out) = r.stdout {
+                register(out.as_raw_fd());
+            }
+        }
+    }
+
+    /// Non-blocking check whether any replica has already exited
+    /// (`try_wait` each child, recording statuses). A pooled set where any
+    /// member died before handoff is useless — the vote would start a
+    /// replica down — so the pool reaps such sets instead of handing them
+    /// out.
+    pub fn any_member_exited(&mut self) -> bool {
+        let mut exited = false;
+        for r in &mut self.reps {
+            if r.status.is_none() {
+                if let Ok(Some(status)) = r.child.try_wait() {
+                    r.status = Some(status);
+                }
+            }
+            exited |= r.status.is_some();
+        }
+        exited
     }
 
     /// Ready for the barrier: a full chunk, or the stream has ended (a
@@ -376,6 +441,26 @@ impl Session {
         self.input.win.clear();
         self.input.win.extend_from_slice(bytes);
         self.note_buffered();
+    }
+
+    /// Opportunistically writes pending window bytes to every replica
+    /// stdin that will take them — the pipes are non-blocking, so a full
+    /// one is simply left for its next `POLLOUT` round. Transports call
+    /// this right after sliding the window so freshly-arrived input
+    /// reaches the replicas without spending a whole poll round on a
+    /// writability report for an empty pipe (on the warm-pool fast path
+    /// that round is a measurable share of the connection latency).
+    pub fn flush_input(&mut self) {
+        for i in 0..self.reps.len() {
+            if self.reps[i].stdin.is_some() && self.reps[i].in_pos < self.input.end() {
+                self.write_stdin(i);
+            }
+        }
+        // And retire whatever just finished: when the flush delivered the
+        // final bytes of an ended input, closing the pipe now means the
+        // replica wakes once to find data *and* EOF, instead of waking
+        // again a poll round later just to learn the stream ended.
+        self.close_finished_stdins();
     }
 
     /// Marks the broadcast input as ended; replicas see EOF on their stdin
